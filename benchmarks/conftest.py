@@ -1,0 +1,37 @@
+"""Shared benchmark plumbing.
+
+Each benchmark regenerates one table or figure of the evaluation and
+both prints it (visible with ``pytest benchmarks/ -s``) and appends it to
+``benchmarks/results/<name>.txt`` so the artefacts survive the run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Return a writer: ``emit(name, text)`` prints and persists."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print()
+        print(text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    These are scientific experiments, not microbenchmarks: one round,
+    one iteration — the wall time recorded is the cost of regenerating
+    the table.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,81 @@
+"""F1 — convergence of the estimate vs simulation count (the classic figure).
+
+On the 4-sigma read workload, each sampler's running estimate is recorded
+batch by batch.  Expected shape: GIS locks onto a stable value within a
+few hundred post-search samples; MNIS wanders (its centre is noisier);
+plain MC stays at zero for the whole figure.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.tables import render_series
+from repro.experiments.workloads import calibrate_read_spec, make_read_limitstate
+from repro.highsigma.estimators import MeanShiftISCore, effective_sample_size, is_estimate
+from repro.highsigma.gis import GradientImportanceSampling
+from repro.highsigma.mnis import MinimumNormIS
+
+N_STEPS = 400
+BATCH = 250
+N_BATCHES = 10
+
+
+def running_estimates(ls, shifts, rng):
+    """Running p-hat after each sampling batch for a mean-shift proposal."""
+    core = MeanShiftISCore(ls, shifts=shifts, batch_size=BATCH,
+                           n_max=BATCH * N_BATCHES, target_rel_err=None)
+    log_w, fails = [], []
+    track = []
+    for _ in range(N_BATCHES):
+        u = core.proposal.sample(BATCH, rng)
+        fails.append(ls.fails_batch(u))
+        log_w.append(core.proposal.log_weights(u))
+        p, _se = is_estimate(np.concatenate(log_w), np.concatenate(fails))
+        track.append(p)
+    return track
+
+
+def test_f1_convergence(benchmark, emit):
+    def experiment():
+        spec = calibrate_read_spec(sigma_target=4.0, n_steps=N_STEPS)
+
+        # GIS shift from the gradient search.
+        ls_gis = make_read_limitstate(spec, n_steps=N_STEPS)
+        gis = GradientImportanceSampling(ls_gis)
+        mpfps = gis.search_mpfps(np.random.default_rng(0))
+        gis_track = running_estimates(
+            ls_gis, [mpfps[0].u_star], np.random.default_rng(1)
+        )
+
+        # MNIS shift from blind pre-sampling.
+        ls_mnis = make_read_limitstate(spec, n_steps=N_STEPS)
+        mnis = MinimumNormIS(ls_mnis, n_presample=1000, presample_scale=2.5)
+        centre = mnis.presample_centre(np.random.default_rng(2))
+        mnis_track = running_estimates(ls_mnis, [centre], np.random.default_rng(3))
+
+        # Plain MC running estimate at the same total budget.
+        ls_mc = make_read_limitstate(spec, n_steps=N_STEPS)
+        rng = np.random.default_rng(4)
+        k = 0
+        mc_track = []
+        for i in range(N_BATCHES):
+            u = rng.standard_normal((BATCH, 6))
+            k += int(ls_mc.fails_batch(u).sum())
+            mc_track.append(k / ((i + 1) * BATCH))
+
+        x = [(i + 1) * BATCH for i in range(N_BATCHES)]
+        return x, {"gis": gis_track, "mnis": mnis_track, "mc": mc_track}
+
+    x, series = run_once(benchmark, experiment)
+    emit(
+        "f1_convergence",
+        render_series(x, series, x_label="n_samples",
+                      title="F1: running P_fail estimate vs sampling budget "
+                            "(read @ 4 sigma)"),
+    )
+
+    # Shape assertions: GIS's last few estimates are mutually consistent
+    # (converged), and MC saw nothing at this budget.
+    gis_tail = series["gis"][-3:]
+    assert max(gis_tail) < 3.5 * min(gis_tail)
+    assert max(series["mc"]) <= 2.0 / (len(series["mc"]) * BATCH) * len(series["mc"])

@@ -1,0 +1,82 @@
+"""F2 — estimator stability: figure of merit across independent runs.
+
+20 independent replications of each method on the SRAM-surrogate workload
+per sampling budget; the empirical relative spread (std/mean over runs)
+is the figure of merit the paper plots.  Expected shape: GIS's spread
+shrinks like 1/sqrt(n) from an already-small constant; MNIS sits a
+multiple above it; SSS's extrapolation noise dominates its curve.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.tables import render_series
+from repro.experiments.workloads import surrogate_workload
+from repro.highsigma.gis import GradientImportanceSampling
+from repro.highsigma.mnis import MinimumNormIS
+from repro.highsigma.sss import ScaledSigmaSampling
+
+N_RUNS = 20
+BUDGETS = (500, 1000, 2000, 4000)
+
+
+def spread(estimates):
+    estimates = np.array([e for e in estimates if e and np.isfinite(e)])
+    if estimates.size < 3:
+        return None
+    return float(np.std(estimates, ddof=1) / np.mean(estimates))
+
+
+def test_f2_fom_stability(benchmark, emit):
+    wl = surrogate_workload(sigma_target=4.5, dim=6)
+
+    def experiment():
+        series = {"gis": [], "mnis": [], "sss": []}
+        for budget in BUDGETS:
+            gis_est, mnis_est, sss_est = [], [], []
+            for seed in range(N_RUNS):
+                rng = np.random.default_rng(1000 + seed)
+                gis_est.append(
+                    GradientImportanceSampling(
+                        wl.make(), n_max=budget, target_rel_err=None
+                    ).run(rng).p_fail
+                )
+                rng = np.random.default_rng(2000 + seed)
+                try:
+                    mnis_est.append(
+                        MinimumNormIS(
+                            wl.make(), n_presample=budget // 2, n_max=budget,
+                            presample_scale=2.5, target_rel_err=None,
+                        ).run(rng).p_fail
+                    )
+                except Exception:
+                    mnis_est.append(None)
+                rng = np.random.default_rng(3000 + seed)
+                try:
+                    sss_est.append(
+                        ScaledSigmaSampling(
+                            wl.make(), n_per_scale=max(200, budget // 5)
+                        ).run(rng).p_fail
+                    )
+                except Exception:
+                    sss_est.append(None)
+            series["gis"].append(spread(gis_est))
+            series["mnis"].append(spread(mnis_est))
+            series["sss"].append(spread(sss_est))
+        return series
+
+    series = run_once(benchmark, experiment)
+    emit(
+        "f2_fom_stability",
+        render_series(
+            list(BUDGETS), series, x_label="budget",
+            title=f"F2: run-to-run relative spread over {N_RUNS} runs "
+                  f"(surrogate @ 4.5 sigma, exact p = {wl.exact_pfail:.3e})",
+        ),
+    )
+
+    # Shape: GIS is the most stable method at the largest budget.
+    final = {k: v[-1] for k, v in series.items() if v[-1] is not None}
+    assert final["gis"] == min(final.values())
+    # And its spread shrinks with budget.
+    assert series["gis"][-1] < series["gis"][0]

@@ -1,0 +1,67 @@
+"""F4 — the qualification curve: extracted sigma vs read-time spec.
+
+Sweeping the access-time spec produces the cell's sigma-vs-margin curve —
+the plot a memory designer reads the required timing margin off.  Golden
+MC anchors the low-sigma end (where it can see failures); GIS extends the
+same curve into the 5+ sigma regime at ~2k simulations per point.
+Expected shape: monotone increasing, GIS agreeing with MC where both
+exist and extrapolating smoothly beyond.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.tables import render_series
+from repro.experiments.workloads import calibrate_read_spec, make_read_limitstate
+from repro.highsigma.gis import GradientImportanceSampling
+from repro.highsigma.mc import MonteCarloEstimator
+
+N_STEPS = 400
+SIGMA_TARGETS = (2.5, 3.0, 3.5, 4.0, 5.0, 6.0)
+MC_LIMIT_SIGMA = 3.2  # golden MC only attempted below this
+MC_BUDGET = 120000
+
+
+def test_f4_sigma_sweep(benchmark, emit):
+    def experiment():
+        specs, gis_sigma, mc_sigma = [], [], []
+        for target in SIGMA_TARGETS:
+            spec = calibrate_read_spec(sigma_target=target, n_steps=N_STEPS)
+            specs.append(spec * 1e12)  # ps for the table
+
+            ls = make_read_limitstate(spec, n_steps=N_STEPS)
+            res = GradientImportanceSampling(
+                ls, n_max=3000, target_rel_err=0.1
+            ).run(np.random.default_rng(int(target * 10)))
+            gis_sigma.append(res.sigma_level)
+
+            if target <= MC_LIMIT_SIGMA:
+                ls_mc = make_read_limitstate(spec, n_steps=N_STEPS)
+                mc = MonteCarloEstimator(ls_mc, n_max=MC_BUDGET, batch_size=8192,
+                                         target_rel_err=0.15)
+                r = mc.run(np.random.default_rng(99))
+                mc_sigma.append(r.sigma_level if r.n_failures >= 5 else None)
+            else:
+                mc_sigma.append(None)
+        return specs, gis_sigma, mc_sigma
+
+    specs, gis_sigma, mc_sigma = run_once(benchmark, experiment)
+    emit(
+        "f4_sigma_sweep",
+        render_series(
+            [f"{s:.1f}" for s in specs],
+            {"gis_sigma": gis_sigma, "golden_mc_sigma": mc_sigma},
+            x_label="spec_ps",
+            title="F4: extracted failure sigma vs read-access spec",
+        ),
+    )
+
+    # Shape: monotone curve; GIS matches golden MC at the anchored points
+    # and tracks the calibration targets across the sweep.
+    assert all(b > a - 0.15 for a, b in zip(gis_sigma, gis_sigma[1:]))
+    for target, got in zip(SIGMA_TARGETS, gis_sigma):
+        assert abs(got - target) < 0.5
+    anchored = [(g, m) for g, m in zip(gis_sigma, mc_sigma) if m is not None]
+    assert anchored, "at least one golden anchor point must exist"
+    for g, m in anchored:
+        assert abs(g - m) < 0.3

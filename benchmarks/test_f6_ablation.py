@@ -1,0 +1,132 @@
+"""F6 — ablations of the gradient-IS design choices.
+
+Three knobs the design section calls out, each isolated on the surrogate
+workload (exact truth) plus the gradient-search comparison on the real
+circuit living in F3:
+
+* **search stage**: gradient walk vs blind pre-sampling for the shift
+  (same estimation stage) — the paper's core claim;
+* **defensive mixture weight alpha**: 0 / 0.05 / 0.1 / 0.3 — small alpha
+  is efficient when the shift is right, nonzero alpha bounds the damage
+  when it is not;
+* **covariance shaping**: isotropic vs radial stretch along the shift.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.tables import render_table
+from repro.experiments.workloads import surrogate_workload
+from repro.highsigma.estimators import MeanShiftISCore
+from repro.highsigma.gis import GradientImportanceSampling
+from repro.highsigma.mnis import MinimumNormIS
+
+N_RUNS = 12
+BUDGET = 3000
+
+
+def replicate(make_estimator, seed0, exact):
+    errs, evals = [], []
+    for s in range(N_RUNS):
+        try:
+            res = make_estimator().run(np.random.default_rng(seed0 + s))
+        except Exception:
+            continue
+        if res.p_fail > 0:
+            errs.append(abs(np.log10(res.p_fail) - np.log10(exact)))
+            evals.append(res.n_evals)
+    if not errs:
+        return {"med_log10_err": None, "mean_evals": None, "runs_ok": 0}
+    return {
+        "med_log10_err": float(np.median(errs)),
+        "mean_evals": float(np.mean(evals)),
+        "runs_ok": len(errs),
+    }
+
+
+def test_f6_ablation(benchmark, emit):
+    wl = surrogate_workload(sigma_target=5.0, dim=6)
+    exact = wl.exact_pfail
+
+    def experiment():
+        rows = []
+
+        # --- Search-stage ablation --------------------------------------
+        rows.append({
+            "ablation": "search=gradient (GIS)",
+            **replicate(
+                lambda: GradientImportanceSampling(
+                    wl.make(), n_max=BUDGET, target_rel_err=None
+                ), 0, exact),
+        })
+        rows.append({
+            "ablation": "search=blind presample (MNIS)",
+            **replicate(
+                lambda: MinimumNormIS(
+                    wl.make(), n_presample=BUDGET // 3, presample_scale=2.0,
+                    n_max=BUDGET, target_rel_err=None,
+                ), 100, exact),
+        })
+
+        # --- Defensive-alpha ablation ------------------------------------
+        for alpha in (0.0, 0.05, 0.1, 0.3):
+            rows.append({
+                "ablation": f"alpha={alpha:g}",
+                **replicate(
+                    lambda alpha=alpha: GradientImportanceSampling(
+                        wl.make(), n_max=BUDGET, alpha=alpha, target_rel_err=None
+                    ), 200, exact),
+            })
+
+        # --- Deliberately wrong shift: defensive weight earns its keep ---
+        ls_probe = wl.make()
+        gis = GradientImportanceSampling(ls_probe)
+        u_star = gis.search_mpfps(np.random.default_rng(1))[0].u_star
+        bad_shift = np.roll(u_star, 1) * 1.2  # plausible norm, wrong direction
+
+        def bad_shift_core(alpha):
+            class _Runner:
+                def run(self, rng):
+                    ls = wl.make()
+                    core = MeanShiftISCore(ls, shifts=[bad_shift], alpha=alpha,
+                                           n_max=BUDGET, target_rel_err=None)
+                    return core.run(rng, method=f"bad-shift-a{alpha}")
+            return _Runner()
+
+        for alpha in (0.0, 0.1):
+            rows.append({
+                "ablation": f"wrong shift, alpha={alpha:g}",
+                **replicate(lambda alpha=alpha: bad_shift_core(alpha), 300, exact),
+            })
+
+        # --- Covariance shaping ------------------------------------------
+        for stretch in (1.0, 1.5, 2.0):
+            rows.append({
+                "ablation": f"radial stretch={stretch:g}",
+                **replicate(
+                    lambda stretch=stretch: GradientImportanceSampling(
+                        wl.make(), n_max=BUDGET, cov_stretch_radial=stretch,
+                        target_rel_err=None,
+                    ), 400, exact),
+            })
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    emit(
+        "f6_ablation",
+        render_table(
+            rows,
+            ["ablation", "med_log10_err", "mean_evals", "runs_ok"],
+            title=f"F6: gradient-IS ablations (surrogate @ 5 sigma, "
+                  f"exact p = {exact:.3e}, {N_RUNS} runs each)",
+        ),
+    )
+
+    by = {r["ablation"]: r for r in rows}
+    # Gradient search beats blind search at equal budget.
+    assert (by["search=gradient (GIS)"]["med_log10_err"]
+            < (by["search=blind presample (MNIS)"]["med_log10_err"] or 99))
+    # With a wrong shift, the defensive component limits the damage.
+    wrong0 = by["wrong shift, alpha=0"]["med_log10_err"] or 99
+    wrong01 = by["wrong shift, alpha=0.1"]["med_log10_err"] or 99
+    assert wrong01 < wrong0

@@ -1,0 +1,73 @@
+"""T2 — SRAM read-access-time failure: the headline circuit table.
+
+Two spec corners on the transistor-level batched 6T engine:
+
+* a ~3-sigma corner where a golden Monte Carlo run on the same engine
+  resolves the truth — validating the samplers against the circuit, and
+* a ~5-sigma corner (the paper's regime) where MC is hopeless and the
+  IS methods must agree with each other while reporting orders of
+  magnitude fewer simulations than the MC-equivalent cost.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.runners import MethodSpec, default_methods, run_comparison
+from repro.experiments.tables import render_table
+from repro.experiments.workloads import Workload, calibrate_read_spec, make_read_limitstate
+
+COLUMNS = [
+    "workload", "method", "p_fail", "sigma", "rel_err", "n_evals",
+    "n_failures", "speedup_vs_mc", "converged", "error",
+]
+
+N_STEPS = 400
+
+
+def test_t2_read_access(benchmark, emit):
+    def experiment():
+        rows = []
+        # Corner 1: golden-MC-resolvable (~3 sigma).
+        spec3 = calibrate_read_spec(sigma_target=3.0, n_steps=N_STEPS)
+        wl3 = Workload(
+            name=f"read-3s(spec={spec3*1e12:.1f}ps)",
+            make=lambda: make_read_limitstate(spec3, n_steps=N_STEPS),
+            exact_pfail=None,
+            dim=6,
+        )
+        methods3 = default_methods(n_max=4000, target_rel_err=0.1, mc_budget=120000)
+        rows.extend(run_comparison(wl3, methods3, seeds=(0,)))
+
+        # Corner 2: high-sigma (~5), MC included only to document blindness.
+        spec5 = calibrate_read_spec(sigma_target=5.0, n_steps=N_STEPS)
+        wl5 = Workload(
+            name=f"read-5s(spec={spec5*1e12:.1f}ps)",
+            make=lambda: make_read_limitstate(spec5, n_steps=N_STEPS),
+            exact_pfail=None,
+            dim=6,
+        )
+        methods5 = default_methods(n_max=5000, target_rel_err=0.1, mc_budget=50000)
+        rows.extend(run_comparison(wl5, methods5, seeds=(0,)))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    emit(
+        "t2_read_access",
+        render_table(rows, COLUMNS, title="T2: 6T read-access-time failure"),
+    )
+
+    by = {(r["workload"].split("(")[0], r["method"]): r for r in rows}
+    gis3 = by[("read-3s", "gis")]
+    mc3 = by[("read-3s", "mc")]
+    # Golden validation: GIS within the joint CI of the MC truth.
+    joint = 1.96 * np.hypot(gis3["std_err"], mc3["std_err"])
+    assert abs(gis3["p_fail"] - mc3["p_fail"]) < joint + 0.35 * mc3["p_fail"]
+    # Cost shape: GIS uses far fewer sims than MC for comparable error.
+    assert gis3["n_evals"] < mc3["n_evals"] / 5
+
+    gis5 = by[("read-5s", "gis")]
+    mc5 = by[("read-5s", "mc")]
+    assert gis5["sigma"] == (gis5["sigma"])  # finite
+    assert 4.0 < gis5["sigma"] < 6.0
+    assert mc5["n_failures"] == 0 or not mc5["converged"]  # MC blind at 5 sigma
+    assert gis5["speedup_vs_mc"] > 100

@@ -1,0 +1,70 @@
+"""T3 — SRAM write-trip failure table (same comparison as T2, write op).
+
+The write failure mechanism is different physics (pull-up fight instead of
+bitline discharge), a different dominant device (pull-up / pass-gate
+pair), and a penalty-extended metric when the cell never trips — the
+second dynamic characteristic the paper's title promises.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.runners import default_methods, run_comparison
+from repro.experiments.tables import render_table
+from repro.experiments.workloads import Workload, calibrate_write_spec, make_write_limitstate
+
+COLUMNS = [
+    "workload", "method", "p_fail", "sigma", "rel_err", "n_evals",
+    "n_failures", "speedup_vs_mc", "converged", "error",
+]
+
+N_STEPS = 400
+
+
+def test_t3_write_trip(benchmark, emit):
+    def experiment():
+        rows = []
+        spec3 = calibrate_write_spec(sigma_target=3.0, n_steps=N_STEPS)
+        wl3 = Workload(
+            name=f"write-3s(spec={spec3*1e12:.1f}ps)",
+            make=lambda: make_write_limitstate(spec3, n_steps=N_STEPS),
+            exact_pfail=None,
+            dim=6,
+        )
+        rows.extend(
+            run_comparison(
+                wl3,
+                default_methods(n_max=4000, target_rel_err=0.1, mc_budget=120000),
+                seeds=(0,),
+            )
+        )
+
+        spec5 = calibrate_write_spec(sigma_target=5.0, n_steps=N_STEPS)
+        wl5 = Workload(
+            name=f"write-5s(spec={spec5*1e12:.1f}ps)",
+            make=lambda: make_write_limitstate(spec5, n_steps=N_STEPS),
+            exact_pfail=None,
+            dim=6,
+        )
+        rows.extend(
+            run_comparison(
+                wl5,
+                default_methods(n_max=5000, target_rel_err=0.1, mc_budget=50000),
+                seeds=(0,),
+            )
+        )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    emit(
+        "t3_write_trip",
+        render_table(rows, COLUMNS, title="T3: 6T write-trip failure"),
+    )
+
+    by = {(r["workload"].split("(")[0], r["method"]): r for r in rows}
+    gis3, mc3 = by[("write-3s", "gis")], by[("write-3s", "mc")]
+    joint = 1.96 * np.hypot(gis3["std_err"], mc3["std_err"])
+    assert abs(gis3["p_fail"] - mc3["p_fail"]) < joint + 0.35 * mc3["p_fail"]
+    gis5 = by[("write-5s", "gis")]
+    assert 4.0 < gis5["sigma"] < 6.0
+    assert gis5["speedup_vs_mc"] > 100

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Validate the estimators against closed-form failure probabilities.
+
+Before trusting any high-sigma tool on a circuit (where truth is
+unknowable), check it on geometries where the failure probability has a
+closed form.  This example reproduces the exactness checks: a hyperplane
+at 4/5/6 sigma, a curved boundary where FORM is an order of magnitude
+off, and a two-region union that requires multi-start.
+
+Run:  python examples/analytic_validation.py
+"""
+
+import numpy as np
+from scipy import stats
+
+from repro.experiments import render_table
+from repro.highsigma import (
+    GradientImportanceSampling,
+    LinearLimitState,
+    QuadraticLimitState,
+    UnionLimitState,
+)
+
+rows = []
+
+# ----------------------------------------------------------------------
+# Hyperplanes at increasing sigma: P = Phi(-beta) exactly.
+# ----------------------------------------------------------------------
+for beta in (4.0, 5.0, 6.0):
+    ls = LinearLimitState(beta=beta, dim=6)
+    res = GradientImportanceSampling(ls, n_max=5000, target_rel_err=0.05).run(
+        np.random.default_rng(int(beta))
+    )
+    rows.append({
+        "case": f"hyperplane beta={beta:g}",
+        "exact": ls.exact_pfail(),
+        "estimate": res.p_fail,
+        "log10_err": abs(np.log10(res.p_fail / ls.exact_pfail())),
+        "n_evals": res.n_evals,
+    })
+
+# ----------------------------------------------------------------------
+# Curved boundary: sampling sees the curvature, FORM does not.
+# ----------------------------------------------------------------------
+ls = QuadraticLimitState(beta=5.0, dim=12, kappa=0.15)
+res = GradientImportanceSampling(ls, n_max=8000, target_rel_err=0.05).run(
+    np.random.default_rng(7)
+)
+rows.append({
+    "case": "curved boundary (d=12)",
+    "exact": ls.exact_pfail(),
+    "estimate": res.p_fail,
+    "log10_err": abs(np.log10(res.p_fail / ls.exact_pfail())),
+    "n_evals": res.n_evals,
+})
+form = stats.norm.sf(5.0)
+rows.append({
+    "case": "  ... FORM (for contrast)",
+    "exact": ls.exact_pfail(),
+    "estimate": form,
+    "log10_err": abs(np.log10(form / ls.exact_pfail())),
+    "n_evals": 0,
+})
+
+# ----------------------------------------------------------------------
+# Two failure regions: single-start misses mass, multi-start covers it.
+# ----------------------------------------------------------------------
+union = UnionLimitState([4.0, 4.2], dim=8)
+for starts, label in ((1, "union, single-start"), (8, "union, multi-start")):
+    ls = UnionLimitState([4.0, 4.2], dim=8)
+    res = GradientImportanceSampling(
+        ls, n_max=8000, n_starts=starts, target_rel_err=0.05
+    ).run(np.random.default_rng(starts))
+    rows.append({
+        "case": label,
+        "exact": union.exact_pfail(),
+        "estimate": res.p_fail,
+        "log10_err": abs(np.log10(res.p_fail / union.exact_pfail())),
+        "n_evals": res.n_evals,
+    })
+
+print(render_table(
+    rows,
+    ["case", "exact", "estimate", "log10_err", "n_evals"],
+    title="Gradient IS vs closed-form failure probabilities",
+))
+print("\nreading guide: log10_err is decades of error; 0.04 means ~10%.")
+print("FORM's error on the curved case is what pure design-point methods")
+print("inherit; sampling around the design point corrects it.")

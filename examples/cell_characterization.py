@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Characterise a 6T bitcell with the transistor-level simulator directly.
+
+The layer below the statistics: build the cell, look at actual read and
+write waveforms from the reference MNA engine, measure static noise
+margins from butterfly curves, and see how a threshold shift distorts all
+of it.  Useful as an introduction to the circuit substrate the
+high-sigma machinery drives.
+
+Run:  python examples/cell_characterization.py
+"""
+
+import numpy as np
+
+from repro.sram import ReadTestbench, WriteTestbench, butterfly_snm
+from repro.sram.cell import CELL_DEVICE_ORDER, CellDesign
+
+
+def sparkline(waveform, t_stop, width=60, vmax=1.0):
+    """Render a waveform as a crude ASCII strip."""
+    levels = " .:-=+*#%@"
+    ts = np.linspace(waveform.t_start, t_stop, width)
+    out = []
+    for t in ts:
+        frac = min(max(waveform.at(t) / vmax, 0.0), 1.0)
+        out.append(levels[int(round(frac * (len(levels) - 1)))])
+    return "".join(out)
+
+
+design = CellDesign()
+print(f"cell: W_pd={design.w_pd*1e9:.0f}n W_pg={design.w_pg*1e9:.0f}n "
+      f"W_pu={design.w_pu*1e9:.0f}n L={design.l*1e9:.0f}n "
+      f"(cell ratio {design.cell_ratio:.2f}, pull-up ratio {design.pullup_ratio:.2f})")
+
+# ----------------------------------------------------------------------
+# Read operation waveforms.
+# ----------------------------------------------------------------------
+read = ReadTestbench(design)
+res = read.simulate(None)
+t_stop = read.timing.t_stop
+print("\nread operation (cell stores 0; BL discharges, BLB holds):")
+for node in ("wl", "bl", "blb", "q"):
+    print(f"  {node:3s} |{sparkline(res.waveform(node), t_stop)}|")
+sample = read.access_sample(None)
+print(f"  access time to {read.dv_spec*1e3:.0f} mV differential: "
+      f"{sample.value*1e12:.1f} ps")
+
+# ----------------------------------------------------------------------
+# Write operation waveforms.
+# ----------------------------------------------------------------------
+write = WriteTestbench(design)
+resw = write.simulate(None)
+print("\nwrite operation (drivers flip the cell from 1 to 0):")
+for node in ("wl", "q", "qb"):
+    print(f"  {node:3s} |{sparkline(resw.waveform(node), write.timing.t_stop)}|")
+trip = write.trip_sample(None)
+print(f"  write trip time: {trip.value*1e12:.1f} ps")
+
+# ----------------------------------------------------------------------
+# Static noise margins.
+# ----------------------------------------------------------------------
+print("\nstatic noise margins (butterfly method):")
+for vdd in (1.0, 0.8):
+    hold = butterfly_snm(design, vdd=vdd, mode="hold")
+    rd = butterfly_snm(design, vdd=vdd, mode="read")
+    print(f"  VDD={vdd:.1f} V: hold SNM {hold*1e3:5.0f} mV, read SNM {rd*1e3:5.0f} mV")
+
+# ----------------------------------------------------------------------
+# What mismatch does: weaken the accessed pass gate by 3 sigma.
+# ----------------------------------------------------------------------
+sigma_pg = read.space.sigma_vector()[2]
+u = np.zeros(6)
+u[3 - 1] = 0.0  # clarity: axes are CELL_DEVICE_ORDER
+u[2] = 3.0
+slow = read.access_sample(u)
+print(f"\nwith a +3-sigma ({3*sigma_pg*1e3:.0f} mV) threshold shift on the "
+      f"accessed pass gate:")
+print(f"  access time: {sample.value*1e12:.1f} ps -> {slow.value*1e12:.1f} ps "
+      f"({slow.value/sample.value:.2f}x)")
+print("  (this is the failure mechanism the gradient search discovers on its own;")
+print("   see examples/quickstart.py)")

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Quickstart: extract the high-sigma read-failure rate of a 6T SRAM cell.
+
+This walks the full gradient-importance-sampling flow in five steps:
+
+1. build the transistor-level read workload (a batched 6T cell with
+   Pelgrom threshold mismatch on all six devices),
+2. look at the nominal access time,
+3. run the gradient search for the most probable failure point,
+4. run the full gradient-IS estimation,
+5. convert to sigma and per-megabit yield.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.experiments import make_read_limitstate
+from repro.highsigma import GradientImportanceSampling, MpfpSearch, array_yield
+from repro.sram.cell import CELL_DEVICE_ORDER
+
+# ----------------------------------------------------------------------
+# 1. The workload: read-access time of a 6T cell must stay below 55 ps.
+#    The limit state wraps the batched transistor-level engine; its
+#    u-space is the 6 per-device threshold shifts in sigma units.
+# ----------------------------------------------------------------------
+SPEC = 55e-12
+limit_state = make_read_limitstate(spec=SPEC)
+print(f"workload: {limit_state.name}  (u-space dim = {limit_state.dim})")
+
+# ----------------------------------------------------------------------
+# 2. Nominal behaviour: simulate the unvaried cell once.
+# ----------------------------------------------------------------------
+t_nominal = limit_state.metric(np.zeros(6))
+print(f"nominal access time: {t_nominal*1e12:.1f} ps (spec {SPEC*1e12:.0f} ps)")
+
+# ----------------------------------------------------------------------
+# 3. Stage 1 by hand (the estimator below does this internally too):
+#    the gradient walk to the most probable failure point.
+# ----------------------------------------------------------------------
+search = MpfpSearch(limit_state)
+mpfp = search.run()
+print(f"\nMPFP found in {mpfp.n_evals} simulations "
+      f"({mpfp.iterations} iterations, converged={mpfp.converged})")
+print(f"reliability index beta = {mpfp.beta:.3f}")
+print("most probable failure pattern (threshold shifts, in sigmas):")
+for device, shift in zip(CELL_DEVICE_ORDER, mpfp.u_star):
+    bar = "#" * int(round(abs(shift) * 8))
+    print(f"  {device:8s} {shift:+6.2f}  {bar}")
+
+# ----------------------------------------------------------------------
+# 4. The full estimator: gradient search + defensive mean-shift IS.
+# ----------------------------------------------------------------------
+limit_state.reset_counter()
+gis = GradientImportanceSampling(limit_state, n_max=4000, target_rel_err=0.08)
+result = gis.run(np.random.default_rng(0))
+print(f"\n{result.summary()}")
+
+# ----------------------------------------------------------------------
+# 5. What it means for an array.
+# ----------------------------------------------------------------------
+p = result.p_fail
+print(f"\nfailure sigma: {result.sigma_level:.2f}")
+for mb in (1, 8, 64):
+    cells = mb * (1 << 20)
+    y = array_yield(p, cells)
+    print(f"  {mb:3d} Mb array, zero repair: {100*y:6.2f} % yield")
+print(f"  (plain Monte Carlo would need ~{(1-p)/(p*0.08**2):.2e} "
+      f"simulations for the same accuracy; this run used {result.n_evals})")

@@ -1,0 +1,14 @@
+"""repro — gradient importance sampling for high-sigma SRAM yield.
+
+A from-scratch reproduction of "Gradient importance sampling: An
+efficient statistical extraction methodology of high-sigma SRAM dynamic
+characteristics" (DATE 2018), including the transistor-level circuit
+simulator, the 6T bitcell testbenches, the process-variation model, the
+paper's method and its comparison baselines.
+
+Start with :mod:`repro.experiments` for ready-made workloads and
+:mod:`repro.highsigma` for the estimators; ``examples/quickstart.py``
+walks the whole flow.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,175 @@
+"""Command-line interface for the common extraction flows.
+
+Four subcommands wrap the library's main entry points so a designer can
+run the extractions without writing Python:
+
+* ``read-sigma``  — gradient-IS extraction of the read-access failure
+  sigma at a given spec (or a spec calibrated to a target sigma);
+* ``write-sigma`` — same for the write-trip failure;
+* ``snm``         — static noise margins of the cell;
+* ``compare``     — the full method-comparison table on one workload.
+
+Examples::
+
+    python -m repro.cli read-sigma --spec-ps 55
+    python -m repro.cli write-sigma --target-sigma 5 --vdd 0.9
+    python -m repro.cli snm --vdd 0.8
+    python -m repro.cli compare --target-sigma 4 --budget 4000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="High-sigma SRAM dynamic-characteristic extraction "
+                    "(gradient importance sampling)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--vdd", type=float, default=1.0, help="supply voltage [V]")
+        p.add_argument("--seed", type=int, default=0, help="random seed")
+        p.add_argument("--budget", type=int, default=4000,
+                       help="sampling budget (simulations)")
+        p.add_argument("--rel-err", type=float, default=0.1,
+                       help="target relative standard error")
+        p.add_argument("--n-steps", type=int, default=400,
+                       help="transient grid density of the batched engine")
+
+    p_read = sub.add_parser("read-sigma", help="read-access failure sigma")
+    common(p_read)
+    group = p_read.add_mutually_exclusive_group(required=True)
+    group.add_argument("--spec-ps", type=float, help="access-time spec [ps]")
+    group.add_argument("--target-sigma", type=float,
+                       help="calibrate the spec to this sigma first")
+
+    p_write = sub.add_parser("write-sigma", help="write-trip failure sigma")
+    common(p_write)
+    group = p_write.add_mutually_exclusive_group(required=True)
+    group.add_argument("--spec-ps", type=float, help="trip-time spec [ps]")
+    group.add_argument("--target-sigma", type=float,
+                       help="calibrate the spec to this sigma first")
+
+    p_snm = sub.add_parser("snm", help="static noise margins (butterfly)")
+    p_snm.add_argument("--vdd", type=float, default=1.0)
+
+    p_cmp = sub.add_parser("compare", help="all methods on one workload")
+    common(p_cmp)
+    p_cmp.add_argument("--target-sigma", type=float, default=4.0)
+    p_cmp.add_argument("--mc-budget", type=int, default=100000)
+
+    return parser
+
+
+def _report(result, spec: float, extra: str = "") -> None:
+    from repro.highsigma.sigma import array_yield
+
+    lo, hi = result.ci()
+    print(f"spec              : {spec*1e12:.2f} ps{extra}")
+    print(f"p_fail            : {result.p_fail:.4e}  (CI95 [{lo:.3e}, {hi:.3e}])")
+    print(f"sigma             : {result.sigma_level:.3f}")
+    print(f"simulations       : {result.n_evals} "
+          f"(search {result.diagnostics.get('search_evals', '?')}, "
+          f"sampling {result.diagnostics.get('n_sampling', '?')})")
+    print(f"converged         : {result.converged}")
+    if 0 < result.p_fail < 1:
+        y = array_yield(result.p_fail, 1 << 20)
+        print(f"1 Mb zero-repair  : {100*y:.2f} % yield")
+
+
+def _run_sigma(args, kind: str) -> int:
+    from repro.experiments.workloads import (
+        calibrate_read_spec,
+        calibrate_write_spec,
+        make_read_limitstate,
+        make_write_limitstate,
+    )
+    from repro.highsigma.gis import GradientImportanceSampling
+
+    calibrate = calibrate_read_spec if kind == "read" else calibrate_write_spec
+    make = make_read_limitstate if kind == "read" else make_write_limitstate
+
+    if args.spec_ps is not None:
+        spec = args.spec_ps * 1e-12
+        note = ""
+    else:
+        print(f"calibrating {kind} spec for {args.target_sigma:g} sigma ...")
+        spec = calibrate(args.target_sigma, n_steps=args.n_steps, vdd=args.vdd)
+        note = f"  (calibrated for {args.target_sigma:g} sigma)"
+
+    ls = make(spec, vdd=args.vdd, n_steps=args.n_steps)
+    gis = GradientImportanceSampling(
+        ls, n_max=args.budget, target_rel_err=args.rel_err
+    )
+    result = gis.run(np.random.default_rng(args.seed))
+    _report(result, spec, note)
+    return 0
+
+
+def _run_snm(args) -> int:
+    from repro.sram.statics import butterfly_snm
+
+    hold = butterfly_snm(vdd=args.vdd, mode="hold")
+    read = butterfly_snm(vdd=args.vdd, mode="read")
+    print(f"VDD      : {args.vdd:.2f} V")
+    print(f"hold SNM : {hold*1e3:.1f} mV")
+    print(f"read SNM : {read*1e3:.1f} mV")
+    return 0
+
+
+def _run_compare(args) -> int:
+    from repro.experiments.runners import default_methods, run_comparison
+    from repro.experiments.tables import render_table
+    from repro.experiments.workloads import (
+        Workload,
+        calibrate_read_spec,
+        make_read_limitstate,
+    )
+
+    print(f"calibrating read spec for {args.target_sigma:g} sigma ...")
+    spec = calibrate_read_spec(args.target_sigma, n_steps=args.n_steps, vdd=args.vdd)
+    wl = Workload(
+        name=f"read-{args.target_sigma:g}s",
+        make=lambda: make_read_limitstate(spec, vdd=args.vdd, n_steps=args.n_steps),
+        exact_pfail=None,
+        dim=6,
+    )
+    methods = default_methods(
+        n_max=args.budget, target_rel_err=args.rel_err, mc_budget=args.mc_budget
+    )
+    rows = run_comparison(wl, methods, seeds=(args.seed,))
+    print(render_table(
+        rows,
+        ["method", "p_fail", "sigma", "rel_err", "n_evals", "speedup_vs_mc",
+         "converged", "error"],
+        title=f"read @ {spec*1e12:.1f} ps, VDD {args.vdd:g} V",
+    ))
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    """Entry point (also exposed as ``python -m repro.cli``)."""
+    args = build_parser().parse_args(argv)
+    if args.command == "read-sigma":
+        return _run_sigma(args, "read")
+    if args.command == "write-sigma":
+        return _run_sigma(args, "write")
+    if args.command == "snm":
+        return _run_snm(args)
+    if args.command == "compare":
+        return _run_compare(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,70 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to discriminate simulator convergence problems from user
+configuration mistakes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class NetlistError(ReproError):
+    """Raised for malformed circuit descriptions.
+
+    Examples: duplicate element names, references to undeclared model
+    cards, or an element wired to a node name that is empty.
+    """
+
+
+class ConvergenceError(ReproError):
+    """Raised when a Newton solve (DC or a transient step) fails to converge.
+
+    Carries the iteration count and the final residual norm so calling code
+    (for example the high-sigma samplers, which must treat non-convergent
+    samples deliberately) can log meaningful diagnostics.
+    """
+
+    def __init__(self, message: str, iterations: int = -1, residual: float = float("nan")):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class SimulationError(ReproError):
+    """Raised for non-convergence-related simulation failures.
+
+    Examples: a transient analysis asked to run for non-positive time, or a
+    timestep underflow after repeated rejections.
+    """
+
+
+class MeasurementError(ReproError):
+    """Raised when a waveform measurement cannot be computed.
+
+    The classic case is a delay measurement whose trigger or target
+    crossing never happens inside the simulated window; dynamic-stability
+    metrics rely on catching this to classify a sample as a functional
+    failure rather than a numerical accident.
+    """
+
+
+class EstimationError(ReproError):
+    """Raised when a statistical estimator cannot produce a result.
+
+    For example: an importance-sampling run that observed zero failures, or
+    a scaled-sigma regression with too few non-degenerate points to fit.
+    """
+
+
+class SearchError(ReproError):
+    """Raised when the most-probable-failure-point search fails.
+
+    Typically means no failure direction could be found within the allowed
+    simulation budget; samplers surface this to the user rather than
+    silently returning a garbage shift vector.
+    """

@@ -1,0 +1,53 @@
+"""Experiment harness shared by the benchmarks and the examples.
+
+* :mod:`repro.experiments.workloads` — named workload definitions: the
+  analytic accuracy grid (T1), the SRAM read/write limit states (T2/T3)
+  with spec calibration, and the surrogate workloads for the
+  estimator-stability and dimension-scaling figures.
+* :mod:`repro.experiments.runners` — run a set of estimation methods on a
+  workload, collect uniform result rows, compute speedups vs the plain
+  Monte Carlo cost model.
+* :mod:`repro.experiments.tables` — plain-text table/series rendering so
+  each bench prints the same rows/series the paper reports.
+"""
+
+from repro.experiments.workloads import (
+    Workload,
+    analytic_grid_workloads,
+    cell_variation_space,
+    make_read_limitstate,
+    make_write_limitstate,
+    make_disturb_limitstate,
+    make_system_read_limitstate,
+    calibrate_read_spec,
+    calibrate_write_spec,
+    surrogate_workload,
+)
+from repro.experiments.runners import (
+    MethodSpec,
+    default_methods,
+    mc_equivalent_cost,
+    run_comparison,
+    run_method,
+)
+from repro.experiments.tables import render_series, render_table
+
+__all__ = [
+    "Workload",
+    "analytic_grid_workloads",
+    "cell_variation_space",
+    "make_read_limitstate",
+    "make_write_limitstate",
+    "make_disturb_limitstate",
+    "make_system_read_limitstate",
+    "calibrate_read_spec",
+    "calibrate_write_spec",
+    "surrogate_workload",
+    "MethodSpec",
+    "default_methods",
+    "run_method",
+    "run_comparison",
+    "mc_equivalent_cost",
+    "render_table",
+    "render_series",
+]

@@ -1,0 +1,161 @@
+"""Method runners: execute estimators on workloads, produce table rows.
+
+Every row carries the same fields so tables compose; failures of a method
+(search found nothing, regression under-determined) become rows with an
+``error`` note rather than crashing the whole comparison — a method
+failing *is* a benchmark result.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.highsigma.gis import GradientImportanceSampling
+from repro.highsigma.limitstate import LimitState
+from repro.highsigma.mc import MonteCarloEstimator
+from repro.highsigma.mnis import MinimumNormIS
+from repro.highsigma.results import EstimateResult
+from repro.highsigma.spherical import SphericalSearchIS
+from repro.highsigma.sss import ScaledSigmaSampling
+from repro.experiments.workloads import Workload
+
+__all__ = [
+    "MethodSpec",
+    "default_methods",
+    "run_method",
+    "run_comparison",
+    "mc_equivalent_cost",
+]
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """A named estimator constructor: ``build(limit_state) -> estimator``."""
+
+    name: str
+    build: Callable[[LimitState], object]
+
+
+def default_methods(
+    n_max: int = 6000,
+    target_rel_err: Optional[float] = 0.1,
+    mc_budget: int = 200000,
+    include_mc: bool = True,
+    n_starts: int = 1,
+) -> List[MethodSpec]:
+    """The paper's comparison set with a shared sampling budget."""
+    methods = [
+        MethodSpec(
+            "gis",
+            lambda ls: GradientImportanceSampling(
+                ls, n_max=n_max, target_rel_err=target_rel_err, n_starts=n_starts
+            ),
+        ),
+        MethodSpec(
+            "mnis",
+            lambda ls: MinimumNormIS(
+                ls,
+                n_presample=max(500, n_max // 4),
+                n_max=n_max,
+                target_rel_err=target_rel_err,
+            ),
+        ),
+        MethodSpec(
+            "spherical",
+            lambda ls: SphericalSearchIS(
+                ls, n_max=n_max, target_rel_err=target_rel_err
+            ),
+        ),
+        MethodSpec(
+            "sss",
+            # Five scales share the same total budget as the IS methods.
+            lambda ls: ScaledSigmaSampling(ls, n_per_scale=max(400, n_max // 5)),
+        ),
+    ]
+    if include_mc:
+        methods.insert(
+            0,
+            MethodSpec(
+                "mc",
+                lambda ls: MonteCarloEstimator(
+                    ls, n_max=mc_budget, target_rel_err=target_rel_err
+                ),
+            ),
+        )
+    return methods
+
+
+def mc_equivalent_cost(p_fail: float, rel_err: float) -> float:
+    """Samples plain MC would need to match an achieved relative error."""
+    if p_fail <= 0 or rel_err <= 0 or not np.isfinite(rel_err):
+        return float("nan")
+    return (1.0 - p_fail) / (p_fail * rel_err**2)
+
+
+def run_method(
+    workload: Workload,
+    method: MethodSpec,
+    seed: int = 0,
+) -> Dict:
+    """One (workload, method, seed) cell of a comparison table."""
+    ls = workload.make()
+    estimator = method.build(ls)
+    rng = np.random.default_rng(seed)
+    row: Dict = {
+        "workload": workload.name,
+        "method": method.name,
+        "seed": seed,
+        "exact_pfail": workload.exact_pfail,
+    }
+    t0 = time.perf_counter()
+    try:
+        result: EstimateResult = estimator.run(rng)
+    except ReproError as exc:
+        row.update(
+            p_fail=None,
+            sigma=None,
+            rel_err=None,
+            n_evals=ls.n_evals,
+            error=f"{type(exc).__name__}: {exc}",
+            wall_s=time.perf_counter() - t0,
+        )
+        return row
+    wall = time.perf_counter() - t0
+    row.update(
+        p_fail=result.p_fail,
+        sigma=result.sigma_level,
+        std_err=result.std_err,
+        rel_err=result.rel_err,
+        n_evals=result.n_evals,
+        n_failures=result.n_failures,
+        converged=result.converged,
+        ess=result.ess,
+        wall_s=wall,
+        diagnostics=result.diagnostics,
+    )
+    if workload.exact_pfail is not None and result.p_fail > 0:
+        row["err_vs_exact"] = abs(result.p_fail - workload.exact_pfail) / workload.exact_pfail
+        row["log10_ratio"] = float(np.log10(result.p_fail / workload.exact_pfail))
+    if result.p_fail and np.isfinite(result.rel_err):
+        mc_cost = mc_equivalent_cost(result.p_fail, result.rel_err)
+        row["mc_equiv_evals"] = mc_cost
+        row["speedup_vs_mc"] = mc_cost / result.n_evals if result.n_evals else None
+    return row
+
+
+def run_comparison(
+    workload: Workload,
+    methods: Sequence[MethodSpec],
+    seeds: Sequence[int] = (0,),
+) -> List[Dict]:
+    """All (method, seed) rows for one workload."""
+    rows = []
+    for method in methods:
+        for seed in seeds:
+            rows.append(run_method(workload, method, seed))
+    return rows

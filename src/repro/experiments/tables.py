@@ -1,0 +1,74 @@
+"""Plain-text rendering of experiment tables and figure series.
+
+The benchmark harness prints what the paper prints: per-method rows for
+the tables, and (x, series...) columns for the figures.  Everything is
+monospace-aligned text so `pytest benchmarks/ -s` output is the artefact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["render_table", "render_series", "fmt"]
+
+
+def fmt(value, kind: str = "auto") -> str:
+    """Format one cell: scientific for tiny floats, compact otherwise."""
+    if value is None:
+        return "--"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, str):
+        return value
+    if isinstance(value, int):
+        return str(value)
+    v = float(value)
+    if v != v:  # NaN
+        return "--"
+    if kind == "sci" or (kind == "auto" and v != 0 and (abs(v) < 1e-3 or abs(v) >= 1e5)):
+        return f"{v:.3e}"
+    return f"{v:.4g}"
+
+
+def render_table(
+    rows: Sequence[Dict],
+    columns: Sequence[str],
+    title: str = "",
+    headers: Optional[Sequence[str]] = None,
+) -> str:
+    """Align a list of dict rows into a text table.
+
+    ``columns`` selects and orders the keys; missing keys render as
+    ``--``.  ``headers`` overrides the printed column names.
+    """
+    heads = list(headers) if headers is not None else list(columns)
+    cells: List[List[str]] = [heads]
+    for row in rows:
+        cells.append([fmt(row.get(c)) for c in columns])
+    widths = [max(len(r[i]) for r in cells) for i in range(len(heads))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    for i, row in enumerate(cells):
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if i == 0:
+            lines.append(sep)
+    return "\n".join(lines)
+
+
+def render_series(
+    x: Sequence,
+    series: Dict[str, Sequence],
+    x_label: str,
+    title: str = "",
+) -> str:
+    """Render figure data as columns: x plus one column per curve."""
+    columns = [x_label] + list(series.keys())
+    rows = []
+    for i, xv in enumerate(x):
+        row = {x_label: xv}
+        for name, values in series.items():
+            row[name] = values[i] if i < len(values) else None
+        rows.append(row)
+    return render_table(rows, columns, title=title)

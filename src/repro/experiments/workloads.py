@@ -1,0 +1,347 @@
+"""Named workloads: the limit states the benchmarks estimate.
+
+Two families:
+
+* **Analytic** — linear/quadratic/union limit states with closed-form
+  failure probabilities, placed at exact sigma levels.  These anchor the
+  accuracy tables: a method's error is measured against truth, not
+  against another estimator.
+* **SRAM** — read-access, write-trip and read-disturb limit states on the
+  batched 6T engine, with the per-device threshold sigmas coming from the
+  Pelgrom law of the model cards.  The spec (the failing delay / margin)
+  is *calibrated* so the workload sits at a requested sigma level: a
+  gradient MPFP search finds the failure direction once, a batched 1-D
+  sweep along it maps metric vs distance, and the spec is read off at the
+  target radius.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.highsigma.analytic import (
+    LinearLimitState,
+    QuadraticLimitState,
+    SramSurrogateLimitState,
+)
+from repro.highsigma.limitstate import LimitState
+from repro.highsigma.mpfp import MpfpOptions, MpfpSearch
+from repro.sram.batched import Batched6T
+from repro.sram.cell import CELL_DEVICE_ORDER, CellDesign
+from repro.sram.senseamp import SenseAmp, SenseAmpDesign
+from repro.sram.testbench import OperationTiming
+from repro.variation.pelgrom import beta_mismatch_sigma, vth_mismatch_sigma
+from repro.variation.space import DeviceAxis, VariationSpace
+
+__all__ = [
+    "Workload",
+    "analytic_grid_workloads",
+    "cell_variation_space",
+    "make_read_limitstate",
+    "make_write_limitstate",
+    "make_disturb_limitstate",
+    "make_system_read_limitstate",
+    "calibrate_read_spec",
+    "calibrate_write_spec",
+    "surrogate_workload",
+]
+
+
+@dataclass
+class Workload:
+    """One named estimation problem.
+
+    ``make`` builds a *fresh* limit state (with a zeroed evaluation
+    counter) per run, so repeated runs bill independently.
+    ``exact_pfail`` is None when only a golden-MC reference exists.
+    """
+
+    name: str
+    make: Callable[[], LimitState]
+    exact_pfail: Optional[float]
+    dim: int
+    description: str = ""
+
+
+# ----------------------------------------------------------------------
+# Analytic grid (table T1)
+# ----------------------------------------------------------------------
+
+def analytic_grid_workloads(
+    sigmas=(4.0, 5.0, 6.0),
+    dims=(6, 12, 24),
+    kappa: float = 0.1,
+) -> List[Workload]:
+    """The T1 accuracy grid: linear and curved boundaries at exact sigmas.
+
+    For the quadratic family ``beta`` is the *boundary distance*, so the
+    exact probability is below ``Phi(-beta)``; the workload name carries
+    the geometric sigma, the table reports the exact probability.
+    """
+    out: List[Workload] = []
+    for d in dims:
+        for s in sigmas:
+            lin = LinearLimitState(beta=s, dim=d)
+            out.append(
+                Workload(
+                    name=f"linear-{s:g}s-d{d}",
+                    make=lambda s=s, d=d: LinearLimitState(beta=s, dim=d),
+                    exact_pfail=lin.exact_pfail(),
+                    dim=d,
+                    description=f"hyperplane at {s:g} sigma, {d} dims",
+                )
+            )
+            quad = QuadraticLimitState(beta=s, dim=d, kappa=kappa)
+            out.append(
+                Workload(
+                    name=f"quadratic-{s:g}s-d{d}",
+                    make=lambda s=s, d=d: QuadraticLimitState(beta=s, dim=d, kappa=kappa),
+                    exact_pfail=quad.exact_pfail(),
+                    dim=d,
+                    description=f"curved boundary at distance {s:g}, {d} dims",
+                )
+            )
+    return out
+
+
+# ----------------------------------------------------------------------
+# SRAM limit states (tables T2/T3, figures F1/F3/F4/F7)
+# ----------------------------------------------------------------------
+
+def cell_variation_space(
+    design: Optional[CellDesign] = None, include_beta: bool = False
+) -> VariationSpace:
+    """Pelgrom u-space over the six cell transistors (canonical order)."""
+    design = design or CellDesign()
+    geometry = {
+        "m_pu_l": (design.pmos, design.w_pu),
+        "m_pd_l": (design.nmos, design.w_pd),
+        "m_pg_l": (design.nmos, design.w_pg),
+        "m_pu_r": (design.pmos, design.w_pu),
+        "m_pd_r": (design.nmos, design.w_pd),
+        "m_pg_r": (design.nmos, design.w_pg),
+    }
+    axes = []
+    for name in CELL_DEVICE_ORDER:
+        model, w = geometry[name]
+        axes.append(DeviceAxis(name, "vth", vth_mismatch_sigma(model, w, design.l)))
+    if include_beta:
+        for name in CELL_DEVICE_ORDER:
+            model, w = geometry[name]
+            axes.append(DeviceAxis(name, "beta", beta_mismatch_sigma(model, w, design.l)))
+    return VariationSpace(axes)
+
+
+def _engine_limitstate(
+    engine: Batched6T,
+    space: VariationSpace,
+    metric_batch: Callable[[np.ndarray, Optional[np.ndarray]], np.ndarray],
+    spec: float,
+    direction: str,
+    name: str,
+) -> LimitState:
+    include_beta = any(a.kind == "beta" for a in space.axes)
+
+    def batch_fn(u_batch: np.ndarray) -> np.ndarray:
+        dvth = space.vth_matrix(u_batch, CELL_DEVICE_ORDER)
+        bmult = space.beta_matrix(u_batch, CELL_DEVICE_ORDER) if include_beta else None
+        return metric_batch(dvth, bmult)
+
+    return LimitState(
+        fn=lambda u: float(batch_fn(np.asarray(u)[None, :])[0]),
+        batch_fn=batch_fn,
+        spec=spec,
+        dim=space.dim,
+        direction=direction,
+        name=name,
+        cache=False,
+    )
+
+
+def make_read_limitstate(
+    spec: float,
+    design: Optional[CellDesign] = None,
+    vdd: float = 1.0,
+    cbl: float = 10e-15,
+    dv_spec: float = 0.12,
+    n_steps: int = 400,
+    include_beta: bool = False,
+    timing: Optional[OperationTiming] = None,
+) -> LimitState:
+    """Read-access-time limit state: failure when access time >= spec."""
+    design = design or CellDesign()
+    engine = Batched6T(
+        design=design, vdd=vdd, cbl=cbl, dv_spec=dv_spec, n_steps=n_steps, timing=timing
+    )
+    space = cell_variation_space(design, include_beta)
+    return _engine_limitstate(
+        engine, space, engine.read_access_times, spec, "upper",
+        name=f"sram-read(spec={spec:.3e}s, vdd={vdd:g}V)",
+    )
+
+
+def make_write_limitstate(
+    spec: float,
+    design: Optional[CellDesign] = None,
+    vdd: float = 1.0,
+    cbl: float = 10e-15,
+    rdrv: float = 200.0,
+    n_steps: int = 400,
+    include_beta: bool = False,
+    timing: Optional[OperationTiming] = None,
+) -> LimitState:
+    """Write-trip-time limit state: failure when trip time >= spec.
+
+    A spec equal to the wordline pulse width makes this the dynamic
+    write-failure probability.
+    """
+    design = design or CellDesign()
+    engine = Batched6T(
+        design=design, vdd=vdd, cbl=cbl, rdrv=rdrv, n_steps=n_steps, timing=timing
+    )
+    space = cell_variation_space(design, include_beta)
+    return _engine_limitstate(
+        engine, space, engine.write_trip_times, spec, "upper",
+        name=f"sram-write(spec={spec:.3e}s, vdd={vdd:g}V)",
+    )
+
+
+def make_disturb_limitstate(
+    spec: float,
+    design: Optional[CellDesign] = None,
+    vdd: float = 1.0,
+    cbl: float = 10e-15,
+    n_steps: int = 400,
+    include_beta: bool = False,
+    timing: Optional[OperationTiming] = None,
+) -> LimitState:
+    """Dynamic read-stability limit state: failure when the low node's
+    read bump reaches ``spec`` volts (the trip point, conventionally
+    ``vdd/2``)."""
+    design = design or CellDesign()
+    engine = Batched6T(design=design, vdd=vdd, cbl=cbl, n_steps=n_steps, timing=timing)
+    space = cell_variation_space(design, include_beta)
+    return _engine_limitstate(
+        engine, space, engine.read_disturb_peaks, spec, "upper",
+        name=f"sram-disturb(spec={spec:.3f}V, vdd={vdd:g}V)",
+    )
+
+
+def make_system_read_limitstate(
+    spec: float,
+    design: Optional[CellDesign] = None,
+    sa_design: Optional[SenseAmpDesign] = None,
+    vdd: float = 1.0,
+    cbl: float = 10e-15,
+    dv_base: float = 0.12,
+    dv_floor: float = 0.02,
+    n_steps: int = 400,
+    timing: Optional[OperationTiming] = None,
+) -> LimitState:
+    """System-level read limit state: cell *and* sense-amp variation.
+
+    Ten u-axes: the six cell threshold shifts plus the four latch
+    threshold shifts.  Each sample's required bitline differential is
+    ``dv_base + offset(u_sa)`` (floored at ``dv_floor`` — a latch never
+    resolves reliably below its noise floor even with a favourable
+    offset), fed per-sample into the batched read engine.  Failure is
+    the access time to *that* differential exceeding ``spec``.
+
+    This is the workload where the single-cell view underestimates the
+    failure rate: a moderately slow cell meeting a moderately deaf sense
+    amp fails reads that neither would alone.
+    """
+    design = design or CellDesign()
+    sense = SenseAmp(sa_design, vdd=vdd)
+    engine = Batched6T(
+        design=design, vdd=vdd, cbl=cbl, dv_spec=dv_base, n_steps=n_steps,
+        timing=timing,
+    )
+    cell_space = cell_variation_space(design)
+
+    def batch_fn(u_batch: np.ndarray) -> np.ndarray:
+        u_batch = np.atleast_2d(u_batch)
+        u_cell, u_sa = u_batch[:, :6], u_batch[:, 6:]
+        dvth = cell_space.vth_matrix(u_cell, CELL_DEVICE_ORDER)
+        dv_req = np.maximum(dv_base + sense.offset_linear(u_sa), dv_floor)
+        return engine.read(dvth, dv_spec=dv_req).metric
+
+    return LimitState(
+        fn=lambda u: float(batch_fn(np.asarray(u)[None, :])[0]),
+        batch_fn=batch_fn,
+        spec=spec,
+        dim=10,
+        direction="upper",
+        name=f"sram-system-read(spec={spec:.3e}s, vdd={vdd:g}V)",
+        cache=False,
+    )
+
+
+# ----------------------------------------------------------------------
+# Spec calibration
+# ----------------------------------------------------------------------
+
+def _calibrate_spec(
+    make_ls: Callable[[float], LimitState],
+    provisional_spec: float,
+    sigma_target: float,
+    r_max: float = 8.0,
+) -> float:
+    """Place a workload at a requested sigma level.
+
+    One gradient MPFP search at a provisional spec finds the failure
+    direction; a batched sweep along that ray maps metric vs distance;
+    the spec for ``sigma_target`` is the metric at radius ``sigma_target``
+    along the ray (exact if the boundary is a sphere-tangent hyperplane,
+    and within ~0.1 sigma for the mildly curved SRAM boundaries, which is
+    ample for benchmark placement).
+    """
+    ls = make_ls(provisional_spec)
+    search = MpfpSearch(ls, options=MpfpOptions(max_iterations=40))
+    res = search.run()
+    direction = res.u_star / max(res.beta, 1e-12)
+    radii = np.linspace(0.0, r_max, 33)
+    metrics = ls.g_batch(direction[None, :] * radii[:, None])
+    # g = spec - metric  =>  metric = spec - g; invert monotone map.
+    metric_vals = ls.spec - metrics
+    return float(np.interp(sigma_target, radii, metric_vals))
+
+
+def calibrate_read_spec(sigma_target: float, n_steps: int = 400, **kwargs) -> float:
+    """Read-access spec placing the failure at ``sigma_target`` sigma."""
+    def make(spec):
+        return make_read_limitstate(spec, n_steps=n_steps, **kwargs)
+
+    nominal = make_read_limitstate(1.0, n_steps=n_steps, **kwargs)
+    t_nom = nominal.metric(np.zeros(nominal.dim))
+    return _calibrate_spec(make, provisional_spec=1.6 * t_nom, sigma_target=sigma_target)
+
+
+def calibrate_write_spec(sigma_target: float, n_steps: int = 400, **kwargs) -> float:
+    """Write-trip spec placing the failure at ``sigma_target`` sigma."""
+    def make(spec):
+        return make_write_limitstate(spec, n_steps=n_steps, **kwargs)
+
+    nominal = make_write_limitstate(1.0, n_steps=n_steps, **kwargs)
+    t_nom = nominal.metric(np.zeros(nominal.dim))
+    return _calibrate_spec(make, provisional_spec=1.8 * t_nom, sigma_target=sigma_target)
+
+
+# ----------------------------------------------------------------------
+# Surrogate workloads (figures F2/F5)
+# ----------------------------------------------------------------------
+
+def surrogate_workload(sigma_target: float = 4.5, dim: int = 6) -> Workload:
+    """SRAM-shaped quadratic-response workload at an exact sigma level."""
+    spec = SramSurrogateLimitState.spec_for_sigma(sigma_target, dim=dim)
+    ls = SramSurrogateLimitState(spec=spec, dim=dim)
+    return Workload(
+        name=f"surrogate-{sigma_target:g}s-d{dim}",
+        make=lambda: SramSurrogateLimitState(spec=spec, dim=dim),
+        exact_pfail=ls.exact_pfail(),
+        dim=dim,
+        description=f"quadratic response surface at {sigma_target:g} sigma, {dim} dims",
+    )

@@ -1,0 +1,178 @@
+"""FORM and SORM: analytic estimates from the most probable failure point.
+
+The classical structural-reliability estimates the gradient search makes
+available for free:
+
+* **FORM** (first-order reliability method): linearise the boundary at
+  the MPFP; ``P ≈ Phi(-beta)`` with ``beta = ||u*||``.  Exact for
+  hyperplanes, biased wherever the boundary curves — the bias the paper
+  contrasts sampling against.
+* **SORM** (second-order, Breitung's formula): correct FORM with the
+  boundary's principal curvatures at the MPFP,
+  ``P ≈ Phi(-beta) * prod_i 1/sqrt(1 + beta * kappa_i)``.
+  Curvatures come from a finite-difference Hessian of ``g`` projected on
+  the tangent plane — d(d+1)/2 extra simulations, still far below any
+  sampling budget.
+
+These are *estimates without error bars*: use them for quick scans and
+as the initial shift diagnostics, not as sign-off numbers.  The GIS
+estimator remains the measurement instrument.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy import stats
+
+from repro.errors import EstimationError
+from repro.highsigma.limitstate import LimitState
+from repro.highsigma.mpfp import MpfpOptions, MpfpResult, MpfpSearch
+from repro.highsigma.results import EstimateResult
+
+__all__ = ["form_estimate", "sorm_estimate", "tangent_hessian_curvatures"]
+
+
+def form_estimate(
+    limit_state: LimitState,
+    mpfp: Optional[MpfpResult] = None,
+    mpfp_options: Optional[MpfpOptions] = None,
+) -> EstimateResult:
+    """First-order estimate ``Phi(-beta)`` from a gradient MPFP search.
+
+    Pass a precomputed ``mpfp`` to reuse a search; otherwise one is run
+    (and billed through the limit state's counter as usual).
+    """
+    evals_before = limit_state.n_evals
+    if mpfp is None:
+        mpfp = MpfpSearch(limit_state, options=mpfp_options).run()
+    if not mpfp.near_boundary():
+        raise EstimationError(
+            f"{limit_state.name}: MPFP search did not reach the failure "
+            "boundary; FORM estimate would be meaningless"
+        )
+    p = float(stats.norm.sf(mpfp.beta))
+    return EstimateResult(
+        p_fail=p,
+        std_err=float("nan"),  # FORM carries model error, not sampling error
+        n_evals=limit_state.n_evals - evals_before,
+        n_failures=0,
+        method="form",
+        converged=mpfp.converged,
+        diagnostics={"beta": mpfp.beta, "u_star": mpfp.u_star.tolist()},
+    )
+
+
+def tangent_hessian_curvatures(
+    limit_state: LimitState,
+    u_star: np.ndarray,
+    fd_step: float = 0.1,
+) -> np.ndarray:
+    """Principal curvatures of the failure boundary at the MPFP.
+
+    Builds the finite-difference Hessian of ``g`` restricted to the
+    tangent plane of the boundary at ``u_star`` (the subspace orthogonal
+    to the MPFP direction), normalises by the gradient magnitude along
+    the MPFP direction, and returns its eigenvalues — the ``kappa_i`` in
+    Breitung's formula.  Cost: ``2*(d-1)^2 + O(d)`` evaluations via the
+    batched path.
+    """
+    u_star = np.asarray(u_star, dtype=float)
+    d = u_star.size
+    beta = float(np.linalg.norm(u_star))
+    if beta <= 0:
+        raise EstimationError("MPFP at the origin; curvatures undefined")
+    e_n = u_star / beta
+
+    # Orthonormal tangent basis via QR of a projector-completed frame.
+    basis = np.eye(d) - np.outer(e_n, e_n)
+    q, _r = np.linalg.qr(basis)
+    # Drop the column aligned with e_n (smallest projection residual).
+    alignment = np.abs(q.T @ e_n)
+    tangent = q[:, np.argsort(alignment)[: d - 1]]
+
+    # Gradient magnitude along the normal (for normalisation).
+    step_n = fd_step
+    g_plus = limit_state.g(u_star + step_n * e_n)
+    g_minus = limit_state.g(u_star - step_n * e_n)
+    dg_dn = (g_plus - g_minus) / (2.0 * step_n)
+    if abs(dg_dn) < 1e-300:
+        raise EstimationError("vanishing normal derivative at the MPFP")
+
+    # FD Hessian on the tangent plane, evaluated in one batched block.
+    m = d - 1
+    points = [u_star]
+    for i in range(m):
+        points.append(u_star + fd_step * tangent[:, i])
+        points.append(u_star - fd_step * tangent[:, i])
+    for i in range(m):
+        for j in range(i + 1, m):
+            ti, tj = tangent[:, i], tangent[:, j]
+            points.append(u_star + fd_step * (ti + tj))
+            points.append(u_star + fd_step * (ti - tj))
+            points.append(u_star - fd_step * (ti - tj))
+            points.append(u_star - fd_step * (ti + tj))
+    values = limit_state.g_batch(np.array(points))
+
+    g0 = values[0]
+    hess = np.empty((m, m))
+    k = 1
+    for i in range(m):
+        gp, gm = values[k], values[k + 1]
+        k += 2
+        hess[i, i] = (gp - 2.0 * g0 + gm) / fd_step**2
+    for i in range(m):
+        for j in range(i + 1, m):
+            gpp, gpm, gmp, gmm = values[k], values[k + 1], values[k + 2], values[k + 3]
+            k += 4
+            hess[i, j] = hess[j, i] = (gpp - gpm - gmp + gmm) / (4.0 * fd_step**2)
+
+    # On the boundary, g(beta*e_n + v + dn*e_n) = 0 gives
+    # dn = -(v^T H_t v) / (2 dg/dn), i.e. the surface is
+    # u_n = beta + v^T K v / 2 with K = -H_t / (dg/dn) — the *signed*
+    # normal derivative matters (it is negative when failure lies in the
+    # +e_n direction, which is the usual orientation here).
+    curv = -hess / dg_dn
+    return np.linalg.eigvalsh(curv)
+
+
+def sorm_estimate(
+    limit_state: LimitState,
+    mpfp: Optional[MpfpResult] = None,
+    fd_step: float = 0.1,
+    mpfp_options: Optional[MpfpOptions] = None,
+) -> EstimateResult:
+    """Breitung's second-order correction of the FORM estimate.
+
+    ``P ≈ Phi(-beta) * prod_i (1 + beta * kappa_i)^{-1/2}``; curvatures
+    with ``1 + beta*kappa <= 0`` are clipped just above zero (the formula
+    is asymptotic and breaks down there — the diagnostics note it).
+    """
+    evals_before = limit_state.n_evals
+    if mpfp is None:
+        mpfp = MpfpSearch(limit_state, options=mpfp_options).run()
+    if not mpfp.near_boundary():
+        raise EstimationError(
+            f"{limit_state.name}: MPFP search did not reach the failure "
+            "boundary; SORM estimate would be meaningless"
+        )
+    beta = mpfp.beta
+    kappas = tangent_hessian_curvatures(limit_state, mpfp.u_star, fd_step=fd_step)
+    factors = 1.0 + beta * kappas
+    clipped = bool(np.any(factors <= 1e-6))
+    factors = np.maximum(factors, 1e-6)
+    p = float(stats.norm.sf(beta) / np.sqrt(np.prod(factors)))
+    return EstimateResult(
+        p_fail=min(p, 1.0),
+        std_err=float("nan"),
+        n_evals=limit_state.n_evals - evals_before,
+        n_failures=0,
+        method="sorm",
+        converged=mpfp.converged and not clipped,
+        diagnostics={
+            "beta": beta,
+            "curvatures": kappas.tolist(),
+            "clipped": clipped,
+        },
+    )

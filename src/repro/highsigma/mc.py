@@ -1,0 +1,107 @@
+"""Plain Monte Carlo estimation — the baseline every table starts from.
+
+Nothing clever happens here on purpose: samples come from the standard
+normal, the estimate is the failure fraction, and the confidence interval
+is Wilson's (which, unlike the Wald interval, stays meaningful when the
+failure count is 0 or 1 — the usual situation when plain MC meets a
+high-sigma problem).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import EstimationError
+from repro.highsigma.limitstate import LimitState
+from repro.highsigma.results import EstimateResult
+
+__all__ = ["MonteCarloEstimator", "wilson_interval"]
+
+
+def wilson_interval(k: int, n: int, z: float = 1.96) -> tuple:
+    """Wilson score interval for a binomial proportion."""
+    if n <= 0:
+        raise EstimationError("Wilson interval needs n > 0")
+    if not 0 <= k <= n:
+        raise EstimationError(f"failure count {k} outside [0, {n}]")
+    p = k / n
+    denom = 1.0 + z * z / n
+    centre = (p + z * z / (2 * n)) / denom
+    half = z * np.sqrt(p * (1 - p) / n + z * z / (4 * n * n)) / denom
+    return (max(0.0, centre - half), min(1.0, centre + half))
+
+
+class MonteCarloEstimator:
+    """Standard Monte Carlo with batched evaluation and early stopping.
+
+    Parameters
+    ----------
+    limit_state:
+        The failure oracle.
+    n_max:
+        Evaluation budget.
+    batch_size:
+        Samples per evaluation block (big blocks feed the vectorised
+        engines efficiently).
+    target_rel_err:
+        Stop once the relative standard error of the estimate drops below
+        this (None disables early stopping).
+    """
+
+    method_name = "mc"
+
+    def __init__(
+        self,
+        limit_state: LimitState,
+        n_max: int = 100000,
+        batch_size: int = 4096,
+        target_rel_err: Optional[float] = 0.1,
+    ):
+        self.ls = limit_state
+        self.n_max = int(n_max)
+        self.batch_size = int(batch_size)
+        self.target_rel_err = target_rel_err
+
+    def run(self, rng: Optional[np.random.Generator] = None) -> EstimateResult:
+        """Sample until the budget or the target relative error is reached."""
+        rng = rng if rng is not None else np.random.default_rng()
+        n_done = 0
+        k_fail = 0
+        converged = False
+        while n_done < self.n_max:
+            m = min(self.batch_size, self.n_max - n_done)
+            u = rng.standard_normal((m, self.ls.dim))
+            k_fail += int(self.ls.fails_batch(u).sum())
+            n_done += m
+            if self.target_rel_err is not None and k_fail >= 10:
+                p = k_fail / n_done
+                rel = np.sqrt((1.0 - p) / (k_fail))
+                if rel <= self.target_rel_err:
+                    converged = True
+                    break
+        p = k_fail / n_done
+        std_err = float(np.sqrt(p * (1.0 - p) / n_done)) if n_done > 1 else float("inf")
+        lo, hi = wilson_interval(k_fail, n_done)
+        return EstimateResult(
+            p_fail=p,
+            std_err=std_err,
+            n_evals=n_done,
+            n_failures=k_fail,
+            method=self.method_name,
+            converged=converged,
+            ess=float(n_done),
+            diagnostics={"wilson_ci": (lo, hi)},
+        )
+
+    @staticmethod
+    def required_samples(p_fail: float, rel_err: float = 0.1) -> float:
+        """Samples plain MC needs for a target relative error.
+
+        The classic infeasibility number: ``(1 - p) / (p * rel_err^2)``,
+        e.g. ~1e11 samples for 10 % accuracy at 1e-9.
+        """
+        if not 0 < p_fail < 1:
+            raise EstimationError("p_fail must be in (0, 1)")
+        return (1.0 - p_fail) / (p_fail * rel_err**2)

@@ -1,0 +1,90 @@
+"""The uniform result record every estimator returns.
+
+Keeping one result type across Monte Carlo, the importance samplers and
+scaled-sigma extrapolation is what makes the benchmark tables honest:
+every method reports its probability, confidence interval, simulation
+count and convergence diagnostics through exactly the same fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.highsigma.sigma import pfail_to_sigma
+
+__all__ = ["EstimateResult"]
+
+
+@dataclass
+class EstimateResult:
+    """Outcome of one failure-probability estimation run.
+
+    Attributes
+    ----------
+    p_fail:
+        Estimated failure probability.
+    std_err:
+        Standard error of the estimate (same scale as ``p_fail``).
+    n_evals:
+        Total limit-state (simulation) evaluations consumed, *including*
+        any search / pre-sampling phases — the honest cost metric the
+        speedup tables are built from.
+    n_failures:
+        Failing samples observed in the estimation phase.
+    method:
+        Short method tag (``"mc"``, ``"gis"``, ...).
+    converged:
+        Whether the run met its stopping criterion (as opposed to
+        exhausting its budget).
+    ess:
+        Effective sample size of the estimation phase, when defined.
+    diagnostics:
+        Method-specific extras (MPFP vector, mixture weights, regression
+        coefficients, ...).
+    """
+
+    p_fail: float
+    std_err: float
+    n_evals: int
+    n_failures: int
+    method: str
+    converged: bool = True
+    ess: Optional[float] = None
+    diagnostics: Dict = field(default_factory=dict)
+
+    @property
+    def sigma_level(self) -> float:
+        """Equivalent sigma of the estimated failure probability."""
+        return float(pfail_to_sigma(self.p_fail))
+
+    @property
+    def rel_err(self) -> float:
+        """Relative standard error (the figure of merit rho = sigma/mu)."""
+        if self.p_fail <= 0:
+            return float("inf")
+        return self.std_err / self.p_fail
+
+    def ci(self, z: float = 1.96) -> tuple:
+        """Normal-approximation confidence interval, clipped to [0, 1]."""
+        lo = max(0.0, self.p_fail - z * self.std_err)
+        hi = min(1.0, self.p_fail + z * self.std_err)
+        return (lo, hi)
+
+    def log10_p(self) -> float:
+        """log10 of the estimate (convenient for convergence plots)."""
+        if self.p_fail <= 0:
+            return float("-inf")
+        return float(np.log10(self.p_fail))
+
+    def summary(self) -> str:
+        """One-line human-readable report."""
+        lo, hi = self.ci()
+        return (
+            f"[{self.method}] p_fail={self.p_fail:.3e} "
+            f"(sigma={self.sigma_level:.3f}, CI95=[{lo:.3e}, {hi:.3e}]) "
+            f"evals={self.n_evals} failures={self.n_failures} "
+            f"{'converged' if self.converged else 'budget-limited'}"
+        )

@@ -1,0 +1,134 @@
+"""Spherical radius-search importance sampling.
+
+The "geometric" blind-search baseline (in the spirit of hypersphere /
+shifted-spherical IS methods): instead of a diffuse pre-sampling cloud,
+probe u-space shell by shell —
+
+1. sample ``m`` directions uniformly on the unit sphere;
+2. walk the radius ladder outward until some direction fails;
+3. bisect along the first failing direction to land on the boundary;
+4. mean-shift IS at that boundary point (shared
+   :class:`~repro.highsigma.estimators.MeanShiftISCore`).
+
+Compared with gradient search this needs no gradient but wastes
+``m × (shells before first failure)`` simulations and lands wherever the
+*sampled direction set* first touches the failure region — at high
+dimension the chance any of ``m`` random directions aligns with the true
+MPFP direction decays rapidly, which is the effect the dimension-scaling
+experiment (F5) quantifies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SearchError
+from repro.highsigma.estimators import MeanShiftISCore
+from repro.highsigma.limitstate import LimitState
+from repro.highsigma.results import EstimateResult
+
+__all__ = ["SphericalSearchIS"]
+
+
+class SphericalSearchIS:
+    """Shell search + mean-shift importance sampling."""
+
+    method_name = "spherical"
+
+    def __init__(
+        self,
+        limit_state: LimitState,
+        n_directions: int = 32,
+        r_start: float = 1.0,
+        r_step: float = 0.5,
+        r_max: float = 10.0,
+        n_bisect: int = 8,
+        max_escalations: int = 2,
+        n_max: int = 4000,
+        batch_size: int = 256,
+        target_rel_err: Optional[float] = 0.1,
+        alpha: float = 0.1,
+        cov_widen: float = 1.0,
+    ):
+        self.ls = limit_state
+        self.n_directions = int(n_directions)
+        self.r_start = float(r_start)
+        self.r_step = float(r_step)
+        self.r_max = float(r_max)
+        self.n_bisect = int(n_bisect)
+        self.max_escalations = int(max_escalations)
+        self.n_max = int(n_max)
+        self.batch_size = int(batch_size)
+        self.target_rel_err = target_rel_err
+        self.alpha = float(alpha)
+        self.cov_widen = float(cov_widen)
+
+    # ------------------------------------------------------------------
+
+    def search_centre(self, rng: np.random.Generator) -> Tuple[np.ndarray, float]:
+        """Stage 1: outward shell sweep, then radial bisection.
+
+        Returns ``(centre, radius)``.
+        """
+        d = self.ls.dim
+        n_dirs = self.n_directions
+        r_max = self.r_max
+        for _escalation in range(self.max_escalations + 1):
+            directions = rng.standard_normal((n_dirs, d))
+            directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+            r_prev = 0.0
+            r = self.r_start
+            while r <= r_max + 1e-12:
+                fails = self.ls.fails_batch(directions * r)
+                if fails.any():
+                    failing_dirs = directions[fails]
+                    # Bisect along the failing direction of smallest g —
+                    # break ties by taking the first.
+                    direction = failing_dirs[0]
+                    lo, hi = r_prev, r
+                    for _ in range(self.n_bisect):
+                        mid = 0.5 * (lo + hi)
+                        if self.ls.fails(direction * mid):
+                            hi = mid
+                        else:
+                            lo = mid
+                    radius = hi
+                    return direction * radius, radius
+                r_prev = r
+                r += self.r_step
+            # No hit: widen the direction set and the radius ceiling —
+            # this is exactly how the cost of blind search explodes with
+            # dimension (experiment F5 quantifies it).
+            n_dirs *= 4
+            r_max *= 1.5
+        raise SearchError(
+            f"{self.ls.name}: no failing direction within radius {r_max:.1f} "
+            f"using {n_dirs} directions after {self.max_escalations} escalations"
+        )
+
+    def run(self, rng: Optional[np.random.Generator] = None) -> EstimateResult:
+        """Full two-stage estimation."""
+        rng = rng if rng is not None else np.random.default_rng()
+        evals_before = self.ls.n_evals
+        centre, radius = self.search_centre(rng)
+        search_evals = self.ls.n_evals - evals_before
+
+        core = MeanShiftISCore(
+            self.ls,
+            shifts=[centre],
+            cov=self.cov_widen,
+            alpha=self.alpha,
+            batch_size=self.batch_size,
+            n_max=self.n_max,
+            target_rel_err=self.target_rel_err,
+        )
+        diagnostics = {
+            "centre": centre.tolist(),
+            "centre_norm": float(radius),
+            "search_evals": int(search_evals),
+        }
+        return core.run(
+            rng, method=self.method_name, extra_evals=search_evals, diagnostics=diagnostics
+        )

@@ -1,0 +1,58 @@
+"""A compact pure-Python circuit simulator (the SPICE substrate).
+
+This subpackage replaces the HSPICE/ngspice + PTM-model dependency of the
+original paper with a self-contained modified-nodal-analysis engine:
+
+* :mod:`repro.spice.netlist` — circuit container and node bookkeeping.
+* :mod:`repro.spice.elements` — resistors, capacitors, sources, MOSFETs.
+* :mod:`repro.spice.mosfet` — smooth EKV-flavoured compact model with
+  per-instance threshold/beta variation (vectorised; shared with the
+  batched SRAM engine).
+* :mod:`repro.spice.dc` — Newton operating-point solver with gmin and
+  source stepping.
+* :mod:`repro.spice.transient` — trapezoidal/backward-Euler transient
+  analysis with local-truncation-error step control.
+* :mod:`repro.spice.waveform` — waveform container and measurements.
+* :mod:`repro.spice.sensitivity` — finite-difference gradients of scalar
+  measurements with respect to named instance parameters.
+"""
+
+from repro.spice.mosfet import MosfetModel, MosfetOpPoint, nmos_45nm, pmos_45nm
+from repro.spice.netlist import Circuit
+from repro.spice.elements import (
+    Capacitor,
+    CurrentSource,
+    Mosfet,
+    Resistor,
+    Vccs,
+    Vcvs,
+    VoltageSource,
+)
+from repro.spice.sources import dc, pulse, pwl
+from repro.spice.dcop import OperatingPoint, solve_dc
+from repro.spice.transient import TransientOptions, TransientResult, run_transient
+from repro.spice.waveform import Waveform
+
+__all__ = [
+    "Circuit",
+    "Resistor",
+    "Capacitor",
+    "VoltageSource",
+    "CurrentSource",
+    "Vcvs",
+    "Vccs",
+    "Mosfet",
+    "MosfetModel",
+    "MosfetOpPoint",
+    "nmos_45nm",
+    "pmos_45nm",
+    "dc",
+    "pulse",
+    "pwl",
+    "solve_dc",
+    "OperatingPoint",
+    "run_transient",
+    "TransientOptions",
+    "TransientResult",
+    "Waveform",
+]

@@ -1,0 +1,214 @@
+"""DC operating-point solver: damped Newton with gmin and source stepping.
+
+The solve strategy mirrors what production simulators do, scaled down:
+
+1. plain damped Newton from the supplied (or zero) initial guess;
+2. on failure, **gmin stepping** — solve a sequence of problems with a
+   shunt conductance from every node to ground, relaxed geometrically from
+   1e-2 S down to 1e-12 S, each solve seeding the next;
+3. on failure, **source stepping** — ramp all independent sources from 0
+   to 100 % in increments, again chaining solutions.
+
+Newton steps are damped by clamping the per-node voltage update to
+``max_step`` volts, which tames the exponential device characteristics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ConvergenceError
+from repro.spice import mna
+
+__all__ = ["NewtonOptions", "OperatingPoint", "newton_solve", "solve_dc"]
+
+
+@dataclass(frozen=True)
+class NewtonOptions:
+    """Knobs for the damped Newton iteration."""
+
+    max_iterations: int = 120
+    abstol: float = 1e-10
+    reltol: float = 1e-7
+    vntol: float = 1e-8
+    max_step: float = 0.4
+
+    def converged(self, residual: np.ndarray, dx: np.ndarray, x: np.ndarray) -> bool:
+        """Joint residual + update convergence test."""
+        if not np.all(np.isfinite(residual)):
+            return False
+        res_ok = float(np.max(np.abs(residual))) < self.abstol * 10.0
+        dx_ok = bool(np.all(np.abs(dx) < self.reltol * np.abs(x) + self.vntol))
+        return res_ok or dx_ok
+
+
+@dataclass
+class OperatingPoint:
+    """A converged DC solution.
+
+    ``voltages`` maps node names to volts, ``branch_currents`` maps
+    voltage-source names to amperes, and ``x`` is the raw unknown vector
+    (useful as a transient initial state).
+    """
+
+    voltages: Dict[str, float]
+    branch_currents: Dict[str, float]
+    x: np.ndarray
+    iterations: int
+    strategy: str = "newton"
+
+    def v(self, node: str) -> float:
+        """Voltage of a named node (ground reads as 0)."""
+        if node in ("0", "gnd", "GND"):
+            return 0.0
+        return self.voltages[node]
+
+    def i(self, source_name: str) -> float:
+        """Branch current through a named voltage source."""
+        return self.branch_currents[source_name]
+
+
+def newton_solve(
+    circuit,
+    x0: np.ndarray,
+    time: Optional[float] = None,
+    gmin: float = 0.0,
+    source_scale: float = 1.0,
+    options: Optional[NewtonOptions] = None,
+    extra_stamps: Optional[List] = None,
+) -> tuple:
+    """Run one damped Newton iteration to convergence.
+
+    Returns ``(x, iterations)``; raises
+    :class:`~repro.errors.ConvergenceError` if the iteration limit is hit
+    or the Jacobian becomes singular beyond rescue.
+    """
+    opts = options or NewtonOptions()
+    x = x0.copy()
+    num_nodes = circuit.num_nodes
+    last_residual = float("inf")
+    for iteration in range(1, opts.max_iterations + 1):
+        ctx = mna.assemble(
+            circuit, x, time=time, gmin=gmin, source_scale=source_scale,
+            extra_stamps=extra_stamps,
+        )
+        residual = ctx.residual
+        if not np.all(np.isfinite(residual)):
+            raise ConvergenceError(
+                f"non-finite residual in circuit {circuit.title!r}",
+                iterations=iteration,
+                residual=float("inf"),
+            )
+        jac = ctx.jacobian
+        # A tiny Tikhonov floor keeps isolated nodes (gate-only nets during
+        # stepping) from making the matrix exactly singular.
+        jac = jac + 1e-14 * np.eye(jac.shape[0])
+        try:
+            dx = np.linalg.solve(jac, -residual)
+        except np.linalg.LinAlgError:
+            raise ConvergenceError(
+                f"singular Jacobian in circuit {circuit.title!r}",
+                iterations=iteration,
+                residual=float(np.max(np.abs(residual))),
+            ) from None
+        # Damp voltage updates only; branch currents may move freely.
+        dv = dx[:num_nodes]
+        biggest = float(np.max(np.abs(dv))) if dv.size else 0.0
+        if biggest > opts.max_step:
+            dx = dx * (opts.max_step / biggest)
+        x = x + dx
+        last_residual = float(np.max(np.abs(residual)))
+        if opts.converged(residual, dx, x):
+            return x, iteration
+    raise ConvergenceError(
+        f"Newton did not converge in {opts.max_iterations} iterations "
+        f"for circuit {circuit.title!r}",
+        iterations=opts.max_iterations,
+        residual=last_residual,
+    )
+
+
+#: gmin homotopy ladder, strongest shunt first.
+GMIN_LADDER = (1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-8, 1e-10, 1e-12, 0.0)
+
+#: source-stepping ramp.
+SOURCE_RAMP = (0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
+
+
+def solve_dc(
+    circuit,
+    x0: Optional[np.ndarray] = None,
+    time: Optional[float] = None,
+    options: Optional[NewtonOptions] = None,
+    extra_stamps: Optional[List] = None,
+) -> OperatingPoint:
+    """Find the DC operating point, escalating through homotopies.
+
+    ``time=None`` evaluates sources at their DC value; pass a time to get
+    the quiescent solution consistent with the sources at that instant
+    (the transient engine uses this for its initial point).
+    """
+    mna.assign_branches(circuit)
+    size = mna.system_size(circuit)
+    x = x0.copy() if x0 is not None else np.zeros(size)
+    strategy = "newton"
+
+    try:
+        x, iters = newton_solve(
+            circuit, x, time=time, options=options, extra_stamps=extra_stamps
+        )
+        return _package(circuit, x, iters, strategy)
+    except ConvergenceError:
+        pass
+
+    # gmin stepping.
+    strategy = "gmin-stepping"
+    try:
+        xg = np.zeros(size)
+        iters = 0
+        for gmin in GMIN_LADDER:
+            xg, it = newton_solve(
+                circuit, xg, time=time, gmin=gmin, options=options,
+                extra_stamps=extra_stamps,
+            )
+            iters += it
+        return _package(circuit, xg, iters, strategy)
+    except ConvergenceError:
+        pass
+
+    # Source stepping.
+    strategy = "source-stepping"
+    xs = np.zeros(size)
+    iters = 0
+    try:
+        for scale in SOURCE_RAMP:
+            xs, it = newton_solve(
+                circuit, xs, time=time, source_scale=scale, options=options,
+                extra_stamps=extra_stamps,
+            )
+            iters += it
+        return _package(circuit, xs, iters, strategy)
+    except ConvergenceError as exc:
+        raise ConvergenceError(
+            f"all DC strategies failed for circuit {circuit.title!r}: {exc}",
+            iterations=iters,
+            residual=exc.residual,
+        ) from exc
+
+
+def _package(circuit, x: np.ndarray, iterations: int, strategy: str) -> OperatingPoint:
+    voltages = {name: float(x[i]) for i, name in enumerate(circuit.node_names)}
+    branch_currents = {
+        elem.name: float(x[circuit.num_nodes + elem.branch_index])
+        for elem in circuit.branch_elements()
+    }
+    return OperatingPoint(
+        voltages=voltages,
+        branch_currents=branch_currents,
+        x=x,
+        iterations=iterations,
+        strategy=strategy,
+    )

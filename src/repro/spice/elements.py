@@ -1,0 +1,297 @@
+"""Circuit element classes: R, C, V, I and the MOSFET instance.
+
+Every element implements:
+
+* ``bind(circuit)`` — resolve node names to indices (called by
+  :meth:`repro.spice.netlist.Circuit.add`);
+* ``stamp(ctx)`` — add its static (resistive / source / nonlinear DC)
+  contribution to a :class:`repro.spice.mna.StampContext`;
+* ``caps()`` — return linear lumped capacitors as ``(node_a, node_b, C)``
+  triples with resolved indices; the transient engine turns these into
+  companion-model stamps.
+
+Voltage sources additionally set ``needs_branch`` and receive a
+``branch_index`` during system setup.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.errors import NetlistError
+from repro.spice.mosfet import MosfetModel
+from repro.spice.sources import DcShape, SourceShape
+
+__all__ = [
+    "Element",
+    "Resistor",
+    "Capacitor",
+    "VoltageSource",
+    "CurrentSource",
+    "Vcvs",
+    "Vccs",
+    "Mosfet",
+]
+
+
+def _as_shape(value: Union[float, SourceShape]) -> SourceShape:
+    """Allow plain numbers wherever a source shape is expected."""
+    if isinstance(value, SourceShape):
+        return value
+    return DcShape(float(value))
+
+
+class Element:
+    """Common base: name, terminal names, resolved terminal indices."""
+
+    needs_branch = False
+    is_mosfet = False
+
+    def __init__(self, name: str, terminals: List[str]):
+        if not name:
+            raise NetlistError("element name must be a non-empty string")
+        self.name = name
+        self.terminals = list(terminals)
+        self.nodes: List[int] = []
+
+    def bind(self, circuit) -> None:
+        """Resolve terminal node names to indices against ``circuit``."""
+        self.nodes = [circuit.node(t) for t in self.terminals]
+
+    def stamp(self, ctx) -> None:
+        raise NotImplementedError
+
+    def caps(self) -> List[Tuple[int, int, float]]:
+        """Lumped linear capacitors contributed by this element."""
+        return []
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r}, {self.terminals})"
+
+
+class Resistor(Element):
+    """Linear two-terminal resistor."""
+
+    def __init__(self, name: str, a: str, b: str, resistance: float):
+        super().__init__(name, [a, b])
+        if resistance <= 0:
+            raise NetlistError(f"resistor {name!r}: resistance must be positive")
+        self.resistance = float(resistance)
+
+    def stamp(self, ctx) -> None:
+        na, nb = self.nodes
+        g = 1.0 / self.resistance
+        i = g * (ctx.v(na) - ctx.v(nb))
+        ctx.add_kcl(na, i)
+        ctx.add_kcl(nb, -i)
+        ctx.add_jac(na, na, g)
+        ctx.add_jac(na, nb, -g)
+        ctx.add_jac(nb, na, -g)
+        ctx.add_jac(nb, nb, g)
+
+
+class Capacitor(Element):
+    """Linear two-terminal capacitor (open in DC; companion model in transient)."""
+
+    def __init__(self, name: str, a: str, b: str, capacitance: float):
+        super().__init__(name, [a, b])
+        if capacitance <= 0:
+            raise NetlistError(f"capacitor {name!r}: capacitance must be positive")
+        self.capacitance = float(capacitance)
+
+    def stamp(self, ctx) -> None:
+        # DC: a capacitor is an open circuit; the transient engine adds
+        # the companion-model stamp through `extra_stamps`.
+        return
+
+    def caps(self) -> List[Tuple[int, int, float]]:
+        na, nb = self.nodes
+        return [(na, nb, self.capacitance)]
+
+
+class VoltageSource(Element):
+    """Independent voltage source with an MNA branch-current unknown."""
+
+    needs_branch = True
+
+    def __init__(self, name: str, plus: str, minus: str, shape: Union[float, SourceShape]):
+        super().__init__(name, [plus, minus])
+        self.shape = _as_shape(shape)
+        self.branch_index: Optional[int] = None
+
+    def stamp(self, ctx) -> None:
+        np_, nm = self.nodes
+        b = self.branch_index
+        i = ctx.branch_current(b)
+        # Branch current flows out of the + terminal through the source
+        # into the - terminal, i.e. it *leaves* the + node into the network.
+        ctx.add_kcl(np_, i)
+        ctx.add_kcl(nm, -i)
+        ctx.add_node_branch_jac(np_, b, 1.0)
+        ctx.add_node_branch_jac(nm, b, -1.0)
+        # Constraint row: v(+) - v(-) - V(t) = 0.
+        ctx.add_branch_residual(b, ctx.v(np_) - ctx.v(nm) - ctx.source_value(self.shape))
+        ctx.add_branch_jac(b, np_, 1.0)
+        ctx.add_branch_jac(b, nm, -1.0)
+
+
+class CurrentSource(Element):
+    """Independent current source; positive current flows plus → minus internally.
+
+    That is, the source pushes current *into* the minus node's network side
+    (conventional SPICE direction: current through the source from + to -).
+    """
+
+    def __init__(self, name: str, plus: str, minus: str, shape: Union[float, SourceShape]):
+        super().__init__(name, [plus, minus])
+        self.shape = _as_shape(shape)
+
+    def stamp(self, ctx) -> None:
+        np_, nm = self.nodes
+        i = ctx.source_value(self.shape)
+        ctx.add_kcl(np_, i)
+        ctx.add_kcl(nm, -i)
+
+
+class Vccs(Element):
+    """Voltage-controlled current source: ``i(out+ -> out-) = gm * v(c+, c-)``.
+
+    Terminal order: output plus, output minus, control plus, control
+    minus.  The output current flows from ``out+`` through the source to
+    ``out-`` (i.e. it *leaves* the ``out+`` node into the element).
+    """
+
+    def __init__(self, name: str, out_p: str, out_n: str, ctrl_p: str, ctrl_n: str,
+                 gm: float):
+        super().__init__(name, [out_p, out_n, ctrl_p, ctrl_n])
+        self.gm = float(gm)
+
+    def stamp(self, ctx) -> None:
+        op, on, cp, cn = self.nodes
+        i = self.gm * (ctx.v(cp) - ctx.v(cn))
+        ctx.add_kcl(op, i)
+        ctx.add_kcl(on, -i)
+        ctx.add_jac(op, cp, self.gm)
+        ctx.add_jac(op, cn, -self.gm)
+        ctx.add_jac(on, cp, -self.gm)
+        ctx.add_jac(on, cn, self.gm)
+
+
+class Vcvs(Element):
+    """Voltage-controlled voltage source: ``v(out+, out-) = gain * v(c+, c-)``.
+
+    Uses an MNA branch current like an independent voltage source.
+    """
+
+    needs_branch = True
+
+    def __init__(self, name: str, out_p: str, out_n: str, ctrl_p: str, ctrl_n: str,
+                 gain: float):
+        super().__init__(name, [out_p, out_n, ctrl_p, ctrl_n])
+        self.gain = float(gain)
+        self.branch_index: Optional[int] = None
+
+    def stamp(self, ctx) -> None:
+        op, on, cp, cn = self.nodes
+        b = self.branch_index
+        i = ctx.branch_current(b)
+        ctx.add_kcl(op, i)
+        ctx.add_kcl(on, -i)
+        ctx.add_node_branch_jac(op, b, 1.0)
+        ctx.add_node_branch_jac(on, b, -1.0)
+        # Constraint: v(out+) - v(out-) - gain * (v(c+) - v(c-)) = 0.
+        ctx.add_branch_residual(
+            b, ctx.v(op) - ctx.v(on) - self.gain * (ctx.v(cp) - ctx.v(cn))
+        )
+        ctx.add_branch_jac(b, op, 1.0)
+        ctx.add_branch_jac(b, on, -1.0)
+        ctx.add_branch_jac(b, cp, -self.gain)
+        ctx.add_branch_jac(b, cn, self.gain)
+
+
+class Mosfet(Element):
+    """A MOSFET instance: model card + geometry + per-instance variation.
+
+    Terminals are ordered drain, gate, source, bulk.  The statistical
+    attributes ``delta_vth`` (volts) and ``beta_mult`` (dimensionless) are
+    plain mutable floats so the variation machinery can retarget one built
+    circuit across thousands of samples without re-netlisting.
+    """
+
+    is_mosfet = True
+
+    def __init__(
+        self,
+        name: str,
+        drain: str,
+        gate: str,
+        source: str,
+        bulk: str,
+        model: MosfetModel,
+        w: float,
+        l: float,
+        delta_vth: float = 0.0,
+        beta_mult: float = 1.0,
+    ):
+        super().__init__(name, [drain, gate, source, bulk])
+        if w <= 0 or l <= 0:
+            raise NetlistError(f"mosfet {name!r}: W and L must be positive")
+        self.model = model
+        self.w = float(w)
+        self.l = float(l)
+        self.delta_vth = float(delta_vth)
+        self.beta_mult = float(beta_mult)
+
+    def stamp(self, ctx) -> None:
+        nd, ng, ns, nb = self.nodes
+        vd, vg, vs, vb = ctx.v(nd), ctx.v(ng), ctx.v(ns), ctx.v(nb)
+        ids, gm, gds, gms, gmb = self.model.ids(
+            vg,
+            vd,
+            vs,
+            vb,
+            delta_vth=self.delta_vth,
+            beta_mult=self.beta_mult,
+            w=self.w,
+            l=self.l,
+        )
+        ids = float(ids)
+        # Drain current enters the drain terminal and exits the source.
+        ctx.add_kcl(nd, ids)
+        ctx.add_kcl(ns, -ids)
+        for col, g in ((ng, gm), (nd, gds), (ns, gms), (nb, gmb)):
+            ctx.add_jac(nd, col, float(g))
+            ctx.add_jac(ns, col, -float(g))
+
+    def caps(self) -> List[Tuple[int, int, float]]:
+        nd, ng, ns, nb = self.nodes
+        cgs, cgd, cgb, cdb, csb = self.model.capacitances(self.w, self.l)
+        return [
+            (ng, ns, cgs),
+            (ng, nd, cgd),
+            (ng, nb, cgb),
+            (nd, nb, cdb),
+            (ns, nb, csb),
+        ]
+
+    def op_point(self, voltages) -> "MosfetOpPoint":
+        """Operating-point summary given a node-voltage lookup callable."""
+        from repro.spice.mosfet import MosfetOpPoint
+
+        nd, ng, ns, nb = self.nodes
+        vd, vg, vs, vb = (voltages(n) for n in (nd, ng, ns, nb))
+        ids, gm, gds, _gms, _gmb = self.model.ids(
+            vg, vd, vs, vb,
+            delta_vth=self.delta_vth, beta_mult=self.beta_mult, w=self.w, l=self.l,
+        )
+        return MosfetOpPoint(
+            ids=float(ids), vgs=vg - vs, vds=vd - vs, vbs=vb - vs,
+            gm=float(gm), gds=float(gds),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Mosfet({self.name!r}, d/g/s/b={self.terminals}, "
+            f"{self.model.name}, W={self.w:.3g}, L={self.l:.3g}, "
+            f"dVth={self.delta_vth:+.4g})"
+        )

@@ -1,0 +1,81 @@
+"""Numerically robust scalar/array helpers shared by the device models.
+
+Every function here is smooth (C^1 at least), vectorised over numpy arrays,
+and safe against overflow for arguments of hundreds of thermal voltages —
+the regime Newton iterations routinely visit before converging.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "softplus",
+    "softplus_grad",
+    "smooth_abs",
+    "smooth_abs_grad",
+    "smooth_relu",
+    "smooth_relu_grad",
+    "sigmoid",
+]
+
+
+def softplus(x):
+    """Overflow-safe ``log(1 + exp(x))``.
+
+    For large positive ``x`` this tends to ``x``; for large negative ``x``
+    it tends to ``exp(x)`` (returned as an exact 0 once it underflows,
+    which is harmless downstream because the value is squared).
+    """
+    x = np.asarray(x, dtype=float)
+    return np.maximum(x, 0.0) + np.log1p(np.exp(-np.abs(x)))
+
+
+def sigmoid(x):
+    """Overflow-safe logistic function, the derivative of :func:`softplus`."""
+    x = np.asarray(x, dtype=float)
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def softplus_grad(x):
+    """Derivative of :func:`softplus` (alias kept for readability at call sites)."""
+    return sigmoid(x)
+
+
+def smooth_abs(x, eps: float = 1e-3):
+    """Smooth approximation of ``|x|``: ``sqrt(x**2 + eps**2) - eps``.
+
+    Exactly zero at the origin and within ``eps`` of ``|x|`` everywhere,
+    with a continuous derivative — used for channel-length-modulation
+    factors that must not kink at ``vds = 0``.
+    """
+    x = np.asarray(x, dtype=float)
+    return np.sqrt(x * x + eps * eps) - eps
+
+
+def smooth_abs_grad(x, eps: float = 1e-3):
+    """Derivative of :func:`smooth_abs`."""
+    x = np.asarray(x, dtype=float)
+    return x / np.sqrt(x * x + eps * eps)
+
+
+def smooth_relu(x, eps: float = 1e-3):
+    """Smooth approximation of ``max(x, 0)``: ``0.5 * (x + sqrt(x**2 + eps**2))``.
+
+    Strictly positive everywhere (≈ ``eps/2`` at the origin), which keeps
+    square roots of the form ``sqrt(smooth_relu(v))`` well defined during
+    wild Newton excursions.
+    """
+    x = np.asarray(x, dtype=float)
+    return 0.5 * (x + np.sqrt(x * x + eps * eps))
+
+
+def smooth_relu_grad(x, eps: float = 1e-3):
+    """Derivative of :func:`smooth_relu`."""
+    x = np.asarray(x, dtype=float)
+    return 0.5 * (1.0 + x / np.sqrt(x * x + eps * eps))

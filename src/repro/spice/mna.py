@@ -1,0 +1,154 @@
+"""Modified-nodal-analysis system assembly.
+
+The solvers express every analysis as a root-finding problem
+``F(x) = 0`` where ``x`` stacks the node voltages and the branch currents
+of voltage-source-like elements.  :class:`StampContext` is the accumulator
+elements write their KCL currents and Jacobian entries into; it hides the
+ground-node special case and the branch-row offset so element ``stamp``
+implementations stay readable.
+
+Sign convention: the residual at a node is the sum of currents *leaving*
+the node into the elements, so a converged solution has every KCL row at
+zero.  Conductances are the derivatives of those leaving currents.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.spice.netlist import GROUND_INDEX
+
+__all__ = ["StampContext", "assemble", "system_size"]
+
+
+class StampContext:
+    """Accumulator for residual and Jacobian contributions of one assembly.
+
+    Parameters
+    ----------
+    x:
+        Current iterate: node voltages followed by branch currents.
+    num_nodes:
+        Number of non-ground nodes (branch rows start here).
+    time:
+        Simulation time handed to time-dependent sources (``None`` selects
+        each source's DC value — that is how the operating-point solver
+        asks for ``t = 0`` semantics).
+    gmin:
+        Conductance from every node to ground added by homotopy stepping.
+    source_scale:
+        Multiplier applied to all independent sources (source stepping).
+    """
+
+    def __init__(
+        self,
+        x: np.ndarray,
+        num_nodes: int,
+        time: Optional[float] = None,
+        gmin: float = 0.0,
+        source_scale: float = 1.0,
+    ):
+        self.x = x
+        self.num_nodes = num_nodes
+        self.time = time
+        self.gmin = gmin
+        self.source_scale = source_scale
+        size = x.shape[0]
+        self.residual = np.zeros(size)
+        self.jacobian = np.zeros((size, size))
+
+    # -- reads ---------------------------------------------------------
+
+    def v(self, node: int) -> float:
+        """Voltage of a node index (ground reads as 0)."""
+        if node == GROUND_INDEX:
+            return 0.0
+        return float(self.x[node])
+
+    def branch_current(self, branch: int) -> float:
+        """Current unknown of branch index ``branch``."""
+        return float(self.x[self.num_nodes + branch])
+
+    def source_value(self, shape) -> float:
+        """Evaluate a source shape at the context time, with source scaling."""
+        if self.time is None:
+            return self.source_scale * shape.dc_value()
+        return self.source_scale * shape.value(self.time)
+
+    # -- writes --------------------------------------------------------
+
+    def add_kcl(self, node: int, current: float) -> None:
+        """Add a current leaving ``node`` to that node's KCL residual."""
+        if node != GROUND_INDEX:
+            self.residual[node] += current
+
+    def add_jac(self, row_node: int, col_node: int, value: float) -> None:
+        """Add ``d(residual[row]) / d(v[col])`` for two node indices."""
+        if row_node != GROUND_INDEX and col_node != GROUND_INDEX:
+            self.jacobian[row_node, col_node] += value
+
+    def branch_row(self, branch: int) -> int:
+        """Matrix row/column of a branch-current unknown."""
+        return self.num_nodes + branch
+
+    def add_branch_residual(self, branch: int, value: float) -> None:
+        """Add to a branch (voltage-constraint) equation residual."""
+        self.residual[self.num_nodes + branch] += value
+
+    def add_branch_jac(self, branch: int, col: int, value: float) -> None:
+        """Jacobian entry of a branch equation w.r.t. unknown column ``col``.
+
+        ``col`` is an absolute column: use a node index directly for node
+        voltages (ground is skipped) or :meth:`branch_row` for branch
+        currents.
+        """
+        if col != GROUND_INDEX:
+            self.jacobian[self.num_nodes + branch, col] += value
+
+    def add_node_branch_jac(self, node: int, branch: int, value: float) -> None:
+        """Jacobian of a node KCL row w.r.t. a branch current."""
+        if node != GROUND_INDEX:
+            self.jacobian[node, self.num_nodes + branch] += value
+
+
+def system_size(circuit) -> int:
+    """Total unknown count: node voltages plus branch currents."""
+    return circuit.num_nodes + len(circuit.branch_elements())
+
+
+def assign_branches(circuit) -> Dict[str, int]:
+    """Assign branch indices to the elements that need them (in order)."""
+    mapping: Dict[str, int] = {}
+    for i, elem in enumerate(circuit.branch_elements()):
+        elem.branch_index = i
+        mapping[elem.name] = i
+    return mapping
+
+
+def assemble(
+    circuit,
+    x: np.ndarray,
+    time: Optional[float] = None,
+    gmin: float = 0.0,
+    source_scale: float = 1.0,
+    extra_stamps: Optional[List] = None,
+) -> StampContext:
+    """Build residual and Jacobian at iterate ``x``.
+
+    ``extra_stamps`` is a list of callables ``stamp(ctx)`` the transient
+    engine uses to inject capacitor companion models and initial-condition
+    clamps without mutating the circuit.
+    """
+    ctx = StampContext(x, circuit.num_nodes, time=time, gmin=gmin, source_scale=source_scale)
+    for elem in circuit.elements:
+        elem.stamp(ctx)
+    if gmin > 0.0:
+        for node in range(circuit.num_nodes):
+            ctx.residual[node] += gmin * ctx.x[node]
+            ctx.jacobian[node, node] += gmin
+    if extra_stamps:
+        for stamp in extra_stamps:
+            stamp(ctx)
+    return ctx

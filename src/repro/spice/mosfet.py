@@ -1,0 +1,272 @@
+"""Smooth EKV-flavoured MOSFET compact model with process-variation hooks.
+
+The model is a bulk-referenced, source/drain-symmetric EKV formulation:
+
+* pinch-off voltage ``VP`` with the full body-effect term (smoothly
+  clamped so it is defined for any gate voltage a Newton iteration might
+  visit),
+* forward/reverse normalised currents ``i_f/i_r`` through the classic
+  squared-softplus interpolation, giving one C^inf expression valid from
+  deep subthreshold to strong inversion,
+* first-order channel-length modulation via a smooth ``|vds|`` factor.
+
+The source/drain symmetry matters for SRAM work: the access transistors of
+a 6T cell conduct in both directions during read and write, and an
+asymmetric (``if vds < 0: swap``) model would put derivative kinks exactly
+where the dynamic-stability boundary lives.
+
+Per-instance statistical variation enters through two knobs that the
+variation subpackage drives:
+
+* ``delta_vth`` — additive threshold shift in volts (the dominant
+  Pelgrom mismatch term),
+* ``beta_mult`` — multiplicative current-factor variation.
+
+All evaluation functions are vectorised over numpy arrays so the same
+model card serves both the scalar MNA engine and the batched 6T engine.
+Parameter values are PTM-45nm-flavoured: they produce realistic on/off
+ratios, subthreshold slopes near 90 mV/dec and SRAM-like read/write
+behaviour, but they are not a fitted PDK (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.spice.mathutils import (
+    smooth_abs,
+    smooth_abs_grad,
+    smooth_relu,
+    smooth_relu_grad,
+    softplus,
+    softplus_grad,
+)
+
+__all__ = [
+    "MosfetModel",
+    "MosfetOpPoint",
+    "nmos_45nm",
+    "pmos_45nm",
+    "THERMAL_VOLTAGE",
+]
+
+#: Thermal voltage kT/q at 300 K, in volts.
+THERMAL_VOLTAGE = 0.02585
+
+
+@dataclass(frozen=True)
+class MosfetModel:
+    """A MOSFET model card.
+
+    Attributes
+    ----------
+    name:
+        Card name, e.g. ``"nmos_45nm"``.
+    polarity:
+        ``+1`` for NMOS, ``-1`` for PMOS.
+    vto:
+        Zero-bias threshold voltage magnitude in volts (positive for both
+        polarities; the polarity flip is handled internally).
+    kp:
+        Transconductance parameter ``mu * Cox`` in A/V^2.
+    n_slope:
+        EKV slope factor (dimensionless, typically 1.2–1.5).
+    gamma:
+        Body-effect coefficient in sqrt(V).
+    phi:
+        Surface potential ``2 phi_F`` in volts.
+    lambda_clm:
+        Channel-length modulation coefficient in 1/V.
+    cox:
+        Gate-oxide capacitance per area in F/m^2 (for lumped caps).
+    cj:
+        Junction capacitance per gate width in F/m.
+    cov:
+        Gate overlap capacitance per gate width in F/m.
+    avt:
+        Pelgrom threshold-mismatch coefficient in V*m (sigma(dVth) =
+        avt / sqrt(W*L)).
+    abeta:
+        Pelgrom current-factor mismatch coefficient in m (relative sigma
+        of beta = abeta / sqrt(W*L)).
+    """
+
+    name: str
+    polarity: int
+    vto: float
+    kp: float
+    n_slope: float
+    gamma: float
+    phi: float
+    lambda_clm: float
+    cox: float
+    cj: float
+    cov: float
+    avt: float
+    abeta: float
+
+    def with_overrides(self, **kwargs) -> "MosfetModel":
+        """Return a copy of the card with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    def beta(self, w: float, l: float, beta_mult=1.0):
+        """Current factor ``kp * W / L`` scaled by the variation multiplier."""
+        return self.kp * (w / l) * np.asarray(beta_mult, dtype=float)
+
+    def vth_sigma(self, w: float, l: float) -> float:
+        """Pelgrom threshold-mismatch sigma for a ``W x L`` device, in volts."""
+        return self.avt / np.sqrt(w * l)
+
+    def beta_rel_sigma(self, w: float, l: float) -> float:
+        """Pelgrom relative current-factor mismatch sigma for a ``W x L`` device."""
+        return self.abeta / np.sqrt(w * l)
+
+    # ------------------------------------------------------------------
+    # Core current evaluation
+    # ------------------------------------------------------------------
+
+    def ids(self, vg, vd, vs, vb=0.0, delta_vth=0.0, beta_mult=1.0, w=1e-6, l=45e-9):
+        """Drain current (into the drain terminal) and its derivatives.
+
+        Parameters are terminal voltages in volts (any broadcastable numpy
+        shapes).  Returns a tuple ``(ids, gm, gds, gms, gmb)`` where the
+        conductances are the partial derivatives of the drain current with
+        respect to ``vg``, ``vd``, ``vs`` and ``vb`` respectively.  By
+        construction ``gmb = -(gm + gds + gms)`` (the current depends on
+        terminal-voltage differences only), which MNA stamping relies on.
+        """
+        p = float(self.polarity)
+        # Flip everything into NMOS-referenced, bulk-referenced voltages.
+        vgb = p * (np.asarray(vg, dtype=float) - vb)
+        vdb = p * (np.asarray(vd, dtype=float) - vb)
+        vsb = p * (np.asarray(vs, dtype=float) - vb)
+
+        # delta_vth raises the threshold *magnitude* for both polarities:
+        # a positive shift always weakens the device.  (Foundry decks vary
+        # in sign convention for PMOS; magnitude-increase is the one that
+        # keeps MPFP vectors directly interpretable.)
+        vto_eff = self.vto + np.asarray(delta_vth, dtype=float)
+
+        ut = THERMAL_VOLTAGE
+        k_half = np.sqrt(self.phi) + 0.5 * self.gamma
+
+        # Pinch-off voltage with body effect, smoothly clamped.
+        arg = vgb - vto_eff + k_half * k_half
+        q = smooth_relu(arg, eps=1e-3)
+        dq = smooth_relu_grad(arg, eps=1e-3)
+        sqrt_q = np.sqrt(q)
+        vp = vgb - vto_eff - self.gamma * (sqrt_q - k_half)
+        dvp_dvgb = 1.0 - self.gamma * dq / (2.0 * sqrt_q)
+
+        n = self.n_slope
+        beta = self.beta(w, l, beta_mult)
+        i_spec = 2.0 * n * beta * ut * ut
+
+        # Forward / reverse normalised currents.
+        xf = (vp - vsb) / (2.0 * n * ut)
+        xr = (vp - vdb) / (2.0 * n * ut)
+        sf = softplus(xf)
+        sr = softplus(xr)
+        i_f = sf * sf
+        i_r = sr * sr
+        # d i_f / d(vp - vsb) etc.
+        dif = sf * softplus_grad(xf) / (n * ut)
+        dir_ = sr * softplus_grad(xr) / (n * ut)
+
+        vds = vdb - vsb
+        clm = 1.0 + self.lambda_clm * smooth_abs(vds, eps=5e-3)
+        dclm_dvds = self.lambda_clm * smooth_abs_grad(vds, eps=5e-3)
+
+        core = i_spec * (i_f - i_r)
+        ids_ref = core * clm
+
+        # Derivatives in the NMOS-referenced frame (w.r.t. vgb, vdb, vsb).
+        d_dvgb = i_spec * (dif - dir_) * dvp_dvgb * clm
+        d_dvdb = i_spec * dir_ * clm + core * dclm_dvds
+        d_dvsb = -i_spec * dif * clm - core * dclm_dvds
+
+        # Back to physical terminals.  ids_phys = p * ids_ref and each
+        # referenced voltage is p * (v_terminal - vb), so the p factors
+        # cancel for g, d, s; the bulk derivative balances the other three.
+        ids_phys = p * ids_ref
+        gm = d_dvgb
+        gds = d_dvdb
+        gms = d_dvsb
+        gmb = -(gm + gds + gms)
+        return ids_phys, gm, gds, gms, gmb
+
+    # ------------------------------------------------------------------
+    # Lumped capacitances
+    # ------------------------------------------------------------------
+
+    def capacitances(self, w: float, l: float):
+        """Constant lumped terminal capacitances ``(cgs, cgd, cgb, cdb, csb)``.
+
+        A charge-conserving constant-capacitance approximation: half the
+        channel charge to each of source and drain plus overlap, a small
+        gate-bulk term, and junction capacitance on the diffusions.  Using
+        voltage-independent capacitances keeps the transient Jacobian
+        contribution constant, which is a large robustness and speed win,
+        at the cost of ignoring Meyer-style bias dependence (the dynamic
+        metrics we extract are dominated by relative drive strengths, not
+        by the C(V) shape).
+        """
+        c_ch = self.cox * w * l
+        cgs = 0.5 * c_ch + self.cov * w
+        cgd = 0.5 * c_ch + self.cov * w
+        cgb = 0.1 * c_ch
+        cdb = self.cj * w
+        csb = self.cj * w
+        return cgs, cgd, cgb, cdb, csb
+
+
+@dataclass(frozen=True)
+class MosfetOpPoint:
+    """Operating-point snapshot of a single MOSFET instance."""
+
+    ids: float
+    vgs: float
+    vds: float
+    vbs: float
+    gm: float
+    gds: float
+
+
+def nmos_45nm() -> MosfetModel:
+    """PTM-45nm-flavoured NMOS card (see module docstring for caveats)."""
+    return MosfetModel(
+        name="nmos_45nm",
+        polarity=+1,
+        vto=0.47,
+        kp=4.5e-4,
+        n_slope=1.35,
+        gamma=0.35,
+        phi=0.85,
+        lambda_clm=0.25,
+        cox=1.3e-2,
+        cj=8.0e-10,
+        cov=2.4e-10,
+        avt=2.5e-9,
+        abeta=1.0e-8,
+    )
+
+
+def pmos_45nm() -> MosfetModel:
+    """PTM-45nm-flavoured PMOS card (weaker kp, as in real processes)."""
+    return MosfetModel(
+        name="pmos_45nm",
+        polarity=-1,
+        vto=0.43,
+        kp=2.1e-4,
+        n_slope=1.35,
+        gamma=0.33,
+        phi=0.85,
+        lambda_clm=0.28,
+        cox=1.3e-2,
+        cj=8.0e-10,
+        cov=2.4e-10,
+        avt=2.5e-9,
+        abeta=1.0e-8,
+    )

@@ -1,0 +1,136 @@
+"""Circuit container and node bookkeeping.
+
+A :class:`Circuit` is an ordered collection of named elements wired to
+named nodes.  Node names are arbitrary strings; ``"0"`` and ``"gnd"`` are
+the ground node.  Indices are assigned in first-mention order, which makes
+system assembly deterministic and test output stable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import NetlistError
+
+__all__ = ["Circuit", "GROUND", "GROUND_INDEX"]
+
+#: Canonical spellings of the ground node.
+GROUND = ("0", "gnd", "GND")
+
+#: Index used internally for the ground node (never a matrix row).
+GROUND_INDEX = -1
+
+
+class Circuit:
+    """A flat netlist: named elements connected to named nodes.
+
+    Parameters
+    ----------
+    title:
+        Free-form description used in reprs and error messages.
+    """
+
+    def __init__(self, title: str = "untitled"):
+        self.title = title
+        self._elements: List = []
+        self._names: Dict[str, int] = {}
+        self._node_index: Dict[str, int] = {}
+        self._node_names: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def node(self, name: str) -> int:
+        """Return the index for node ``name``, creating it if new.
+
+        Ground aliases always map to :data:`GROUND_INDEX`.
+        """
+        if not name:
+            raise NetlistError("node name must be a non-empty string")
+        if name in GROUND:
+            return GROUND_INDEX
+        if name not in self._node_index:
+            self._node_index[name] = len(self._node_names)
+            self._node_names.append(name)
+        return self._node_index[name]
+
+    def add(self, element) -> "Circuit":
+        """Add an element; returns ``self`` for chaining.
+
+        Raises :class:`~repro.errors.NetlistError` on a duplicate element
+        name.  The element's node names are resolved to indices here, so
+        elements become usable by the solvers immediately.
+        """
+        if element.name in self._names:
+            raise NetlistError(
+                f"duplicate element name {element.name!r} in circuit {self.title!r}"
+            )
+        element.bind(self)
+        self._names[element.name] = len(self._elements)
+        self._elements.append(element)
+        return self
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def elements(self) -> List:
+        """Elements in insertion order."""
+        return list(self._elements)
+
+    def __getitem__(self, name: str):
+        """Look an element up by name."""
+        try:
+            return self._elements[self._names[name]]
+        except KeyError:
+            raise NetlistError(f"no element named {name!r} in circuit {self.title!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._names
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of non-ground nodes (the KCL row count)."""
+        return len(self._node_names)
+
+    @property
+    def node_names(self) -> List[str]:
+        """Non-ground node names in index order."""
+        return list(self._node_names)
+
+    def node_name(self, index: int) -> str:
+        """Inverse of :meth:`node` for non-ground indices."""
+        if index == GROUND_INDEX:
+            return "0"
+        return self._node_names[index]
+
+    def index_of(self, name: str) -> int:
+        """Index of an *existing* node; raises if the node is unknown."""
+        if name in GROUND:
+            return GROUND_INDEX
+        if name not in self._node_index:
+            raise NetlistError(f"unknown node {name!r} in circuit {self.title!r}")
+        return self._node_index[name]
+
+    def branch_elements(self) -> List:
+        """Elements that carry an MNA branch-current unknown (voltage sources)."""
+        return [e for e in self._elements if getattr(e, "needs_branch", False)]
+
+    def mosfets(self) -> List:
+        """All MOSFET instances, in insertion order."""
+        return [e for e in self._elements if getattr(e, "is_mosfet", False)]
+
+    def __repr__(self) -> str:
+        return (
+            f"Circuit({self.title!r}, nodes={self.num_nodes}, "
+            f"elements={len(self._elements)})"
+        )
+
+    def summary(self) -> str:
+        """Multi-line human-readable netlist listing (for debugging)."""
+        lines = [f"* circuit: {self.title}"]
+        for elem in self._elements:
+            lines.append(f"  {elem!r}")
+        return "\n".join(lines)

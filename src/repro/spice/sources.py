@@ -1,0 +1,140 @@
+"""Time-dependent source waveform descriptions.
+
+Source shapes are small immutable objects with a ``value(t)`` method and a
+``dc_value()`` used by the operating-point solver.  They are deliberately
+independent of the element classes so the same shape can drive a voltage
+or a current source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import NetlistError
+
+__all__ = ["SourceShape", "DcShape", "PulseShape", "PwlShape", "dc", "pulse", "pwl"]
+
+
+class SourceShape:
+    """Base class for source waveforms."""
+
+    def value(self, t: float) -> float:
+        """Source value at time ``t`` (seconds)."""
+        raise NotImplementedError
+
+    def dc_value(self) -> float:
+        """Value used for the DC operating point (the ``t = 0`` value)."""
+        return self.value(0.0)
+
+
+@dataclass(frozen=True)
+class DcShape(SourceShape):
+    """A constant source."""
+
+    level: float
+
+    def value(self, t: float) -> float:
+        return self.level
+
+
+@dataclass(frozen=True)
+class PulseShape(SourceShape):
+    """SPICE-style periodic pulse.
+
+    Attributes mirror the classic ``PULSE(v1 v2 td tr tf pw per)`` card; a
+    non-positive ``period`` means a single pulse.
+    """
+
+    v1: float
+    v2: float
+    delay: float
+    rise: float
+    fall: float
+    width: float
+    period: float = 0.0
+
+    def __post_init__(self):
+        if self.rise < 0 or self.fall < 0 or self.width < 0:
+            raise NetlistError("pulse rise/fall/width must be non-negative")
+
+    def value(self, t: float) -> float:
+        if t < self.delay:
+            return self.v1
+        tl = t - self.delay
+        if self.period > 0:
+            tl = tl % self.period
+        rise = max(self.rise, 1e-15)
+        fall = max(self.fall, 1e-15)
+        if tl < self.rise:
+            return self.v1 + (self.v2 - self.v1) * tl / rise
+        tl -= self.rise
+        if tl < self.width:
+            return self.v2
+        tl -= self.width
+        if tl < self.fall:
+            return self.v2 + (self.v1 - self.v2) * tl / fall
+        return self.v1
+
+    def breakpoints(self) -> Tuple[float, ...]:
+        """Times where the waveform has slope discontinuities (one period).
+
+        The transient engine clips steps to land on these, which keeps the
+        local-truncation-error estimate honest across source corners.
+        """
+        t0 = self.delay
+        pts = (
+            t0,
+            t0 + self.rise,
+            t0 + self.rise + self.width,
+            t0 + self.rise + self.width + self.fall,
+        )
+        return pts
+
+
+@dataclass(frozen=True)
+class PwlShape(SourceShape):
+    """Piecewise-linear source defined by ``(time, value)`` points."""
+
+    points: Tuple[Tuple[float, float], ...]
+
+    def __post_init__(self):
+        times = [p[0] for p in self.points]
+        if len(times) < 1:
+            raise NetlistError("pwl source needs at least one point")
+        if any(t1 >= t2 for t1, t2 in zip(times, times[1:])):
+            raise NetlistError("pwl times must be strictly increasing")
+
+    def value(self, t: float) -> float:
+        times = np.array([p[0] for p in self.points])
+        vals = np.array([p[1] for p in self.points])
+        return float(np.interp(t, times, vals))
+
+    def breakpoints(self) -> Tuple[float, ...]:
+        """All knot times."""
+        return tuple(p[0] for p in self.points)
+
+
+def dc(level: float) -> DcShape:
+    """Constant source shape."""
+    return DcShape(float(level))
+
+
+def pulse(
+    v1: float,
+    v2: float,
+    delay: float = 0.0,
+    rise: float = 10e-12,
+    fall: float = 10e-12,
+    width: float = 1e-9,
+    period: float = 0.0,
+) -> PulseShape:
+    """SPICE-style pulse shape (single-shot unless ``period`` > 0)."""
+    return PulseShape(v1, v2, delay, rise, fall, width, period)
+
+
+def pwl(points: Sequence[Tuple[float, float]]) -> PwlShape:
+    """Piecewise-linear shape from ``(time, value)`` pairs."""
+    return PwlShape(tuple((float(t), float(v)) for t, v in points))

@@ -1,0 +1,322 @@
+"""Transient analysis: trapezoidal integration with LTE step control.
+
+The engine integrates the circuit's differential-algebraic system using
+companion models for the (constant) lumped capacitors:
+
+* first step and post-breakpoint steps use backward Euler (damps the
+  trapezoidal rule's tendency to ring across source corners),
+* subsequent steps use the trapezoidal rule,
+* the local truncation error is estimated from the deviation between the
+  corrector solution and a linear predictor, and the step size adapts with
+  the usual 1/3-power controller,
+* steps are clipped to land exactly on source breakpoints (pulse corners,
+  PWL knots) so no corner is straddled.
+
+Initial conditions are applied by clamping chosen nodes with a stiff
+Norton equivalent during the initial operating-point solve only — the
+standard way to preload an SRAM cell's state before a read or write.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConvergenceError, SimulationError
+from repro.spice import mna
+from repro.spice.dcop import NewtonOptions, newton_solve, solve_dc
+from repro.spice.netlist import GROUND_INDEX
+from repro.spice.waveform import Waveform
+
+__all__ = ["TransientOptions", "TransientResult", "run_transient"]
+
+#: Stiff clamp conductance used to impose initial conditions (siemens).
+IC_CLAMP_G = 1.0e4
+
+
+@dataclass(frozen=True)
+class TransientOptions:
+    """Integration control knobs.
+
+    ``reltol``/``abstol_v`` feed the LTE acceptance test; ``max_step``
+    defaults to 1/200 of the simulated window, which keeps waveform
+    measurements well resolved even on flat stretches.
+    """
+
+    reltol: float = 2e-3
+    abstol_v: float = 1e-6
+    min_step: float = 1e-16
+    max_step: Optional[float] = None
+    initial_step: Optional[float] = None
+    newton: NewtonOptions = field(default_factory=NewtonOptions)
+    max_rejections: int = 40
+
+
+@dataclass
+class TransientResult:
+    """Dense transient solution: times and per-node voltage samples."""
+
+    times: np.ndarray
+    node_names: List[str]
+    voltages: np.ndarray  # shape (num_steps, num_nodes)
+    steps_accepted: int
+    steps_rejected: int
+    newton_iterations: int
+
+    def waveform(self, node: str) -> Waveform:
+        """Waveform of a named node (ground returns an all-zero waveform)."""
+        if node in ("0", "gnd", "GND"):
+            return Waveform(self.times, np.zeros_like(self.times), name=node)
+        idx = self.node_names.index(node)
+        return Waveform(self.times, self.voltages[:, idx], name=node)
+
+    def final_voltage(self, node: str) -> float:
+        """Voltage of a node at the last accepted time point."""
+        return float(self.waveform(node).values[-1])
+
+
+def _collect_caps(circuit) -> List[Tuple[int, int, float]]:
+    caps: List[Tuple[int, int, float]] = []
+    for elem in circuit.elements:
+        caps.extend(elem.caps())
+    return caps
+
+
+def _collect_breakpoints(circuit, t_stop: float) -> np.ndarray:
+    points: List[float] = []
+    for elem in circuit.elements:
+        shape = getattr(elem, "shape", None)
+        if shape is None or not hasattr(shape, "breakpoints"):
+            continue
+        base = list(shape.breakpoints())
+        period = getattr(shape, "period", 0.0)
+        if period and period > 0:
+            t0 = base[0]
+            reps = int(np.ceil((t_stop - t0) / period)) + 1
+            for k in range(reps):
+                points.extend(b + k * period for b in base)
+        else:
+            points.extend(base)
+    points = sorted({p for p in points if 0.0 < p < t_stop})
+    return np.array(points)
+
+
+def _companion_stamp(
+    caps: Sequence[Tuple[int, int, float]],
+    coef: float,
+    v_prev: np.ndarray,
+    i_prev: Optional[np.ndarray],
+) -> Callable:
+    """Build the capacitor companion-model stamp for one timestep.
+
+    With ``coef = 1/h`` this is backward Euler
+    (``i = coef*C*(v - v_prev)``); with ``coef = 2/h`` it is trapezoidal
+    (``i = coef*C*(v - v_prev) - i_prev``).
+    """
+
+    def stamp(ctx) -> None:
+        for k, (na, nb, c) in enumerate(caps):
+            g = coef * c
+            va_prev = 0.0 if na == GROUND_INDEX else v_prev[na]
+            vb_prev = 0.0 if nb == GROUND_INDEX else v_prev[nb]
+            hist = g * (va_prev - vb_prev)
+            if i_prev is not None:
+                hist += i_prev[k]
+            i = g * (ctx.v(na) - ctx.v(nb)) - hist
+            ctx.add_kcl(na, i)
+            ctx.add_kcl(nb, -i)
+            ctx.add_jac(na, na, g)
+            ctx.add_jac(na, nb, -g)
+            ctx.add_jac(nb, na, -g)
+            ctx.add_jac(nb, nb, g)
+
+    return stamp
+
+
+def _cap_currents(
+    caps: Sequence[Tuple[int, int, float]],
+    coef: float,
+    v_new: np.ndarray,
+    v_prev: np.ndarray,
+    i_prev: Optional[np.ndarray],
+) -> np.ndarray:
+    out = np.zeros(len(caps))
+    for k, (na, nb, c) in enumerate(caps):
+        va = 0.0 if na == GROUND_INDEX else v_new[na]
+        vb = 0.0 if nb == GROUND_INDEX else v_new[nb]
+        va_p = 0.0 if na == GROUND_INDEX else v_prev[na]
+        vb_p = 0.0 if nb == GROUND_INDEX else v_prev[nb]
+        out[k] = coef * c * ((va - vb) - (va_p - vb_p))
+        if i_prev is not None:
+            out[k] -= i_prev[k]
+    return out
+
+
+def _ic_stamp(clamps: Sequence[Tuple[int, float]]) -> Callable:
+    """Norton clamp pulling given node indices toward target voltages."""
+
+    def stamp(ctx) -> None:
+        for node, target in clamps:
+            ctx.add_kcl(node, IC_CLAMP_G * (ctx.v(node) - target))
+            ctx.add_jac(node, node, IC_CLAMP_G)
+
+    return stamp
+
+
+def run_transient(
+    circuit,
+    t_stop: float,
+    ic: Optional[Dict[str, float]] = None,
+    options: Optional[TransientOptions] = None,
+) -> TransientResult:
+    """Integrate ``circuit`` from 0 to ``t_stop`` seconds.
+
+    Parameters
+    ----------
+    circuit:
+        The netlist to simulate.
+    t_stop:
+        End time in seconds (must be positive).
+    ic:
+        Optional mapping of node names to initial voltages, imposed via
+        stiff clamps during the initial operating-point solve (the clamp
+        is released for the integration itself).
+    options:
+        Integration controls; defaults are tuned for the nanosecond-scale
+        SRAM testbenches in this repository.
+    """
+    if t_stop <= 0:
+        raise SimulationError(f"t_stop must be positive, got {t_stop!r}")
+    opts = options or TransientOptions()
+    mna.assign_branches(circuit)
+    caps = _collect_caps(circuit)
+    if not caps:
+        raise SimulationError(
+            f"circuit {circuit.title!r} has no capacitors; transient analysis "
+            "of a purely resistive network is a DC sweep, not an ODE"
+        )
+
+    max_step = opts.max_step if opts.max_step is not None else t_stop / 200.0
+    h = opts.initial_step if opts.initial_step is not None else max_step / 50.0
+    breakpoints = _collect_breakpoints(circuit, t_stop)
+
+    # Initial state: operating point at t = 0 with IC clamps.
+    extra = []
+    if ic:
+        clamps = [(circuit.index_of(name), float(v)) for name, v in ic.items()]
+        extra.append(_ic_stamp(clamps))
+    op = solve_dc(circuit, time=0.0, options=opts.newton, extra_stamps=extra or None)
+    x = op.x.copy()
+    num_nodes = circuit.num_nodes
+
+    times = [0.0]
+    history = [x[:num_nodes].copy()]
+    cap_i = np.zeros(len(caps))
+    use_trap = False  # first step is backward Euler
+    t = 0.0
+    bp_idx = 0
+    accepted = 0
+    rejected = 0
+    newton_total = 0
+    rejections_in_a_row = 0
+    # Slope of each node from the previous accepted step, for prediction.
+    prev_slope: Optional[np.ndarray] = None
+
+    # Breakpoint bookkeeping tolerance: float accumulation of t can leave
+    # it a few ulps shy of a corner; treating "within bp_tol" as "at the
+    # corner" prevents spurious sub-minimum steps.
+    bp_tol = 1e-12 * t_stop
+    while t < t_stop - 1e-12 * t_stop:
+        h = min(h, max_step, t_stop - t)
+        # Land exactly on the next breakpoint if this step would cross it.
+        hit_breakpoint = False
+        while bp_idx < len(breakpoints) and breakpoints[bp_idx] <= t + bp_tol:
+            bp_idx += 1
+        if bp_idx < len(breakpoints) and t + h >= breakpoints[bp_idx] - bp_tol:
+            h = breakpoints[bp_idx] - t
+            hit_breakpoint = True
+            if h <= bp_tol:
+                # Already effectively at the corner: snap and move on.
+                t = breakpoints[bp_idx]
+                bp_idx += 1
+                continue
+        if h < opts.min_step:
+            raise SimulationError(
+                f"timestep underflow at t={t:.3e}s in circuit {circuit.title!r}"
+            )
+
+        v_prev = x[:num_nodes].copy()
+        coef = (2.0 / h) if use_trap else (1.0 / h)
+        i_hist = cap_i if use_trap else None
+        stamp = _companion_stamp(caps, coef, v_prev, i_hist)
+
+        # Predictor for the LTE estimate (and a warm Newton start).
+        if prev_slope is not None:
+            v_pred = v_prev + prev_slope * h
+        else:
+            v_pred = v_prev
+        x_guess = x.copy()
+        x_guess[:num_nodes] = v_pred
+
+        try:
+            x_new, iters = newton_solve(
+                circuit, x_guess, time=t + h, options=opts.newton, extra_stamps=[stamp]
+            )
+            newton_total += iters
+        except ConvergenceError:
+            rejected += 1
+            rejections_in_a_row += 1
+            if rejections_in_a_row > opts.max_rejections:
+                raise SimulationError(
+                    f"transient Newton kept failing near t={t:.3e}s "
+                    f"in circuit {circuit.title!r}"
+                )
+            h = max(h * 0.25, 4 * opts.min_step)
+            use_trap = False
+            continue
+
+        v_new = x_new[:num_nodes]
+        # LTE test (skipped when we had no slope history or we were forced
+        # onto a breakpoint with a tiny step anyway).
+        if prev_slope is not None:
+            scale = opts.reltol * np.maximum(np.abs(v_new), np.abs(v_prev)) + opts.abstol_v
+            err = float(np.max(np.abs(v_new - v_pred) / scale)) / 8.0
+        else:
+            err = 0.5
+        if err > 1.0 and not hit_breakpoint and h > 4 * opts.min_step:
+            rejected += 1
+            rejections_in_a_row += 1
+            if rejections_in_a_row > opts.max_rejections:
+                # Accept anyway rather than dying on a pathological corner;
+                # accuracy here is bounded by max_step densification.
+                rejections_in_a_row = 0
+            else:
+                h = max(h * max(0.2, min(0.9 / err ** (1.0 / 3.0), 0.9)), 4 * opts.min_step)
+                continue
+
+        # Accept.
+        cap_i = _cap_currents(caps, coef, v_new, v_prev, i_hist)
+        # The slope across a source corner is useless (often enormous) as
+        # a predictor for the next step; drop it so the post-corner step
+        # starts from a flat prediction instead of rejecting its way down.
+        prev_slope = None if hit_breakpoint else (v_new - v_prev) / h
+        x = x_new
+        t += h
+        times.append(t)
+        history.append(v_new.copy())
+        accepted += 1
+        rejections_in_a_row = 0
+        use_trap = not hit_breakpoint  # restart with BE right after a corner
+        growth = min(2.0, max(0.3, 0.9 / max(err, 1e-3) ** (1.0 / 3.0)))
+        h = h * growth
+
+    return TransientResult(
+        times=np.array(times),
+        node_names=circuit.node_names,
+        voltages=np.array(history),
+        steps_accepted=accepted,
+        steps_rejected=rejected,
+        newton_iterations=newton_total,
+    )

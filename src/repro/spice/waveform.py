@@ -1,0 +1,175 @@
+"""Waveform container and the measurement primitives SRAM metrics build on.
+
+A :class:`Waveform` is an immutable ``(times, values)`` pair with the
+measurement vocabulary of a SPICE ``.measure`` card: threshold crossings,
+trigger/target delays, slew, and window extrema.  Crossing times are
+linearly interpolated between samples, so measurement resolution is finer
+than the integration grid.
+
+Measurements raise :class:`~repro.errors.MeasurementError` when the event
+they look for never happens — SRAM dynamic-failure metrics depend on
+distinguishing "the bitline never developed" from "the simulator broke",
+so silent NaN returns are deliberately avoided.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MeasurementError
+
+__all__ = ["Waveform"]
+
+
+class Waveform:
+    """A sampled scalar signal over time."""
+
+    def __init__(self, times, values, name: str = ""):
+        times = np.asarray(times, dtype=float)
+        values = np.asarray(values, dtype=float)
+        if times.ndim != 1 or times.shape != values.shape:
+            raise MeasurementError("waveform times/values must be equal-length 1-D arrays")
+        if times.size < 2:
+            raise MeasurementError("waveform needs at least two samples")
+        if np.any(np.diff(times) <= 0):
+            raise MeasurementError("waveform times must be strictly increasing")
+        self.times = times
+        self.values = values
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Basic access
+    # ------------------------------------------------------------------
+
+    def at(self, t: float) -> float:
+        """Linearly interpolated value at time ``t`` (clamped to the window)."""
+        return float(np.interp(t, self.times, self.values))
+
+    @property
+    def t_start(self) -> float:
+        return float(self.times[0])
+
+    @property
+    def t_stop(self) -> float:
+        return float(self.times[-1])
+
+    def window(self, t_from: float, t_to: float) -> "Waveform":
+        """Sub-waveform restricted to ``[t_from, t_to]`` (endpoints interpolated)."""
+        if t_to <= t_from:
+            raise MeasurementError(f"empty window [{t_from}, {t_to}]")
+        inside = (self.times > t_from) & (self.times < t_to)
+        times = np.concatenate(([t_from], self.times[inside], [t_to]))
+        values = np.concatenate(([self.at(t_from)], self.values[inside], [self.at(t_to)]))
+        return Waveform(times, values, name=self.name)
+
+    # ------------------------------------------------------------------
+    # Crossings and delays
+    # ------------------------------------------------------------------
+
+    def cross(
+        self,
+        level: float,
+        direction: str = "either",
+        occurrence: int = 1,
+        after: float = 0.0,
+    ) -> float:
+        """Time of the n-th crossing of ``level``.
+
+        ``direction`` is ``"rise"``, ``"fall"`` or ``"either"``;
+        ``occurrence`` counts from 1; ``after`` ignores earlier events.
+        Raises :class:`~repro.errors.MeasurementError` if the requested
+        crossing never happens.
+        """
+        if direction not in ("rise", "fall", "either"):
+            raise MeasurementError(f"bad crossing direction {direction!r}")
+        if occurrence < 1:
+            raise MeasurementError("occurrence counts from 1")
+        d = self.values - level
+        count = 0
+        for k in range(len(d) - 1):
+            a, b = d[k], d[k + 1]
+            rising = a < 0.0 <= b
+            falling = a > 0.0 >= b
+            if direction == "rise" and not rising:
+                continue
+            if direction == "fall" and not falling:
+                continue
+            if direction == "either" and not (rising or falling):
+                continue
+            # Interpolate the crossing instant.
+            frac = a / (a - b) if a != b else 0.0
+            t_cross = self.times[k] + frac * (self.times[k + 1] - self.times[k])
+            if t_cross < after:
+                continue
+            count += 1
+            if count == occurrence:
+                return float(t_cross)
+        raise MeasurementError(
+            f"waveform {self.name!r}: crossing #{occurrence} of {level} V "
+            f"({direction}) after {after:.3e}s not found"
+        )
+
+    def has_cross(self, level: float, direction: str = "either", after: float = 0.0) -> bool:
+        """Whether the crossing exists (the predicate form of :meth:`cross`)."""
+        try:
+            self.cross(level, direction=direction, after=after)
+            return True
+        except MeasurementError:
+            return False
+
+    def delay_to(
+        self,
+        other: "Waveform",
+        level_self: float,
+        level_other: float,
+        direction_self: str = "either",
+        direction_other: str = "either",
+    ) -> float:
+        """Trigger/target delay: ``other``'s crossing minus this one's."""
+        t0 = self.cross(level_self, direction=direction_self)
+        t1 = other.cross(level_other, direction=direction_other, after=t0)
+        return t1 - t0
+
+    def slew(self, low_frac: float = 0.1, high_frac: float = 0.9) -> float:
+        """Rise/fall time between fractional levels of the full swing."""
+        vmin, vmax = float(np.min(self.values)), float(np.max(self.values))
+        if vmax - vmin < 1e-12:
+            raise MeasurementError(f"waveform {self.name!r} is flat; slew undefined")
+        lo = vmin + low_frac * (vmax - vmin)
+        hi = vmin + high_frac * (vmax - vmin)
+        t_lo = self.cross(lo)
+        t_hi = self.cross(hi, after=t_lo)
+        return t_hi - t_lo
+
+    # ------------------------------------------------------------------
+    # Extrema and algebra
+    # ------------------------------------------------------------------
+
+    def vmax(self) -> float:
+        return float(np.max(self.values))
+
+    def vmin(self) -> float:
+        return float(np.min(self.values))
+
+    def final(self) -> float:
+        """Last sample value."""
+        return float(self.values[-1])
+
+    def __sub__(self, other: "Waveform") -> "Waveform":
+        """Pointwise difference on the union grid (for differential signals)."""
+        grid = np.union1d(self.times, other.times)
+        lo = max(self.t_start, other.t_start)
+        hi = min(self.t_stop, other.t_stop)
+        grid = grid[(grid >= lo) & (grid <= hi)]
+        if grid.size < 2:
+            raise MeasurementError("waveforms do not overlap in time")
+        a = np.interp(grid, self.times, self.values)
+        b = np.interp(grid, other.times, other.values)
+        return Waveform(grid, a - b, name=f"{self.name}-{other.name}")
+
+    def __repr__(self) -> str:
+        return (
+            f"Waveform({self.name!r}, n={self.times.size}, "
+            f"t=[{self.t_start:.3e}, {self.t_stop:.3e}], "
+            f"v=[{self.vmin():.3f}, {self.vmax():.3f}])"
+        )

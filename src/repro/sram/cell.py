@@ -1,0 +1,107 @@
+"""Parametric 6T SRAM bitcell netlist builder.
+
+The cell uses the canonical device naming scheme every other module in
+this package relies on (variation axes, batched engine, MPFP reports):
+
+======== ==========================================
+name     role
+======== ==========================================
+m_pu_l   left pull-up PMOS   (drain=q,  gate=qb)
+m_pd_l   left pull-down NMOS (drain=q,  gate=qb)
+m_pg_l   left access NMOS    (bl ↔ q,   gate=wl)
+m_pu_r   right pull-up PMOS  (drain=qb, gate=q)
+m_pd_r   right pull-down NMOS(drain=qb, gate=q)
+m_pg_r   right access NMOS   (blb ↔ qb, gate=wl)
+======== ==========================================
+
+Default geometries give the classic read-stability/writability compromise:
+cell ratio (pull-down / access) of 1.4 and pull-up ratio (access /
+pull-up) of 1.25.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+from repro.spice.elements import Mosfet
+from repro.spice.mosfet import MosfetModel, nmos_45nm, pmos_45nm
+from repro.spice.netlist import Circuit
+
+__all__ = ["CellDesign", "build_cell", "CELL_DEVICE_ORDER"]
+
+#: Canonical device ordering used by u-space vectors and the batched engine.
+CELL_DEVICE_ORDER = ("m_pu_l", "m_pd_l", "m_pg_l", "m_pu_r", "m_pd_r", "m_pg_r")
+
+
+@dataclass(frozen=True)
+class CellDesign:
+    """Geometry and model cards of a 6T bitcell.
+
+    Lengths and widths are in metres.  ``nmos``/``pmos`` default to the
+    PTM-45nm-flavoured cards from :mod:`repro.spice.mosfet`.
+    """
+
+    w_pd: float = 140e-9
+    w_pg: float = 100e-9
+    w_pu: float = 80e-9
+    l: float = 50e-9
+    nmos: MosfetModel = field(default_factory=nmos_45nm)
+    pmos: MosfetModel = field(default_factory=pmos_45nm)
+
+    @property
+    def cell_ratio(self) -> float:
+        """Pull-down to access-transistor strength ratio (read stability)."""
+        return self.w_pd / self.w_pg
+
+    @property
+    def pullup_ratio(self) -> float:
+        """Access to pull-up strength ratio (writability)."""
+        return self.w_pg / self.w_pu
+
+    def scaled(self, factor: float) -> "CellDesign":
+        """Uniformly scale all widths (keeps ratios; changes mismatch sigma)."""
+        return replace(
+            self,
+            w_pd=self.w_pd * factor,
+            w_pg=self.w_pg * factor,
+            w_pu=self.w_pu * factor,
+        )
+
+
+def build_cell(
+    design: Optional[CellDesign] = None,
+    circuit: Optional[Circuit] = None,
+    q: str = "q",
+    qb: str = "qb",
+    bl: str = "bl",
+    blb: str = "blb",
+    wl: str = "wl",
+    vdd: str = "vdd",
+    suffix: str = "",
+) -> Circuit:
+    """Instantiate a 6T cell into ``circuit`` (a new one if omitted).
+
+    ``suffix`` is appended to device names so multiple cells (a column)
+    can share one netlist without name collisions.
+    """
+    design = design or CellDesign()
+    circuit = circuit if circuit is not None else Circuit("sram_6t_cell")
+    nm, pm = design.nmos, design.pmos
+    lch = design.l
+    devices = [
+        Mosfet(f"m_pu_l{suffix}", q, qb, vdd, vdd, pm, w=design.w_pu, l=lch),
+        Mosfet(f"m_pd_l{suffix}", q, qb, "0", "0", nm, w=design.w_pd, l=lch),
+        Mosfet(f"m_pg_l{suffix}", bl, wl, q, "0", nm, w=design.w_pg, l=lch),
+        Mosfet(f"m_pu_r{suffix}", qb, q, vdd, vdd, pm, w=design.w_pu, l=lch),
+        Mosfet(f"m_pd_r{suffix}", qb, q, "0", "0", nm, w=design.w_pd, l=lch),
+        Mosfet(f"m_pg_r{suffix}", blb, wl, qb, "0", nm, w=design.w_pg, l=lch),
+    ]
+    for dev in devices:
+        circuit.add(dev)
+    return circuit
+
+
+def cell_device_names(suffix: str = "") -> List[str]:
+    """Device names of one cell instance, in canonical order."""
+    return [f"{name}{suffix}" for name in CELL_DEVICE_ORDER]

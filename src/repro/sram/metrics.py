@@ -1,0 +1,153 @@
+"""Dynamic-characteristic metric extraction with smooth penalty extension.
+
+High-sigma samplers need two things from a metric:
+
+1. a scalar that is **continuous** across the failure boundary — the
+   gradient-driven MPFP search climbs this surface, so "the bitline never
+   developed" must not return NaN or a cliff;
+2. an unambiguous failure classification for the indicator function.
+
+Each extractor therefore returns a :class:`MetricSample` carrying both the
+(possibly penalty-extended) continuous value and the raw event data.  The
+penalty extension works as follows: when the measured event (bitline
+differential crossing, cell flip) does not occur inside the observation
+window, the metric continues past the window end proportionally to the
+remaining voltage shortfall.  The extension is exactly continuous at the
+boundary: an event at the last instant of the window and a shortfall of
+zero yield the same value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import MeasurementError
+from repro.spice.waveform import Waveform
+
+__all__ = [
+    "MetricSample",
+    "read_access_time",
+    "write_trip_time",
+    "read_disturb_peak",
+]
+
+
+@dataclass(frozen=True)
+class MetricSample:
+    """One metric evaluation.
+
+    Attributes
+    ----------
+    value:
+        The continuous metric (seconds for delays, volts for margins),
+        penalty-extended when the underlying event did not occur.
+    event_found:
+        Whether the measured event actually happened in-window.
+    aux:
+        Extra diagnostics (peak voltages, crossing times, ...).
+    """
+
+    value: float
+    event_found: bool
+    aux: Dict[str, float] = field(default_factory=dict)
+
+
+def read_access_time(
+    bl: Waveform,
+    blb: Waveform,
+    wl: Waveform,
+    dv_spec: float,
+    vdd: float,
+    penalty_per_volt: float = 20e-9,
+) -> MetricSample:
+    """Read access time: WL half-swing to bitline differential development.
+
+    The cell is assumed to store ``q = 0`` so BL discharges and the
+    differential ``blb - bl`` grows positive.  ``dv_spec`` is the
+    differential the (implicit) sense amplifier needs, typically 0.1–0.2 V.
+
+    When the differential never reaches ``dv_spec``, the returned value is
+    ``(window_end - t_wl) + (dv_spec - dv_final) * penalty_per_volt`` —
+    continuous with the measured branch at the window edge.
+    """
+    t_wl = wl.cross(vdd / 2.0, direction="rise")
+    diff = blb - bl
+    window = diff.window(t_wl, diff.t_stop)
+    try:
+        t_dev = window.cross(dv_spec, direction="rise")
+        return MetricSample(
+            value=t_dev - t_wl,
+            event_found=True,
+            aux={"dv_final": window.final(), "t_wl": t_wl, "t_dev": t_dev},
+        )
+    except MeasurementError:
+        shortfall = dv_spec - window.final()
+        value = (window.t_stop - t_wl) + shortfall * penalty_per_volt
+        return MetricSample(
+            value=value,
+            event_found=False,
+            aux={"dv_final": window.final(), "t_wl": t_wl},
+        )
+
+
+def write_trip_time(
+    q: Waveform,
+    qb: Waveform,
+    wl: Waveform,
+    vdd: float,
+    penalty_per_volt: float = 20e-9,
+) -> MetricSample:
+    """Write trip time: WL half-swing to the rising internal node's half-swing.
+
+    The testbench writes a 0 into a cell storing ``q = 1``: QB must rise.
+    The trip instant is QB crossing ``vdd/2`` rising — past that point the
+    cross-coupled positive feedback completes the flip on its own.
+
+    A cell that never trips gets the penalty-extended value
+    ``(window_end - t_wl) + (vdd/2 - max(qb)) * penalty_per_volt``.
+    """
+    t_wl = wl.cross(vdd / 2.0, direction="rise")
+    window = qb.window(t_wl, qb.t_stop)
+    try:
+        t_trip = window.cross(vdd / 2.0, direction="rise")
+        return MetricSample(
+            value=t_trip - t_wl,
+            event_found=True,
+            aux={"qb_peak": window.vmax(), "t_wl": t_wl, "t_trip": t_trip,
+                 "q_final": q.final(), "qb_final": qb.final()},
+        )
+    except MeasurementError:
+        shortfall = vdd / 2.0 - window.vmax()
+        value = (window.t_stop - t_wl) + shortfall * penalty_per_volt
+        return MetricSample(
+            value=value,
+            event_found=False,
+            aux={"qb_peak": window.vmax(), "t_wl": t_wl,
+                 "q_final": q.final(), "qb_final": qb.final()},
+        )
+
+
+def read_disturb_peak(
+    q: Waveform,
+    wl: Waveform,
+    vdd: float,
+) -> MetricSample:
+    """Peak disturbance of the low internal node during a read.
+
+    The cell stores ``q = 0``; the read voltage divider lifts Q.  The
+    metric is the peak Q voltage over the WL-high window — a naturally
+    continuous quantity whose failure threshold (the cell's trip point,
+    conventionally ``vdd/2``) defines dynamic read instability.  A cell
+    that actually flips shows a peak near ``vdd``, far past the threshold,
+    so no penalty extension is needed.
+    """
+    t_wl = wl.cross(vdd / 2.0, direction="rise")
+    window = q.window(t_wl, q.t_stop)
+    peak = window.vmax()
+    flipped = q.final() > vdd / 2.0
+    return MetricSample(
+        value=peak,
+        event_found=True,
+        aux={"flipped": float(flipped), "q_final": q.final(), "t_wl": t_wl},
+    )

@@ -1,0 +1,162 @@
+"""Static (DC) SRAM margins: butterfly-curve static noise margin.
+
+Dynamic metrics are this library's focus, but static margins are the
+classic sanity anchor: a cell whose hold SNM collapses under a given
+variation vector must also look bad dynamically.  The butterfly SNM is
+computed the textbook way:
+
+1. break the cross-coupled loop and sweep each inverter's voltage
+   transfer characteristic with the access transistor biased for the
+   chosen condition (WL low = hold, WL high with bitlines at VDD = read);
+2. mirror one VTC across the diagonal;
+3. the SNM is the side of the largest square that fits inside each lobe
+   of the butterfly, minimised over the two lobes — evaluated in
+   45°-rotated coordinates where the square side becomes a vertical
+   distance divided by sqrt(2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import MeasurementError
+from repro.spice.elements import Mosfet, VoltageSource
+from repro.spice.netlist import Circuit
+from repro.spice.sources import dc
+from repro.spice.dcop import solve_dc
+from repro.sram.cell import CellDesign
+
+__all__ = ["half_cell_vtc", "butterfly_snm"]
+
+
+def _build_half_cell(
+    design: CellDesign,
+    vdd: float,
+    wl_voltage: float,
+    bl_voltage: float,
+    side: str,
+) -> Circuit:
+    """One inverter of the cell plus its access transistor, loop broken.
+
+    ``side`` selects the left (``q``) or right (``qb``) inverter so that
+    per-device variation applied to a full-cell variation vector can be
+    forwarded to the matching half.
+    """
+    suffix = "_l" if side == "left" else "_r"
+    circuit = Circuit(f"half_cell{suffix}")
+    circuit.add(VoltageSource("v_vdd", "vdd", "0", dc(vdd)))
+    circuit.add(VoltageSource("v_in", "in", "0", dc(0.0)))
+    circuit.add(VoltageSource("v_wl", "wl", "0", dc(wl_voltage)))
+    circuit.add(VoltageSource("v_bl", "bl", "0", dc(bl_voltage)))
+    circuit.add(
+        Mosfet(f"m_pu{suffix}", "out", "in", "vdd", "vdd", design.pmos, w=design.w_pu, l=design.l)
+    )
+    circuit.add(
+        Mosfet(f"m_pd{suffix}", "out", "in", "0", "0", design.nmos, w=design.w_pd, l=design.l)
+    )
+    circuit.add(
+        Mosfet(f"m_pg{suffix}", "bl", "wl", "out", "0", design.nmos, w=design.w_pg, l=design.l)
+    )
+    return circuit
+
+
+def half_cell_vtc(
+    design: Optional[CellDesign] = None,
+    vdd: float = 1.0,
+    wl_voltage: float = 0.0,
+    bl_voltage: Optional[float] = None,
+    side: str = "left",
+    n_points: int = 61,
+    delta_vth: Optional[dict] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Voltage transfer characteristic of one half-cell.
+
+    ``delta_vth`` optionally maps the half-cell device roles
+    (``"pu"``, ``"pd"``, ``"pg"``) to threshold shifts in volts.
+
+    Returns ``(vin, vout)`` arrays of length ``n_points``.
+    """
+    design = design or CellDesign()
+    bl_v = vdd if bl_voltage is None else bl_voltage
+    circuit = _build_half_cell(design, vdd, wl_voltage, bl_v, side)
+    suffix = "_l" if side == "left" else "_r"
+    if delta_vth:
+        for role, shift in delta_vth.items():
+            circuit[f"m_{role}{suffix}"].delta_vth = float(shift)
+    vin = np.linspace(0.0, vdd, n_points)
+    vout = np.empty_like(vin)
+    x_prev = None
+    for i, v in enumerate(vin):
+        circuit["v_in"].shape = dc(float(v))
+        op = solve_dc(circuit, x0=x_prev)
+        vout[i] = op.v("out")
+        x_prev = op.x
+    return vin, vout
+
+
+def butterfly_snm(
+    design: Optional[CellDesign] = None,
+    vdd: float = 1.0,
+    mode: str = "hold",
+    n_points: int = 61,
+    delta_vth_left: Optional[dict] = None,
+    delta_vth_right: Optional[dict] = None,
+) -> float:
+    """Static noise margin from butterfly curves, in volts.
+
+    ``mode`` is ``"hold"`` (access transistors off) or ``"read"``
+    (wordline high, bitlines precharged to VDD — the read-stress SNM).
+    Per-side threshold shifts allow evaluating the SNM of a *varied* cell.
+    """
+    if mode not in ("hold", "read"):
+        raise MeasurementError(f"unknown SNM mode {mode!r}")
+    wl_v = 0.0 if mode == "hold" else vdd
+    vin1, vout1 = half_cell_vtc(
+        design, vdd, wl_v, side="left", n_points=n_points, delta_vth=delta_vth_left
+    )
+    vin2, vout2 = half_cell_vtc(
+        design, vdd, wl_v, side="right", n_points=n_points, delta_vth=delta_vth_right
+    )
+
+    # Both curves as single-valued functions of the same abscissa:
+    # f1(x) = VTC1, and the mirrored second curve m2(x) = VTC2^{-1}(x)
+    # (VTCs are monotone decreasing, so the inverse exists).
+    grid = np.linspace(0.0, vdd, 8 * n_points)
+    f1 = np.interp(grid, vin1, vout1)
+    # Invert curve 2: pairs (vout2, vin2) sorted by vout2 ascending.
+    order = np.argsort(vout2)
+    m2 = np.interp(grid, vout2[order], vin2[order])
+
+    def lobe_side(upper: np.ndarray, lower: np.ndarray) -> float:
+        """Largest axis-aligned square fitting between upper and lower curves.
+
+        Both curves are monotone decreasing, so over a square footprint
+        ``[x, x+s]`` the upper curve is lowest at the right edge and the
+        lower curve highest at the left edge.  A square of side ``s``
+        therefore fits iff there is an ``x`` with
+        ``upper(x + s) - lower(x) >= s``; the side is found by bisection.
+        """
+
+        def feasible(s: float) -> bool:
+            shifted_upper = np.interp(grid + s, grid, upper, right=upper[-1])
+            return bool(np.any(shifted_upper - lower >= s))
+
+        if not feasible(0.0):
+            return 0.0
+        lo_s, hi_s = 0.0, vdd
+        for _ in range(50):
+            mid = 0.5 * (lo_s + hi_s)
+            if feasible(mid):
+                lo_s = mid
+            else:
+                hi_s = mid
+        return lo_s
+
+    side1 = lobe_side(f1, m2)   # lobe where VTC1 lies above the mirror
+    side2 = lobe_side(m2, f1)   # the opposite lobe
+    if side1 <= 0.0 or side2 <= 0.0:
+        # One lobe has collapsed: the cell is not bistable any more.
+        return 0.0
+    return min(side1, side2)

@@ -1,0 +1,183 @@
+"""Global + local variation decomposition.
+
+Foundry statistics split threshold variation into a *global* (inter-die)
+component shared by every device of a flavour and *local* (intra-die,
+Pelgrom) mismatch per device.  For yield analysis the distinction
+matters: global shift moves every cell of the die together (a die either
+works or not), while local mismatch is what makes one cell in a billion
+fail.
+
+:class:`CorrelatedSpace` augments a local :class:`~repro.variation.space.
+VariationSpace` with one extra u-axis per device *group* (e.g. all NMOS,
+all PMOS).  The physical shift of a device becomes::
+
+    delta_vth = sigma_local * u_local + sigma_global * u_group
+
+The space still presents a plain i.i.d. standard-normal u-vector to the
+samplers — the correlation lives entirely in the u → parameter map, so
+every estimator in :mod:`repro.highsigma` works unchanged.  The MPFP of
+a read failure under this model shows the textbook structure: a shared
+NMOS slow-down plus a local pass-gate kick.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import NetlistError
+from repro.variation.space import VariationSpace
+
+__all__ = ["GlobalAxis", "CorrelatedSpace"]
+
+
+@dataclass(frozen=True)
+class GlobalAxis:
+    """One shared variation axis.
+
+    ``members`` lists the device names that receive this component;
+    ``sigma`` is the physical standard deviation of the shared shift in
+    volts (vth) or as a fraction (beta).
+    """
+
+    name: str
+    kind: str
+    sigma: float
+    members: Tuple[str, ...]
+
+    def __post_init__(self):
+        if self.kind not in ("vth", "beta"):
+            raise NetlistError(f"unknown global axis kind {self.kind!r}")
+        if self.sigma <= 0:
+            raise NetlistError(f"global axis {self.name!r}: sigma must be positive")
+        if not self.members:
+            raise NetlistError(f"global axis {self.name!r} has no members")
+
+    @property
+    def label(self) -> str:
+        return f"global:{self.name}.{self.kind}"
+
+
+class CorrelatedSpace:
+    """Local mismatch space plus shared global axes.
+
+    The u-vector layout is ``[local axes..., global axes...]`` — local
+    axes keep the exact ordering of the wrapped
+    :class:`~repro.variation.space.VariationSpace`, so code indexing the
+    first ``local.dim`` entries keeps working.
+    """
+
+    def __init__(self, local: VariationSpace, global_axes: Sequence[GlobalAxis]):
+        if not global_axes:
+            raise NetlistError("CorrelatedSpace needs at least one global axis")
+        labels = [g.label for g in global_axes]
+        if len(set(labels)) != len(labels):
+            raise NetlistError(f"duplicate global axes: {labels}")
+        self.local = local
+        self.global_axes: List[GlobalAxis] = list(global_axes)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def dim(self) -> int:
+        return self.local.dim + len(self.global_axes)
+
+    @property
+    def labels(self) -> List[str]:
+        return self.local.labels + [g.label for g in self.global_axes]
+
+    def split(self, u: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Split a u-vector into its local and global parts."""
+        u = np.asarray(u, dtype=float)
+        if u.shape != (self.dim,):
+            raise NetlistError(
+                f"u-vector shape {u.shape} does not match dim {self.dim}"
+            )
+        return u[: self.local.dim], u[self.local.dim:]
+
+    def to_physical(self, u: np.ndarray) -> Dict[str, Dict[str, float]]:
+        """Per-device perturbations with the global components folded in."""
+        u_local, u_global = self.split(u)
+        out = self.local.to_physical(u_local)
+        for value, axis in zip(u_global, self.global_axes):
+            shift = float(value * axis.sigma)
+            for device in axis.members:
+                entry = out.setdefault(device, {"delta_vth": 0.0, "beta_mult": 1.0})
+                if axis.kind == "vth":
+                    entry["delta_vth"] += shift
+                else:
+                    entry["beta_mult"] *= 1.0 + shift
+        return out
+
+    def apply(self, circuit, u: np.ndarray) -> None:
+        """Write perturbations onto a built circuit in place."""
+        for device, params in self.to_physical(u).items():
+            mos = circuit[device]
+            mos.delta_vth = params["delta_vth"]
+            mos.beta_mult = params["beta_mult"]
+
+    def vth_matrix(self, u_batch: np.ndarray, device_order: Sequence[str]) -> np.ndarray:
+        """Batched ``delta_vth`` matrix (local + global contributions)."""
+        u_batch = np.atleast_2d(np.asarray(u_batch, dtype=float))
+        if u_batch.shape[1] != self.dim:
+            raise NetlistError(
+                f"u-batch has {u_batch.shape[1]} columns; space has dim {self.dim}"
+            )
+        nloc = self.local.dim
+        out = self.local.vth_matrix(u_batch[:, :nloc], device_order)
+        col_of = {name: j for j, name in enumerate(device_order)}
+        for k, axis in enumerate(self.global_axes):
+            if axis.kind != "vth":
+                continue
+            contribution = u_batch[:, nloc + k] * axis.sigma
+            for device in axis.members:
+                if device in col_of:
+                    out[:, col_of[device]] += contribution
+        return out
+
+    def beta_matrix(self, u_batch: np.ndarray, device_order: Sequence[str]) -> np.ndarray:
+        """Batched ``beta_mult`` matrix (local x global contributions)."""
+        u_batch = np.atleast_2d(np.asarray(u_batch, dtype=float))
+        if u_batch.shape[1] != self.dim:
+            raise NetlistError(
+                f"u-batch has {u_batch.shape[1]} columns; space has dim {self.dim}"
+            )
+        nloc = self.local.dim
+        out = self.local.beta_matrix(u_batch[:, :nloc], device_order)
+        col_of = {name: j for j, name in enumerate(device_order)}
+        for k, axis in enumerate(self.global_axes):
+            if axis.kind != "beta":
+                continue
+            contribution = 1.0 + u_batch[:, nloc + k] * axis.sigma
+            for device in axis.members:
+                if device in col_of:
+                    out[:, col_of[device]] *= contribution
+        return out
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def nmos_pmos_globals(
+        cls,
+        local: VariationSpace,
+        nmos_devices: Sequence[str],
+        pmos_devices: Sequence[str],
+        sigma_nmos: float = 0.02,
+        sigma_pmos: float = 0.02,
+    ) -> "CorrelatedSpace":
+        """The standard two-group model: one shared axis per polarity."""
+        return cls(
+            local,
+            [
+                GlobalAxis("nmos", "vth", sigma_nmos, tuple(nmos_devices)),
+                GlobalAxis("pmos", "vth", sigma_pmos, tuple(pmos_devices)),
+            ],
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CorrelatedSpace(local_dim={self.local.dim}, "
+            f"globals={[g.label for g in self.global_axes]})"
+        )

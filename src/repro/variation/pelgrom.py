@@ -1,0 +1,38 @@
+"""Pelgrom-law mismatch sigmas.
+
+Local (within-die) transistor mismatch follows the Pelgrom area law: the
+standard deviation of a matched-pair parameter difference scales as
+``A / sqrt(W * L)``.  Threshold-voltage mismatch dominates SRAM bitcell
+failure statistics, with current-factor (beta) mismatch a secondary term;
+both are exposed here.
+
+The coefficients live on the :class:`~repro.spice.mosfet.MosfetModel`
+card (``avt`` in V·m, ``abeta`` dimensionless·m) so different process
+corners can carry different mismatch, as real PDKs do.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["vth_mismatch_sigma", "beta_mismatch_sigma"]
+
+
+def vth_mismatch_sigma(model, w: float, l: float) -> float:
+    """Sigma of the threshold-voltage shift of one device, in volts.
+
+    Note this is the *single-device* sigma (Pelgrom's law is stated for
+    pair differences; the single-device sigma is the pair value divided by
+    sqrt(2), a convention already folded into the ``avt`` numbers used by
+    our model cards).
+    """
+    if w <= 0 or l <= 0:
+        raise ValueError(f"device geometry must be positive, got W={w!r} L={l!r}")
+    return model.avt / np.sqrt(w * l)
+
+
+def beta_mismatch_sigma(model, w: float, l: float) -> float:
+    """Relative (fractional) sigma of the current factor of one device."""
+    if w <= 0 or l <= 0:
+        raise ValueError(f"device geometry must be positive, got W={w!r} L={l!r}")
+    return model.abeta / np.sqrt(w * l)

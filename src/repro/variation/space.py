@@ -1,0 +1,195 @@
+"""The u-space ↔ device-parameter mapping.
+
+Every high-sigma sampler in this library works in **u-space**: a vector of
+independent standard-normal variables, one per variation axis.  A
+:class:`VariationSpace` owns the list of axes (device name, parameter
+kind, physical sigma) and converts a u-vector into the per-instance
+``delta_vth`` / ``beta_mult`` attributes the simulators consume.
+
+Keeping the map explicit — rather than burying sigmas inside the metric
+function — is what lets one compare samplers fairly: they all see exactly
+the same standardised space, and sigma levels reported by
+:mod:`repro.highsigma.sigma` are directly meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.errors import NetlistError
+
+__all__ = ["DeviceAxis", "VariationSpace"]
+
+#: Parameter kinds an axis may target.
+AXIS_KINDS = ("vth", "beta")
+
+
+@dataclass(frozen=True)
+class DeviceAxis:
+    """One variation axis: a parameter of one device.
+
+    Attributes
+    ----------
+    device:
+        MOSFET element name in the circuit (e.g. ``"m_pd_l"``).
+    kind:
+        ``"vth"`` (additive threshold shift, sigma in volts) or
+        ``"beta"`` (multiplicative current-factor variation, sigma as a
+        fraction).
+    sigma:
+        Physical standard deviation of the parameter.
+    """
+
+    device: str
+    kind: str
+    sigma: float
+
+    def __post_init__(self):
+        if self.kind not in AXIS_KINDS:
+            raise NetlistError(f"unknown variation axis kind {self.kind!r}")
+        if self.sigma <= 0:
+            raise NetlistError(
+                f"axis {self.device}/{self.kind}: sigma must be positive, got {self.sigma!r}"
+            )
+
+    @property
+    def label(self) -> str:
+        """Stable human-readable identifier, e.g. ``"m_pd_l.vth"``."""
+        return f"{self.device}.{self.kind}"
+
+
+class VariationSpace:
+    """An ordered collection of :class:`DeviceAxis` defining u-space."""
+
+    def __init__(self, axes: Sequence[DeviceAxis]):
+        if not axes:
+            raise NetlistError("a VariationSpace needs at least one axis")
+        labels = [a.label for a in axes]
+        if len(set(labels)) != len(labels):
+            raise NetlistError(f"duplicate variation axes: {labels}")
+        self.axes: List[DeviceAxis] = list(axes)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def dim(self) -> int:
+        """Number of u-space dimensions."""
+        return len(self.axes)
+
+    @property
+    def labels(self) -> List[str]:
+        """Axis labels in u-vector order."""
+        return [a.label for a in self.axes]
+
+    def sigma_vector(self) -> np.ndarray:
+        """Physical sigmas in u-vector order."""
+        return np.array([a.sigma for a in self.axes])
+
+    # ------------------------------------------------------------------
+    # Mapping
+    # ------------------------------------------------------------------
+
+    def to_physical(self, u: np.ndarray) -> Dict[str, Dict[str, float]]:
+        """Convert a u-vector into per-device parameter perturbations.
+
+        Returns ``{device: {"delta_vth": volts, "beta_mult": factor}}``
+        with identity defaults for parameters no axis targets.
+        """
+        u = np.asarray(u, dtype=float)
+        if u.shape != (self.dim,):
+            raise NetlistError(
+                f"u-vector shape {u.shape} does not match space dimension {self.dim}"
+            )
+        out: Dict[str, Dict[str, float]] = {}
+        for value, axis in zip(u, self.axes):
+            entry = out.setdefault(axis.device, {"delta_vth": 0.0, "beta_mult": 1.0})
+            if axis.kind == "vth":
+                entry["delta_vth"] = float(value * axis.sigma)
+            else:
+                entry["beta_mult"] = float(1.0 + value * axis.sigma)
+        return out
+
+    def apply(self, circuit, u: np.ndarray) -> None:
+        """Write the perturbations for ``u`` onto a built circuit in place."""
+        for device, params in self.to_physical(u).items():
+            mos = circuit[device]
+            mos.delta_vth = params["delta_vth"]
+            mos.beta_mult = params["beta_mult"]
+
+    def reset(self, circuit) -> None:
+        """Restore every targeted device to its nominal parameters."""
+        for axis in self.axes:
+            mos = circuit[axis.device]
+            mos.delta_vth = 0.0
+            mos.beta_mult = 1.0
+
+    def vth_matrix(self, u_batch: np.ndarray, device_order: Sequence[str]) -> np.ndarray:
+        """Batched ``delta_vth`` matrix for the vectorised engine.
+
+        Parameters
+        ----------
+        u_batch:
+            Array of shape ``(n, dim)``.
+        device_order:
+            Device names defining the output column order.
+
+        Returns
+        -------
+        Array of shape ``(n, len(device_order))`` with threshold shifts in
+        volts; devices without a vth axis get a zero column.
+        """
+        u_batch = np.atleast_2d(np.asarray(u_batch, dtype=float))
+        if u_batch.shape[1] != self.dim:
+            raise NetlistError(
+                f"u-batch has {u_batch.shape[1]} columns; space has dim {self.dim}"
+            )
+        out = np.zeros((u_batch.shape[0], len(device_order)))
+        col_of = {name: j for j, name in enumerate(device_order)}
+        for i, axis in enumerate(self.axes):
+            if axis.kind != "vth" or axis.device not in col_of:
+                continue
+            out[:, col_of[axis.device]] = u_batch[:, i] * axis.sigma
+        return out
+
+    def beta_matrix(self, u_batch: np.ndarray, device_order: Sequence[str]) -> np.ndarray:
+        """Batched ``beta_mult`` matrix (identity columns where untargeted)."""
+        u_batch = np.atleast_2d(np.asarray(u_batch, dtype=float))
+        if u_batch.shape[1] != self.dim:
+            raise NetlistError(
+                f"u-batch has {u_batch.shape[1]} columns; space has dim {self.dim}"
+            )
+        out = np.ones((u_batch.shape[0], len(device_order)))
+        col_of = {name: j for j, name in enumerate(device_order)}
+        for i, axis in enumerate(self.axes):
+            if axis.kind != "beta" or axis.device not in col_of:
+                continue
+            out[:, col_of[axis.device]] = 1.0 + u_batch[:, i] * axis.sigma
+        return out
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_mosfets(cls, circuit, include_beta: bool = False) -> "VariationSpace":
+        """Build a space over every MOSFET in a circuit via Pelgrom sigmas."""
+        from repro.variation.pelgrom import beta_mismatch_sigma, vth_mismatch_sigma
+
+        axes: List[DeviceAxis] = []
+        for mos in circuit.mosfets():
+            axes.append(
+                DeviceAxis(mos.name, "vth", vth_mismatch_sigma(mos.model, mos.w, mos.l))
+            )
+            if include_beta:
+                axes.append(
+                    DeviceAxis(mos.name, "beta", beta_mismatch_sigma(mos.model, mos.w, mos.l))
+                )
+        return cls(axes)
+
+    def __repr__(self) -> str:
+        return f"VariationSpace(dim={self.dim}, axes={self.labels})"

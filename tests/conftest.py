@@ -1,0 +1,26 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sram.batched import Batched6T
+from repro.sram.cell import CellDesign
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def fast_engine():
+    """A coarse-grid batched engine shared across tests (read/write)."""
+    return Batched6T(n_steps=300)
+
+
+@pytest.fixture(scope="session")
+def default_design():
+    return CellDesign()

@@ -1,0 +1,86 @@
+"""System-level (cell + sense amp) read workload tests."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.workloads import make_read_limitstate, make_system_read_limitstate
+
+
+@pytest.fixture(scope="module")
+def system_ls():
+    return make_system_read_limitstate(spec=55e-12, n_steps=250)
+
+
+class TestStructure:
+    def test_ten_dimensions(self, system_ls):
+        assert system_ls.dim == 10
+
+    def test_nominal_passes(self, system_ls):
+        assert system_ls.g(np.zeros(10)) > 0
+
+    def test_batch_matches_scalar(self, system_ls):
+        rng = np.random.default_rng(0)
+        ub = rng.normal(size=(4, 10))
+        np.testing.assert_allclose(
+            system_ls.g_batch(ub), [system_ls.g(u) for u in ub], rtol=1e-9
+        )
+
+
+class TestCoupling:
+    def test_cell_axes_match_cell_only_workload(self, system_ls):
+        # With zero SA variation and the same dv_base, the system metric
+        # must agree with the cell-only limit state.
+        cell_ls = make_read_limitstate(spec=55e-12, n_steps=250)
+        rng = np.random.default_rng(1)
+        for _ in range(3):
+            u_cell = rng.normal(size=6)
+            u_sys = np.concatenate([u_cell, np.zeros(4)])
+            assert system_ls.g(u_sys) == pytest.approx(cell_ls.g(u_cell), rel=1e-6)
+
+    def test_deaf_sense_amp_slows_read(self, system_ls):
+        # +2 sigma on the latch's left NMOS raises the required
+        # differential, so the margin shrinks.
+        u_sa_bad = np.zeros(10)
+        u_sa_bad[6] = 2.0
+        assert system_ls.g(u_sa_bad) < system_ls.g(np.zeros(10))
+
+    def test_favourable_offset_floored(self, system_ls):
+        # A strongly favourable SA offset helps, but only down to the
+        # dv floor — the margin gain saturates.
+        # The floor engages once the favourable offset exceeds
+        # dv_base - dv_floor = 100 mV (u = 4 at a 25 mV device sigma).
+        u1, u2 = np.zeros(10), np.zeros(10)
+        u1[8] = 5.0   # weaker right NMOS: negative offset, helps
+        u2[8] = 8.0
+        g1, g2 = system_ls.g(u1), system_ls.g(u2)
+        assert g1 >= system_ls.g(np.zeros(10))
+        assert g2 == pytest.approx(g1, rel=0.02)  # saturated at the floor
+
+    def test_combined_failure_mechanism(self, system_ls):
+        # A cell and SA each at +2.5 sigma: individually marginal,
+        # jointly failing — the system-level coupling the workload exists
+        # to expose.
+        u = np.zeros(10)
+        u[2] = 2.5   # slow pass gate
+        u[6] = 2.5   # deaf latch
+        cell_only = np.zeros(10)
+        cell_only[2] = 2.5
+        sa_only = np.zeros(10)
+        sa_only[6] = 2.5
+        assert system_ls.g(u) < min(system_ls.g(cell_only), system_ls.g(sa_only))
+
+
+class TestEstimation:
+    def test_gis_runs_on_ten_dims(self, system_ls):
+        from repro.highsigma.gis import GradientImportanceSampling
+
+        system_ls.reset_counter()
+        res = GradientImportanceSampling(
+            system_ls, n_max=1500, target_rel_err=0.15
+        ).run(np.random.default_rng(2))
+        assert res.p_fail > 0
+        assert 2.0 < res.sigma_level < 8.0
+        # The MPFP should involve *both* subsystems.
+        u_star = np.array(res.diagnostics["mpfp_u"][0])
+        assert np.max(np.abs(u_star[:6])) > 0.3
+        assert np.max(np.abs(u_star[6:])) > 0.3

@@ -1,0 +1,57 @@
+"""Table/series rendering tests."""
+
+from repro.experiments.tables import fmt, render_series, render_table
+
+
+class TestFmt:
+    def test_none_and_nan(self):
+        assert fmt(None) == "--"
+        assert fmt(float("nan")) == "--"
+
+    def test_tiny_floats_scientific(self):
+        assert "e" in fmt(3.2e-9)
+
+    def test_moderate_floats_compact(self):
+        assert fmt(3.25) == "3.25"
+
+    def test_bool_and_str_and_int(self):
+        assert fmt(True) == "yes"
+        assert fmt(False) == "no"
+        assert fmt("gis") == "gis"
+        assert fmt(42) == "42"
+
+
+class TestRenderTable:
+    def test_alignment_and_headers(self):
+        rows = [
+            {"method": "gis", "p": 1e-9},
+            {"method": "mc", "p": 2e-9},
+        ]
+        out = render_table(rows, ["method", "p"], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "method" in lines[1]
+        assert "-+-" in lines[2]
+        assert len(lines) == 5
+
+    def test_missing_keys_render_dashes(self):
+        out = render_table([{"a": 1}], ["a", "b"])
+        assert "--" in out
+
+    def test_custom_headers(self):
+        out = render_table([{"a": 1}], ["a"], headers=["Alpha"])
+        assert "Alpha" in out
+
+
+class TestRenderSeries:
+    def test_columns_per_curve(self):
+        out = render_series(
+            [1, 2], {"gis": [0.1, 0.2], "mc": [0.3, 0.4]}, x_label="n"
+        )
+        assert "gis" in out and "mc" in out
+        assert "0.4" in out
+
+    def test_short_series_padded(self):
+        out = render_series([1, 2, 3], {"gis": [0.1]}, x_label="n")
+        data_rows = out.splitlines()[2:]  # skip header and separator
+        assert sum("--" in row for row in data_rows) == 2

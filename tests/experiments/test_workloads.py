@@ -1,0 +1,106 @@
+"""Workload-definition tests (fast paths; calibration smoke-tested)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.workloads import (
+    analytic_grid_workloads,
+    calibrate_read_spec,
+    cell_variation_space,
+    make_disturb_limitstate,
+    make_read_limitstate,
+    make_write_limitstate,
+    surrogate_workload,
+)
+from repro.highsigma.sigma import pfail_to_sigma
+
+
+class TestAnalyticGrid:
+    def test_grid_size(self):
+        wl = analytic_grid_workloads(sigmas=(4.0,), dims=(6, 12))
+        assert len(wl) == 4  # linear + quadratic per dim
+
+    def test_exact_pfail_populated(self):
+        for w in analytic_grid_workloads(sigmas=(4.0,), dims=(6,)):
+            assert 0 < w.exact_pfail < 1e-3
+
+    def test_fresh_limit_state_per_make(self):
+        w = analytic_grid_workloads(sigmas=(4.0,), dims=(6,))[0]
+        ls1, ls2 = w.make(), w.make()
+        ls1.g(np.zeros(6))
+        assert ls2.n_evals == 0
+
+    def test_linear_workloads_at_exact_sigma(self):
+        w = [x for x in analytic_grid_workloads(sigmas=(5.0,), dims=(6,))
+             if x.name.startswith("linear")][0]
+        assert float(pfail_to_sigma(w.exact_pfail)) == pytest.approx(5.0, abs=1e-9)
+
+
+class TestVariationSpace:
+    def test_six_vth_axes(self):
+        space = cell_variation_space()
+        assert space.dim == 6
+        assert all(a.kind == "vth" for a in space.axes)
+
+    def test_beta_doubles(self):
+        assert cell_variation_space(include_beta=True).dim == 12
+
+    def test_pass_gate_has_largest_sigma(self):
+        # Smallest area (after the pull-up) -> among the largest sigmas;
+        # check pg sigma exceeds pd sigma (pd is wider).
+        space = cell_variation_space()
+        sig = dict(zip(space.labels, space.sigma_vector()))
+        assert sig["m_pg_l.vth"] > sig["m_pd_l.vth"]
+
+
+class TestSramLimitStates:
+    def test_read_limitstate_nominal_passes(self):
+        ls = make_read_limitstate(spec=60e-12, n_steps=250)
+        assert ls.g(np.zeros(6)) > 0
+
+    def test_read_limitstate_fails_at_weak_passgate(self):
+        ls = make_read_limitstate(spec=45e-12, n_steps=250)
+        u = np.zeros(6)
+        u[2] = 4.0
+        assert ls.fails(u)
+
+    def test_batch_matches_scalar(self):
+        ls = make_read_limitstate(spec=50e-12, n_steps=250)
+        rng = np.random.default_rng(0)
+        ub = rng.normal(size=(4, 6))
+        batch = ls.g_batch(ub)
+        scalar = np.array([ls.g(u) for u in ub])
+        np.testing.assert_allclose(batch, scalar, rtol=1e-9)
+
+    def test_write_limitstate_nominal_passes(self):
+        ls = make_write_limitstate(spec=80e-12, n_steps=250)
+        assert ls.g(np.zeros(6)) > 0
+
+    def test_disturb_limitstate_nominal_passes(self):
+        ls = make_disturb_limitstate(spec=0.5, n_steps=250)
+        assert ls.g(np.zeros(6)) > 0
+
+    def test_beta_axes_supported(self):
+        ls = make_read_limitstate(spec=50e-12, n_steps=250, include_beta=True)
+        assert ls.dim == 12
+        assert np.isfinite(ls.g(np.zeros(12)))
+
+
+class TestCalibration:
+    def test_read_spec_placement(self):
+        # Calibrate at 3.5 sigma and verify with a fresh MPFP search.
+        from repro.highsigma.mpfp import MpfpSearch
+
+        spec = calibrate_read_spec(sigma_target=3.5, n_steps=250)
+        ls = make_read_limitstate(spec, n_steps=250)
+        res = MpfpSearch(ls).run()
+        assert res.beta == pytest.approx(3.5, abs=0.35)
+
+
+class TestSurrogate:
+    def test_placed_at_requested_sigma(self):
+        w = surrogate_workload(sigma_target=4.0)
+        assert float(pfail_to_sigma(w.exact_pfail)) == pytest.approx(4.0, abs=0.05)
+
+    def test_dimension_parameter(self):
+        assert surrogate_workload(4.0, dim=12).dim == 12

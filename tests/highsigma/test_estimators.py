@@ -1,0 +1,200 @@
+"""Importance-sampling math tests: densities, weights, ESS, the shared core."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats
+
+from repro.errors import EstimationError
+from repro.highsigma.analytic import LinearLimitState
+from repro.highsigma.estimators import (
+    DefensiveMixture,
+    GaussianProposal,
+    MeanShiftISCore,
+    effective_sample_size,
+    is_estimate,
+    log_std_normal_pdf,
+)
+
+
+class TestLogStdNormal:
+    def test_matches_scipy(self):
+        rng = np.random.default_rng(0)
+        u = rng.normal(size=(20, 3))
+        expected = stats.multivariate_normal(np.zeros(3), np.eye(3)).logpdf(u)
+        np.testing.assert_allclose(log_std_normal_pdf(u), expected, rtol=1e-10)
+
+    def test_single_row(self):
+        out = log_std_normal_pdf(np.zeros(4))
+        assert out.shape == (1,)
+
+
+class TestGaussianProposal:
+    def test_logpdf_matches_scipy_full_cov(self):
+        rng = np.random.default_rng(1)
+        mean = np.array([1.0, -2.0])
+        a = rng.normal(size=(2, 2))
+        cov = a @ a.T + np.eye(2)
+        gp = GaussianProposal(mean, cov)
+        u = rng.normal(size=(10, 2))
+        expected = stats.multivariate_normal(mean, cov).logpdf(u)
+        np.testing.assert_allclose(gp.logpdf(u), expected, rtol=1e-9)
+
+    def test_scalar_and_diag_cov(self):
+        mean = np.zeros(3)
+        iso = GaussianProposal(mean, 2.0)
+        diag = GaussianProposal(mean, np.array([2.0, 2.0, 2.0]))
+        u = np.ones((1, 3))
+        np.testing.assert_allclose(iso.logpdf(u), diag.logpdf(u))
+
+    def test_sample_moments(self):
+        mean = np.array([3.0, -1.0])
+        gp = GaussianProposal(mean, 0.5)
+        x = gp.sample(40000, np.random.default_rng(2))
+        np.testing.assert_allclose(x.mean(axis=0), mean, atol=0.02)
+        np.testing.assert_allclose(x.var(axis=0), 0.5, atol=0.03)
+
+    def test_non_psd_rejected(self):
+        with pytest.raises(EstimationError):
+            GaussianProposal(np.zeros(2), np.array([[1.0, 2.0], [2.0, 1.0]]))
+
+    def test_dim_mismatch_rejected(self):
+        with pytest.raises(EstimationError):
+            GaussianProposal(np.zeros(2), np.ones(3))
+
+
+class TestDefensiveMixture:
+    def make(self, alpha=0.2):
+        return DefensiveMixture([GaussianProposal(np.array([4.0, 0.0]), 1.0)], alpha=alpha)
+
+    def test_weight_bound(self):
+        # phi/q <= 1/alpha everywhere — the defensive guarantee.
+        mix = self.make(alpha=0.2)
+        rng = np.random.default_rng(3)
+        u = rng.normal(size=(2000, 2)) * 3
+        log_w = mix.log_weights(u)
+        assert np.all(log_w <= np.log(1 / 0.2) + 1e-9)
+
+    def test_logpdf_is_mixture(self):
+        mix = self.make(alpha=0.3)
+        u = np.array([[1.0, 1.0]])
+        expected = np.log(
+            0.3 * np.exp(log_std_normal_pdf(u))
+            + 0.7 * np.exp(mix.components[0].logpdf(u))
+        )
+        np.testing.assert_allclose(mix.logpdf(u), expected, rtol=1e-9)
+
+    def test_sampling_proportions(self):
+        mix = self.make(alpha=0.5)
+        x = mix.sample(20000, np.random.default_rng(4))
+        # Half the samples should be near the origin, half near (4, 0).
+        near_shift = (x[:, 0] > 2.0).mean()
+        assert near_shift == pytest.approx(0.5, abs=0.05)
+
+    def test_alpha_validation(self):
+        with pytest.raises(EstimationError):
+            self.make(alpha=1.0)
+
+    def test_empty_components_rejected(self):
+        with pytest.raises(EstimationError):
+            DefensiveMixture([], alpha=0.1)
+
+    def test_multi_component_weights(self):
+        comps = [
+            GaussianProposal(np.array([3.0, 0.0]), 1.0),
+            GaussianProposal(np.array([0.0, 3.0]), 1.0),
+        ]
+        mix = DefensiveMixture(comps, alpha=0.1, weights=[3.0, 1.0])
+        np.testing.assert_allclose(mix.weights, [0.675, 0.225])
+
+
+class TestIsEstimate:
+    def test_exact_on_known_weights(self):
+        log_w = np.log(np.array([0.5, 2.0, 1.0, 0.25]))
+        fails = np.array([True, True, False, False])
+        p, se = is_estimate(log_w, fails)
+        assert p == pytest.approx((0.5 + 2.0) / 4)
+        assert se > 0
+
+    def test_no_failures_gives_zero(self):
+        p, se = is_estimate(np.zeros(10), np.zeros(10, dtype=bool))
+        assert p == 0.0
+        assert se == 0.0
+
+    def test_all_weight_one_recovers_mc(self):
+        rng = np.random.default_rng(5)
+        fails = rng.random(10000) < 0.3
+        p, se = is_estimate(np.zeros(fails.size), fails)
+        assert p == pytest.approx(0.3, abs=0.02)
+        assert se == pytest.approx(np.sqrt(0.3 * 0.7 / 10000), rel=0.1)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(EstimationError):
+            is_estimate(np.zeros(3), np.zeros(4, dtype=bool))
+
+    def test_empty_rejected(self):
+        with pytest.raises(EstimationError):
+            is_estimate(np.array([]), np.array([], dtype=bool))
+
+
+class TestEss:
+    def test_uniform_weights_full_ess(self):
+        fails = np.ones(100, dtype=bool)
+        assert effective_sample_size(np.zeros(100), fails) == pytest.approx(100.0)
+
+    def test_single_dominant_weight(self):
+        log_w = np.array([0.0, -50.0, -50.0])
+        fails = np.ones(3, dtype=bool)
+        assert effective_sample_size(log_w, fails) == pytest.approx(1.0, rel=1e-6)
+
+    def test_zero_when_no_failures(self):
+        assert effective_sample_size(np.zeros(5), np.zeros(5, dtype=bool)) == 0.0
+
+    @given(st.lists(st.floats(min_value=-5, max_value=5), min_size=1, max_size=50))
+    @settings(max_examples=40)
+    def test_bounds(self, log_w_list):
+        log_w = np.array(log_w_list)
+        fails = np.ones(log_w.size, dtype=bool)
+        ess = effective_sample_size(log_w, fails)
+        assert 1.0 - 1e-9 <= ess <= log_w.size + 1e-9
+
+
+class TestMeanShiftISCore:
+    def test_unbiased_on_linear_case(self):
+        # Mean-shift IS at the exact MPFP of a hyperplane: the estimate
+        # must match the closed form tightly.
+        ls = LinearLimitState(beta=4.0, dim=5)
+        shift = 4.0 * ls.a
+        core = MeanShiftISCore(ls, shifts=[shift], n_max=6000, target_rel_err=0.03)
+        res = core.run(np.random.default_rng(6), method="test")
+        assert res.p_fail == pytest.approx(ls.exact_pfail(), rel=0.1)
+        assert res.converged
+
+    def test_stops_at_target_rel_err(self):
+        ls = LinearLimitState(beta=3.0, dim=4)
+        core = MeanShiftISCore(ls, shifts=[3.0 * ls.a], n_max=50000, target_rel_err=0.1)
+        res = core.run(np.random.default_rng(7), method="test")
+        assert res.converged
+        assert res.n_evals < 50000
+        assert res.rel_err <= 0.1
+
+    def test_budget_limited_flagged(self):
+        ls = LinearLimitState(beta=4.0, dim=4)
+        core = MeanShiftISCore(ls, shifts=[4.0 * ls.a], n_max=256, target_rel_err=0.001)
+        res = core.run(np.random.default_rng(8), method="test")
+        assert not res.converged
+        assert res.n_evals == 256
+
+    def test_extra_evals_folded_in(self):
+        ls = LinearLimitState(beta=3.0, dim=4)
+        core = MeanShiftISCore(ls, shifts=[3.0 * ls.a], n_max=512, target_rel_err=None)
+        res = core.run(np.random.default_rng(9), method="test", extra_evals=123)
+        assert res.n_evals == 512 + 123
+
+    def test_diagnostics_passthrough(self):
+        ls = LinearLimitState(beta=3.0, dim=4)
+        core = MeanShiftISCore(ls, shifts=[3.0 * ls.a], n_max=256, target_rel_err=None)
+        res = core.run(np.random.default_rng(10), method="test", diagnostics={"tag": 1})
+        assert res.diagnostics["tag"] == 1
+        assert res.diagnostics["n_components"] == 1

@@ -1,0 +1,95 @@
+"""FORM/SORM tests against geometries with known answers."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.errors import EstimationError
+from repro.highsigma.analytic import LinearLimitState, QuadraticLimitState
+from repro.highsigma.form import form_estimate, sorm_estimate, tangent_hessian_curvatures
+from repro.highsigma.limitstate import LimitState
+from repro.highsigma.mpfp import MpfpSearch
+
+
+class TestForm:
+    def test_exact_on_hyperplane(self):
+        ls = LinearLimitState(beta=4.5, dim=6)
+        res = form_estimate(ls)
+        assert res.p_fail == pytest.approx(ls.exact_pfail(), rel=1e-3)
+        assert res.method == "form"
+
+    def test_reuses_precomputed_mpfp(self):
+        ls = LinearLimitState(beta=4.0, dim=5)
+        mpfp = MpfpSearch(ls).run()
+        evals = ls.n_evals
+        res = form_estimate(ls, mpfp=mpfp)
+        assert ls.n_evals == evals  # no extra simulations
+        assert res.diagnostics["beta"] == pytest.approx(4.0, abs=0.02)
+
+    def test_biased_on_curved_boundary(self):
+        ls = QuadraticLimitState(beta=5.0, dim=10, kappa=0.2)
+        res = form_estimate(ls)
+        # FORM ignores curvature: overestimates for kappa > 0.
+        assert res.p_fail > 3 * ls.exact_pfail()
+
+    def test_meaningless_without_boundary(self):
+        ls = LimitState(fn=lambda u: 0.0, spec=1.0, dim=3, direction="upper",
+                        cache=False)
+        with pytest.raises(EstimationError):
+            form_estimate(ls)
+
+
+class TestCurvatures:
+    def test_quadratic_curvatures_recovered(self):
+        kappa = 0.15
+        ls = QuadraticLimitState(beta=5.0, dim=8, kappa=kappa)
+        mpfp = MpfpSearch(ls).run()
+        curv = tangent_hessian_curvatures(ls, mpfp.u_star)
+        np.testing.assert_allclose(curv, kappa, atol=0.02)
+
+    def test_flat_boundary_zero_curvature(self):
+        ls = LinearLimitState(beta=4.0, dim=5)
+        mpfp = MpfpSearch(ls).run()
+        curv = tangent_hessian_curvatures(ls, mpfp.u_star)
+        np.testing.assert_allclose(curv, 0.0, atol=1e-6)
+
+    def test_origin_mpfp_rejected(self):
+        ls = LinearLimitState(beta=4.0, dim=5)
+        with pytest.raises(EstimationError):
+            tangent_hessian_curvatures(ls, np.zeros(5))
+
+
+class TestSorm:
+    def test_corrects_curvature_bias(self):
+        ls = QuadraticLimitState(beta=5.0, dim=12, kappa=0.15)
+        exact = ls.exact_pfail()
+        ls_f = QuadraticLimitState(beta=5.0, dim=12, kappa=0.15)
+        form = form_estimate(ls_f)
+        ls_s = QuadraticLimitState(beta=5.0, dim=12, kappa=0.15)
+        sorm = sorm_estimate(ls_s)
+        err_form = abs(np.log10(form.p_fail / exact))
+        err_sorm = abs(np.log10(sorm.p_fail / exact))
+        assert err_sorm < err_form / 3
+
+    def test_matches_breitung_closed_form(self):
+        beta, kappa, dim = 5.0, 0.15, 12
+        ls = QuadraticLimitState(beta=beta, dim=dim, kappa=kappa)
+        sorm = sorm_estimate(ls)
+        breitung = stats.norm.sf(beta) / (1 + beta * kappa) ** ((dim - 1) / 2)
+        assert sorm.p_fail == pytest.approx(breitung, rel=0.05)
+
+    def test_negative_curvature_raises_probability(self):
+        ls_neg = QuadraticLimitState(beta=4.0, dim=6, kappa=-0.05)
+        sorm = sorm_estimate(ls_neg)
+        assert sorm.p_fail > stats.norm.sf(4.0)
+
+    def test_reduces_to_form_on_hyperplane(self):
+        ls = LinearLimitState(beta=4.0, dim=5)
+        sorm = sorm_estimate(ls)
+        assert sorm.p_fail == pytest.approx(stats.norm.sf(4.0), rel=1e-3)
+
+    def test_cost_scales_quadratically_not_exponentially(self):
+        ls = QuadraticLimitState(beta=4.0, dim=10, kappa=0.1)
+        res = sorm_estimate(ls)
+        # Search + normal derivative + tangent Hessian stencil.
+        assert res.n_evals < 600

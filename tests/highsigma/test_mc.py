@@ -1,0 +1,90 @@
+"""Plain Monte Carlo estimator tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EstimationError
+from repro.highsigma.analytic import LinearLimitState
+from repro.highsigma.mc import MonteCarloEstimator, wilson_interval
+
+
+class TestWilson:
+    def test_contains_point_estimate(self):
+        lo, hi = wilson_interval(5, 100)
+        assert lo < 0.05 < hi
+
+    def test_zero_failures_still_informative(self):
+        lo, hi = wilson_interval(0, 1000)
+        assert lo == 0.0
+        assert 0 < hi < 0.01
+
+    def test_all_failures(self):
+        # Wilson pulls both ends away from the degenerate 1.0 estimate —
+        # the upper end stays below 1 (unlike the Wald interval).
+        lo, hi = wilson_interval(100, 100)
+        assert 0.95 < hi <= 1.0
+        assert lo > 0.9
+
+    def test_invalid_inputs(self):
+        with pytest.raises(EstimationError):
+            wilson_interval(1, 0)
+        with pytest.raises(EstimationError):
+            wilson_interval(5, 3)
+
+    @given(st.integers(min_value=0, max_value=100), st.integers(min_value=100, max_value=10000))
+    @settings(max_examples=40)
+    def test_interval_ordering_and_bounds(self, k, n):
+        lo, hi = wilson_interval(k, n)
+        assert 0.0 <= lo <= hi <= 1.0
+
+    def test_narrows_with_n(self):
+        lo1, hi1 = wilson_interval(10, 100)
+        lo2, hi2 = wilson_interval(100, 1000)
+        assert (hi2 - lo2) < (hi1 - lo1)
+
+
+class TestMonteCarloEstimator:
+    def test_accuracy_at_low_sigma(self):
+        ls = LinearLimitState(beta=2.0, dim=4)
+        mc = MonteCarloEstimator(ls, n_max=150000, target_rel_err=0.05)
+        res = mc.run(np.random.default_rng(0))
+        assert res.p_fail == pytest.approx(ls.exact_pfail(), rel=0.15)
+
+    def test_early_stop_saves_budget(self):
+        ls = LinearLimitState(beta=1.0, dim=3)  # p ~ 0.16, easy
+        mc = MonteCarloEstimator(ls, n_max=1_000_000, target_rel_err=0.1)
+        res = mc.run(np.random.default_rng(1))
+        assert res.converged
+        assert res.n_evals < 10000
+
+    def test_budget_exhaustion_flagged(self):
+        ls = LinearLimitState(beta=5.0, dim=3)  # invisible to 10k samples
+        mc = MonteCarloEstimator(ls, n_max=10000, target_rel_err=0.1)
+        res = mc.run(np.random.default_rng(2))
+        assert not res.converged
+        assert res.n_failures == 0
+        assert res.p_fail == 0.0
+
+    def test_diagnostics_carry_wilson(self):
+        ls = LinearLimitState(beta=1.5, dim=2)
+        res = MonteCarloEstimator(ls, n_max=20000).run(np.random.default_rng(3))
+        lo, hi = res.diagnostics["wilson_ci"]
+        assert lo <= res.p_fail <= hi
+
+    def test_required_samples_formula(self):
+        n = MonteCarloEstimator.required_samples(1e-9, rel_err=0.1)
+        assert n == pytest.approx(1e11, rel=0.01)
+        with pytest.raises(EstimationError):
+            MonteCarloEstimator.required_samples(0.0)
+
+    def test_deterministic_given_seed(self):
+        ls = LinearLimitState(beta=2.0, dim=3)
+        r1 = MonteCarloEstimator(ls, n_max=5000, target_rel_err=None).run(
+            np.random.default_rng(42)
+        )
+        r2 = MonteCarloEstimator(ls, n_max=5000, target_rel_err=None).run(
+            np.random.default_rng(42)
+        )
+        assert r1.p_fail == r2.p_fail

@@ -1,0 +1,117 @@
+"""Gradient MPFP search tests on geometries with known design points."""
+
+import numpy as np
+import pytest
+
+from repro.highsigma.analytic import (
+    HypersphereLimitState,
+    LinearLimitState,
+    QuadraticLimitState,
+    UnionLimitState,
+)
+from repro.highsigma.mpfp import MpfpOptions, MpfpSearch
+
+
+class TestLinearGeometry:
+    def test_finds_exact_design_point(self):
+        ls = LinearLimitState(beta=4.0, dim=6)
+        res = MpfpSearch(ls).run()
+        assert res.converged
+        assert res.beta == pytest.approx(4.0, abs=0.02)
+        np.testing.assert_allclose(res.u_star, 4.0 * ls.a, atol=0.05)
+
+    def test_exact_gradient_converges_faster(self):
+        ls_fd = LinearLimitState(beta=4.0, dim=10)
+        fd = MpfpSearch(ls_fd).run()
+        ls_ex = LinearLimitState(beta=4.0, dim=10)
+        exact = MpfpSearch(ls_ex, grad_fn=ls_ex.gradient).run()
+        assert exact.converged and fd.converged
+        assert exact.n_evals < fd.n_evals
+
+    def test_arbitrary_direction(self):
+        direction = np.array([1.0, 2.0, -1.0, 0.5])
+        ls = LinearLimitState(beta=3.5, dim=4, direction=direction)
+        res = MpfpSearch(ls).run()
+        assert res.beta == pytest.approx(3.5, abs=0.02)
+        cos = res.u_star @ ls.a / res.beta
+        assert cos == pytest.approx(1.0, abs=1e-3)
+
+    def test_eval_count_includes_gradient_cost(self):
+        ls = LinearLimitState(beta=4.0, dim=6)
+        res = MpfpSearch(ls).run()
+        assert res.n_evals == ls.n_evals
+        # At least one central gradient (2d) plus line-search points.
+        assert res.n_evals >= 2 * 6
+
+
+class TestCurvedGeometry:
+    def test_quadratic_design_point_on_axis(self):
+        # For g = beta + k/2 ||u_perp||^2 - u1, the MPFP is exactly
+        # (beta, 0, ..., 0) since any perpendicular excursion only hurts.
+        ls = QuadraticLimitState(beta=4.5, dim=8, kappa=0.2)
+        res = MpfpSearch(ls).run()
+        assert res.converged
+        assert res.beta == pytest.approx(4.5, abs=0.05)
+        np.testing.assert_allclose(res.u_star[1:], 0.0, atol=0.1)
+
+    def test_sphere_radius_found(self):
+        ls = HypersphereLimitState(radius=4.0, dim=5)
+        # The sphere is a degenerate case (every direction is an MPFP);
+        # a perturbed start breaks the symmetry.
+        rng = np.random.default_rng(3)
+        u0 = rng.standard_normal(5) * 0.1
+        res = MpfpSearch(ls).run(u0=u0, rng=rng)
+        assert res.beta == pytest.approx(4.0, abs=0.05)
+
+    def test_union_finds_nearest_region_from_biased_start(self):
+        ls = UnionLimitState([3.0, 5.0], dim=4)
+        res = MpfpSearch(ls).run(u0=np.array([0.5, 0.0, 0.0, 0.0]))
+        # Started toward the beta=3 region: must find it, not the 5 one.
+        assert res.beta == pytest.approx(3.0, abs=0.05)
+
+
+class TestOptionsAndModes:
+    def test_spsa_mode_reaches_neighbourhood(self):
+        ls = LinearLimitState(beta=4.0, dim=6)
+        opts = MpfpOptions(grad_mode="spsa", spsa_repeats=16, max_iterations=80,
+                           tol_align=0.05)
+        res = MpfpSearch(ls, options=opts).run(rng=np.random.default_rng(0))
+        # SPSA is noisy; accept a looser neighbourhood of the answer and
+        # require the returned point to actually be near the boundary.
+        assert res.beta == pytest.approx(4.0, abs=0.6)
+        assert abs(res.g_value) < 0.5
+
+    def test_forward_mode_works(self):
+        ls = LinearLimitState(beta=3.0, dim=5)
+        opts = MpfpOptions(grad_mode="forward")
+        res = MpfpSearch(ls, options=opts).run()
+        assert res.beta == pytest.approx(3.0, abs=0.05)
+
+    def test_unknown_mode_raises(self):
+        from repro.errors import SearchError
+
+        ls = LinearLimitState(beta=3.0, dim=2)
+        opts = MpfpOptions(grad_mode="newton")
+        with pytest.raises(SearchError):
+            MpfpSearch(ls, options=opts).run()
+
+    def test_iteration_cap_returns_unconverged(self):
+        ls = QuadraticLimitState(beta=5.0, dim=10, kappa=0.3)
+        opts = MpfpOptions(max_iterations=2)
+        res = MpfpSearch(ls, options=opts).run()
+        assert not res.converged
+        assert res.iterations <= 3
+
+    def test_trajectory_recorded(self):
+        ls = LinearLimitState(beta=3.0, dim=3)
+        res = MpfpSearch(ls).run()
+        assert len(res.trajectory) == res.iterations + 1
+        u0, g0 = res.trajectory[0]
+        assert np.all(u0 == 0.0)
+        assert g0 > 0  # nominal design passes
+
+    def test_trajectory_norms_approach_beta(self):
+        ls = LinearLimitState(beta=4.0, dim=4)
+        res = MpfpSearch(ls).run()
+        norms = [np.linalg.norm(u) for u, _ in res.trajectory]
+        assert norms[-1] == pytest.approx(4.0, abs=0.05)

@@ -1,0 +1,69 @@
+"""Quasi-Monte Carlo sampling option tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.highsigma.analytic import LinearLimitState
+from repro.highsigma.estimators import DefensiveMixture, GaussianProposal, MeanShiftISCore
+
+
+def mixture(dim=4, shift=4.0, alpha=0.1):
+    mean = np.zeros(dim)
+    mean[0] = shift
+    return DefensiveMixture([GaussianProposal(mean, 1.0)], alpha=alpha)
+
+
+class TestSampleQmc:
+    def test_shape_and_finiteness(self):
+        mix = mixture()
+        u = mix.sample_qmc(333, np.random.default_rng(0))
+        assert u.shape == (333, 4)
+        assert np.all(np.isfinite(u))
+
+    def test_component_allocation_proportional(self):
+        mix = mixture(alpha=0.25)
+        u = mix.sample_qmc(1000, np.random.default_rng(1))
+        # Deterministic proportional allocation: ~250 defensive samples
+        # near the origin, ~750 near the shift.
+        near_shift = (u[:, 0] > 2.0).sum()
+        assert near_shift == pytest.approx(750, abs=30)
+
+    def test_qmc_moments_tighter_than_mc(self):
+        # The shifted component's sample mean from Sobol points should be
+        # closer to the true mean than random sampling at equal n.
+        mix = mixture(alpha=0.0 + 1e-9)  # effectively single component
+        rng = np.random.default_rng(2)
+        n = 256
+        err_qmc = abs(mix.sample_qmc(n, rng)[:, 0].mean() - 4.0)
+        errs_mc = [abs(mix.sample(n, np.random.default_rng(s))[:, 0].mean() - 4.0)
+                   for s in range(10)]
+        assert err_qmc < np.median(errs_mc)
+
+
+class TestCoreWithQmc:
+    def test_unbiased_on_linear_case(self):
+        ls = LinearLimitState(beta=4.0, dim=5)
+        core = MeanShiftISCore(ls, shifts=[4.0 * ls.a], n_max=4096,
+                               target_rel_err=None, sampler="qmc")
+        res = core.run(np.random.default_rng(3), method="qmc-test")
+        assert res.p_fail == pytest.approx(ls.exact_pfail(), rel=0.15)
+
+    def test_qmc_lower_run_to_run_spread(self):
+        ls_exact = LinearLimitState(beta=4.0, dim=5)
+        truth = ls_exact.exact_pfail()
+
+        def run(sampler, seed):
+            ls = LinearLimitState(beta=4.0, dim=5)
+            core = MeanShiftISCore(ls, shifts=[4.0 * ls.a], n_max=1024,
+                                   target_rel_err=None, sampler=sampler)
+            return core.run(np.random.default_rng(seed), method="x").p_fail
+
+        qmc = np.array([run("qmc", s) for s in range(8)])
+        mc = np.array([run("random", s) for s in range(8)])
+        assert np.std(qmc) < np.std(mc)
+
+    def test_unknown_sampler_rejected(self):
+        ls = LinearLimitState(beta=4.0, dim=3)
+        with pytest.raises(EstimationError):
+            MeanShiftISCore(ls, shifts=[4.0 * ls.a], sampler="halton")

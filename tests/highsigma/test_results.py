@@ -1,0 +1,62 @@
+"""EstimateResult record tests."""
+
+import numpy as np
+import pytest
+
+from repro.highsigma.results import EstimateResult
+
+
+def make(p=1e-6, se=1e-7, **kw):
+    defaults = dict(p_fail=p, std_err=se, n_evals=1000, n_failures=50,
+                    method="test")
+    defaults.update(kw)
+    return EstimateResult(**defaults)
+
+
+class TestDerivedQuantities:
+    def test_sigma_level(self):
+        from scipy import stats
+
+        r = make(p=stats.norm.sf(4.5))
+        assert r.sigma_level == pytest.approx(4.5, abs=1e-9)
+
+    def test_rel_err(self):
+        r = make(p=1e-6, se=2e-7)
+        assert r.rel_err == pytest.approx(0.2)
+
+    def test_rel_err_of_zero_estimate(self):
+        r = make(p=0.0, se=0.0)
+        assert r.rel_err == float("inf")
+
+    def test_ci_clipped_to_unit_interval(self):
+        r = make(p=1e-8, se=1e-7)
+        lo, hi = r.ci()
+        assert lo == 0.0
+        assert hi > 0
+
+    def test_ci_width_scales_with_z(self):
+        r = make()
+        lo1, hi1 = r.ci(z=1.0)
+        lo2, hi2 = r.ci(z=2.0)
+        assert (hi2 - lo2) > (hi1 - lo1)
+
+    def test_log10(self):
+        assert make(p=1e-6).log10_p() == pytest.approx(-6.0)
+        assert make(p=0.0).log10_p() == float("-inf")
+
+
+class TestSummary:
+    def test_contains_key_fields(self):
+        text = make().summary()
+        assert "test" in text
+        assert "p_fail" in text
+        assert "converged" in text
+
+    def test_budget_limited_marker(self):
+        text = make(converged=False).summary()
+        assert "budget-limited" in text
+
+    def test_diagnostics_default_dict(self):
+        r = make()
+        r.diagnostics["x"] = 1  # must be a fresh mutable dict per instance
+        assert make().diagnostics == {}

@@ -1,0 +1,79 @@
+"""Sigma/yield conversion tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.highsigma.sigma import (
+    array_yield,
+    cells_per_failure,
+    pfail_to_sigma,
+    sigma_to_pfail,
+)
+
+
+class TestConversions:
+    def test_known_anchors(self):
+        assert sigma_to_pfail(3.0) == pytest.approx(1.3499e-3, rel=1e-3)
+        assert sigma_to_pfail(6.0) == pytest.approx(9.866e-10, rel=1e-3)
+        assert pfail_to_sigma(0.5) == pytest.approx(0.0, abs=1e-12)
+
+    @given(st.floats(min_value=0.0, max_value=8.0))
+    @settings(max_examples=50)
+    def test_roundtrip(self, sigma):
+        assert float(pfail_to_sigma(sigma_to_pfail(sigma))) == pytest.approx(
+            sigma, abs=1e-9
+        )
+
+    def test_precision_at_high_sigma(self):
+        # sf/isf pairing must not lose precision at 7+ sigma.
+        assert float(pfail_to_sigma(sigma_to_pfail(7.5))) == pytest.approx(7.5, abs=1e-9)
+
+    def test_vectorised(self):
+        sigmas = np.array([3.0, 4.0, 5.0])
+        p = sigma_to_pfail(sigmas)
+        assert p.shape == (3,)
+        assert np.all(np.diff(p) < 0)
+
+    def test_out_of_range_pfail(self):
+        assert pfail_to_sigma(0.0) == np.inf
+        assert pfail_to_sigma(1.0) == -np.inf
+
+
+class TestArrayYield:
+    def test_perfect_cells(self):
+        assert array_yield(0.0, 1 << 20) == 1.0
+
+    def test_one_per_mb_budget(self):
+        # p = 1e-6 over 1 M cells -> about one bad cell expected;
+        # zero-repair yield is about exp(-1).
+        y = array_yield(1e-6, 1e6)
+        assert y == pytest.approx(np.exp(-1.0), rel=1e-3)
+
+    def test_repair_increases_yield(self):
+        p, n = 2e-6, 1e6
+        assert array_yield(p, n, n_repair=4) > array_yield(p, n, n_repair=0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            array_yield(-0.1, 100)
+        with pytest.raises(ValueError):
+            array_yield(0.5, 0)
+
+    @given(
+        st.floats(min_value=1e-12, max_value=1e-3),
+        st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=30)
+    def test_monotone_in_repair_budget(self, p, k):
+        n = 1e6
+        assert array_yield(p, n, k) >= array_yield(p, n, k - 1)
+
+
+class TestCellsPerFailure:
+    def test_reciprocal(self):
+        assert cells_per_failure(1e-9) == pytest.approx(1e9)
+
+    def test_zero_probability(self):
+        assert cells_per_failure(0.0) == np.inf

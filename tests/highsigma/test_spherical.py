@@ -1,0 +1,62 @@
+"""Spherical radius-search IS baseline tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SearchError
+from repro.highsigma.analytic import HypersphereLimitState, LinearLimitState
+from repro.highsigma.limitstate import LimitState
+from repro.highsigma.spherical import SphericalSearchIS
+
+
+class TestSearch:
+    def test_sphere_geometry_is_ideal_case(self):
+        # For a radially symmetric failure region every direction works,
+        # so the search lands on the boundary radius exactly.
+        ls = HypersphereLimitState(radius=3.0, dim=5)
+        sph = SphericalSearchIS(ls, n_directions=16)
+        centre, radius = sph.search_centre(np.random.default_rng(0))
+        assert radius == pytest.approx(3.0, abs=0.1)
+        assert np.linalg.norm(centre) == pytest.approx(radius)
+
+    def test_linear_case_overshoots_beta(self):
+        # For a hyperplane the first failing direction is almost never
+        # the exact MPFP direction: the found radius exceeds beta.
+        ls = LinearLimitState(beta=3.0, dim=8)
+        sph = SphericalSearchIS(ls, n_directions=32)
+        _centre, radius = sph.search_centre(np.random.default_rng(1))
+        assert radius >= 3.0 - 0.1
+
+    def test_escalation_widens_direction_set(self):
+        # Narrow failure cone in high dimension: 4 directions miss it,
+        # escalation must rescue the search.
+        ls = LinearLimitState(beta=3.0, dim=10)
+        sph = SphericalSearchIS(ls, n_directions=4, r_max=4.0, max_escalations=2)
+        _centre, radius = sph.search_centre(np.random.default_rng(2))
+        assert radius > 2.5
+
+    def test_gives_up_eventually(self):
+        ls = LimitState(fn=lambda u: 0.0, spec=1.0, dim=3, direction="upper",
+                        name="never-fails", cache=False)
+        sph = SphericalSearchIS(ls, n_directions=4, r_max=3.0, max_escalations=1)
+        with pytest.raises(SearchError):
+            sph.search_centre(np.random.default_rng(3))
+
+
+class TestEstimation:
+    def test_hypersphere_estimate(self):
+        ls = HypersphereLimitState(radius=3.5, dim=4)
+        sph = SphericalSearchIS(ls, n_max=8000, target_rel_err=0.1, alpha=0.3)
+        res = sph.run(np.random.default_rng(4))
+        # A single shifted Gaussian cannot cover a spherical shell well;
+        # the defensive component keeps it consistent if slow.  Within
+        # a factor of ~2 at this budget.
+        assert res.p_fail == pytest.approx(ls.exact_pfail(), rel=1.0)
+
+    def test_search_cost_billed(self):
+        ls = LinearLimitState(beta=3.0, dim=5)
+        sph = SphericalSearchIS(ls, n_max=512, target_rel_err=None)
+        res = sph.run(np.random.default_rng(5))
+        assert res.n_evals == ls.n_evals
+        assert res.diagnostics["search_evals"] > 0
+        assert res.diagnostics["centre_norm"] >= 2.5

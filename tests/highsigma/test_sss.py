@@ -1,0 +1,78 @@
+"""Scaled-sigma sampling tests: model fit recovery and estimation."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.errors import EstimationError
+from repro.highsigma.analytic import LinearLimitState, QuadraticLimitState
+from repro.highsigma.sss import ScaledSigmaSampling, fit_sss_model
+
+
+class TestModelFit:
+    def test_exact_recovery_of_synthetic_coefficients(self):
+        # Generate log p from the model itself; the weighted LS fit must
+        # recover the coefficients exactly (no noise).
+        a, b, c = -2.0, 1.5, 8.0
+        scales = np.array([1.5, 2.0, 2.5, 3.0, 4.0])
+        p = np.exp(a + b * np.log(scales) - c / scales**2)
+        coef = fit_sss_model(scales, p, counts=np.full(5, 100.0))
+        np.testing.assert_allclose(coef, [a, b, c], rtol=1e-8)
+
+    def test_linear_boundary_theory(self):
+        # For a hyperplane at distance beta, P(s) = Phi(-beta/s); the SSS
+        # model approximates its log well over a moderate scale range and
+        # the extrapolation lands within a factor ~2 of Phi(-beta).
+        beta = 4.0
+        scales = np.array([1.6, 2.0, 2.5, 3.2, 4.0])
+        p = stats.norm.sf(beta / scales)
+        coef = fit_sss_model(scales, p, counts=np.full(5, 1000.0))
+        p1 = np.exp(coef[0] - coef[2])
+        assert abs(np.log10(p1) - np.log10(stats.norm.sf(beta))) < 0.4
+
+    def test_too_few_scales_rejected(self):
+        with pytest.raises(EstimationError):
+            fit_sss_model(np.array([2.0, 3.0]), np.array([0.01, 0.1]), np.array([5, 5]))
+
+
+class TestEstimator:
+    def test_linear_four_sigma_order_of_magnitude(self):
+        ls = LinearLimitState(beta=4.0, dim=6)
+        sss = ScaledSigmaSampling(ls, n_per_scale=4000)
+        res = sss.run(np.random.default_rng(0))
+        # Extrapolation accuracy: within half a decade is a pass (this is
+        # the documented weakness vs the IS methods).
+        assert abs(np.log10(res.p_fail) - np.log10(ls.exact_pfail())) < 0.7
+
+    def test_counts_and_coefficients_reported(self):
+        ls = LinearLimitState(beta=4.0, dim=4)
+        res = ScaledSigmaSampling(ls, n_per_scale=2000).run(np.random.default_rng(1))
+        assert len(res.diagnostics["counts"]) == 5
+        assert len(res.diagnostics["coefficients"]) == 3
+        assert res.n_evals == 5 * 2000
+
+    def test_bootstrap_ci_present(self):
+        ls = LinearLimitState(beta=3.5, dim=4)
+        res = ScaledSigmaSampling(ls, n_per_scale=2000).run(np.random.default_rng(2))
+        lo, hi = res.diagnostics["log_p1_ci95"]
+        assert lo < np.log(res.p_fail) < hi
+
+    def test_fails_cleanly_when_no_failures(self):
+        # Strong positive curvature at high dimension: inflating sigma
+        # does not produce failures (the documented SSS blind spot).
+        ls = QuadraticLimitState(beta=5.0, dim=12, kappa=0.3)
+        sss = ScaledSigmaSampling(ls, n_per_scale=500)
+        with pytest.raises(EstimationError):
+            sss.run(np.random.default_rng(3))
+
+    def test_scale_validation(self):
+        ls = LinearLimitState(beta=3.0, dim=3)
+        with pytest.raises(EstimationError):
+            ScaledSigmaSampling(ls, scales=(0.9, 2.0, 3.0))
+
+    def test_deterministic_given_seed(self):
+        ls = LinearLimitState(beta=3.5, dim=4)
+        r1 = ScaledSigmaSampling(ls, n_per_scale=1000).run(np.random.default_rng(7))
+        ls.reset_counter()
+        r2 = ScaledSigmaSampling(ls, n_per_scale=1000).run(np.random.default_rng(7))
+        assert r1.p_fail == r2.p_fail

@@ -1,0 +1,55 @@
+"""VCVS / VCCS element tests."""
+
+import pytest
+
+from repro.spice.dcop import solve_dc
+from repro.spice.elements import Resistor, Vccs, Vcvs, VoltageSource
+from repro.spice.netlist import Circuit
+
+
+class TestVccs:
+    def test_transconductance(self):
+        c = Circuit()
+        c.add(VoltageSource("vc", "ctl", "0", 0.5))
+        # gm = 1 mS: 0.5 V control -> 0.5 mA out of 'out' into the element.
+        c.add(Vccs("g1", "out", "0", "ctl", "0", gm=1e-3))
+        c.add(Resistor("rl", "out", "0", 1e3))
+        op = solve_dc(c)
+        # Current leaves 'out' through the source, so the resistor pulls
+        # the node negative: v = -i * R.
+        assert op.v("out") == pytest.approx(-0.5, rel=1e-6)
+
+    def test_zero_control_zero_output(self):
+        c = Circuit()
+        c.add(VoltageSource("vc", "ctl", "0", 0.0))
+        c.add(Vccs("g1", "out", "0", "ctl", "0", gm=1e-3))
+        c.add(Resistor("rl", "out", "0", 1e3))
+        assert solve_dc(c).v("out") == pytest.approx(0.0, abs=1e-9)
+
+
+class TestVcvs:
+    def test_gain(self):
+        c = Circuit()
+        c.add(VoltageSource("vin", "in", "0", 0.25))
+        c.add(Vcvs("e1", "out", "0", "in", "0", gain=4.0))
+        c.add(Resistor("rl", "out", "0", 1e3))
+        assert solve_dc(c).v("out") == pytest.approx(1.0, rel=1e-9)
+
+    def test_differential_control(self):
+        c = Circuit()
+        c.add(VoltageSource("va", "a", "0", 0.8))
+        c.add(VoltageSource("vb", "b", "0", 0.3))
+        c.add(Vcvs("e1", "out", "0", "a", "b", gain=2.0))
+        c.add(Resistor("rl", "out", "0", 1e3))
+        assert solve_dc(c).v("out") == pytest.approx(1.0, rel=1e-9)
+
+    def test_drives_load_through_divider(self):
+        # VCVS output is stiff: a load divider sees the full source value.
+        c = Circuit()
+        c.add(VoltageSource("vin", "in", "0", 0.5))
+        c.add(Vcvs("e1", "x", "0", "in", "0", gain=2.0))
+        c.add(Resistor("r1", "x", "mid", 1e3))
+        c.add(Resistor("r2", "mid", "0", 1e3))
+        op = solve_dc(c)
+        assert op.v("x") == pytest.approx(1.0, rel=1e-9)
+        assert op.v("mid") == pytest.approx(0.5, rel=1e-9)

@@ -1,0 +1,102 @@
+"""Unit and property tests for the numeric helpers behind the device model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spice.mathutils import (
+    sigmoid,
+    smooth_abs,
+    smooth_abs_grad,
+    smooth_relu,
+    smooth_relu_grad,
+    softplus,
+    softplus_grad,
+)
+
+finite_floats = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False)
+
+
+class TestSoftplus:
+    def test_matches_naive_formula_in_safe_range(self):
+        x = np.linspace(-30, 30, 201)
+        np.testing.assert_allclose(softplus(x), np.log1p(np.exp(x)), rtol=1e-12)
+
+    def test_no_overflow_for_huge_arguments(self):
+        assert softplus(1e6) == pytest.approx(1e6)
+        assert softplus(-1e6) == 0.0
+
+    def test_positive_everywhere(self):
+        x = np.linspace(-100, 100, 101)
+        assert np.all(softplus(x) >= 0)
+
+    @given(finite_floats)
+    def test_finite_and_above_relu(self, x):
+        y = float(softplus(x))
+        assert np.isfinite(y)
+        assert y >= max(x, 0.0) - 1e-9
+
+    @given(st.floats(min_value=-50, max_value=50))
+    @settings(max_examples=50)
+    def test_gradient_matches_finite_difference(self, x):
+        h = 1e-6
+        fd = (softplus(x + h) - softplus(x - h)) / (2 * h)
+        assert float(softplus_grad(x)) == pytest.approx(float(fd), abs=1e-5)
+
+
+class TestSigmoid:
+    def test_range_and_symmetry(self):
+        x = np.linspace(-40, 40, 101)
+        s = sigmoid(x)
+        assert np.all((s >= 0) & (s <= 1))
+        np.testing.assert_allclose(s + sigmoid(-x), 1.0, atol=1e-12)
+
+    def test_extreme_arguments(self):
+        assert sigmoid(1e4) == 1.0
+        assert sigmoid(-1e4) == 0.0
+
+    def test_midpoint(self):
+        assert float(sigmoid(0.0)) == pytest.approx(0.5)
+
+
+class TestSmoothAbs:
+    def test_zero_at_origin(self):
+        assert float(smooth_abs(0.0)) == 0.0
+
+    def test_close_to_abs_away_from_origin(self):
+        x = np.array([-2.0, -0.5, 0.5, 2.0])
+        np.testing.assert_allclose(smooth_abs(x, eps=1e-3), np.abs(x), atol=1e-3)
+
+    @given(st.floats(min_value=-100, max_value=100))
+    @settings(max_examples=50)
+    def test_gradient_matches_finite_difference(self, x):
+        h = 1e-6
+        fd = (smooth_abs(x + h) - smooth_abs(x - h)) / (2 * h)
+        assert float(smooth_abs_grad(x)) == pytest.approx(float(fd), abs=1e-4)
+
+    @given(finite_floats)
+    def test_bounded_below_abs(self, x):
+        assert float(smooth_abs(x)) <= abs(x) + 1e-12
+
+
+class TestSmoothRelu:
+    def test_strictly_positive(self):
+        x = np.linspace(-10, 10, 101)
+        assert np.all(smooth_relu(x) > 0)
+
+    def test_approaches_relu(self):
+        x = np.array([-5.0, -1.0, 1.0, 5.0])
+        np.testing.assert_allclose(smooth_relu(x, eps=1e-4), np.maximum(x, 0), atol=1e-4)
+
+    @given(st.floats(min_value=-100, max_value=100))
+    @settings(max_examples=50)
+    def test_gradient_matches_finite_difference(self, x):
+        h = 1e-6
+        fd = (smooth_relu(x + h) - smooth_relu(x - h)) / (2 * h)
+        assert float(smooth_relu_grad(x)) == pytest.approx(float(fd), abs=1e-4)
+
+    def test_gradient_range(self):
+        x = np.linspace(-50, 50, 101)
+        g = smooth_relu_grad(x)
+        assert np.all((g >= 0) & (g <= 1))

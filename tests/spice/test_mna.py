@@ -1,0 +1,101 @@
+"""Direct tests of the MNA stamp context and system assembly."""
+
+import numpy as np
+import pytest
+
+from repro.spice import mna
+from repro.spice.elements import Resistor, VoltageSource
+from repro.spice.netlist import GROUND_INDEX, Circuit
+
+
+def simple_circuit():
+    c = Circuit("t")
+    c.add(VoltageSource("v1", "a", "0", 2.0))
+    c.add(Resistor("r1", "a", "b", 1e3))
+    c.add(Resistor("r2", "b", "0", 1e3))
+    mna.assign_branches(c)
+    return c
+
+
+class TestStampContext:
+    def test_ground_reads_zero(self):
+        ctx = mna.StampContext(np.array([1.0, 2.0]), num_nodes=2)
+        assert ctx.v(GROUND_INDEX) == 0.0
+        assert ctx.v(0) == 1.0
+
+    def test_ground_writes_ignored(self):
+        ctx = mna.StampContext(np.zeros(2), num_nodes=2)
+        ctx.add_kcl(GROUND_INDEX, 5.0)
+        ctx.add_jac(GROUND_INDEX, 0, 1.0)
+        ctx.add_jac(0, GROUND_INDEX, 1.0)
+        assert np.all(ctx.residual == 0)
+        assert np.all(ctx.jacobian == 0)
+
+    def test_branch_rows_offset(self):
+        x = np.array([0.0, 0.0, 0.5])  # 2 nodes + 1 branch
+        ctx = mna.StampContext(x, num_nodes=2)
+        assert ctx.branch_current(0) == 0.5
+        assert ctx.branch_row(0) == 2
+
+    def test_source_scaling(self):
+        from repro.spice.sources import dc
+
+        ctx = mna.StampContext(np.zeros(1), num_nodes=1, source_scale=0.5)
+        assert ctx.source_value(dc(2.0)) == 1.0
+
+    def test_time_none_uses_dc_value(self):
+        from repro.spice.sources import pulse
+
+        shape = pulse(0.0, 1.0, delay=0.0, rise=1e-12, width=1e-9)
+        ctx = mna.StampContext(np.zeros(1), num_nodes=1, time=None)
+        assert ctx.source_value(shape) == shape.dc_value()
+        ctx_t = mna.StampContext(np.zeros(1), num_nodes=1, time=0.5e-9)
+        assert ctx_t.source_value(shape) == 1.0
+
+
+class TestAssembly:
+    def test_system_size(self):
+        c = simple_circuit()
+        assert mna.system_size(c) == 3  # 2 nodes + 1 branch
+
+    def test_residual_zero_at_solution(self):
+        c = simple_circuit()
+        # Exact solution: a=2, b=1, i(v1) = -1 mA.
+        x = np.array([2.0, 1.0, -1e-3])
+        ctx = mna.assemble(c, x)
+        np.testing.assert_allclose(ctx.residual, 0.0, atol=1e-12)
+
+    def test_jacobian_matches_fd(self):
+        c = simple_circuit()
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=3)
+        ctx = mna.assemble(c, x)
+        h = 1e-7
+        for j in range(3):
+            xp = x.copy()
+            xp[j] += h
+            fd = (mna.assemble(c, xp).residual - ctx.residual) / h
+            np.testing.assert_allclose(ctx.jacobian[:, j], fd, atol=1e-5)
+
+    def test_gmin_adds_diagonal(self):
+        c = simple_circuit()
+        x = np.ones(3)
+        base = mna.assemble(c, x)
+        with_gmin = mna.assemble(c, x, gmin=1e-3)
+        np.testing.assert_allclose(
+            np.diag(with_gmin.jacobian)[:2] - np.diag(base.jacobian)[:2], 1e-3
+        )
+
+    def test_extra_stamps_invoked(self):
+        c = simple_circuit()
+        hits = []
+        mna.assemble(c, np.zeros(3), extra_stamps=[lambda ctx: hits.append(1)])
+        assert hits == [1]
+
+    def test_assign_branches_indices(self):
+        c = Circuit()
+        c.add(VoltageSource("v1", "a", "0", 1.0))
+        c.add(Resistor("r", "a", "b", 1.0))
+        c.add(VoltageSource("v2", "b", "0", 1.0))
+        mapping = mna.assign_branches(c)
+        assert mapping == {"v1": 0, "v2": 1}

@@ -1,0 +1,190 @@
+"""Physics and consistency tests for the EKV-flavoured MOSFET model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spice.mosfet import THERMAL_VOLTAGE, MosfetModel, nmos_45nm, pmos_45nm
+
+W, L = 120e-9, 50e-9
+volts = st.floats(min_value=-1.2, max_value=1.2, allow_nan=False)
+
+
+class TestNmosBasics:
+    def setup_method(self):
+        self.m = nmos_45nm()
+
+    def test_off_current_small(self):
+        ids, *_ = self.m.ids(vg=0.0, vd=1.0, vs=0.0, w=W, l=L)
+        assert 0 < ids < 1e-7
+
+    def test_on_current_realistic(self):
+        ids, *_ = self.m.ids(vg=1.0, vd=1.0, vs=0.0, w=W, l=L)
+        # Tens of microamps for a 120nm-wide device at VDD = 1 V.
+        assert 5e-6 < ids < 5e-4
+
+    def test_on_off_ratio(self):
+        on, *_ = self.m.ids(vg=1.0, vd=1.0, vs=0.0, w=W, l=L)
+        off, *_ = self.m.ids(vg=0.0, vd=1.0, vs=0.0, w=W, l=L)
+        assert on / off > 1e4
+
+    def test_zero_vds_zero_current(self):
+        ids, *_ = self.m.ids(vg=1.0, vd=0.4, vs=0.4, w=W, l=L)
+        assert ids == pytest.approx(0.0, abs=1e-15)
+
+    def test_current_increases_with_vgs(self):
+        currents = [
+            float(self.m.ids(vg=v, vd=1.0, vs=0.0, w=W, l=L)[0])
+            for v in np.linspace(0.2, 1.0, 9)
+        ]
+        assert all(b > a for a, b in zip(currents, currents[1:]))
+
+    def test_current_increases_with_vds(self):
+        currents = [
+            float(self.m.ids(vg=1.0, vd=v, vs=0.0, w=W, l=L)[0])
+            for v in np.linspace(0.05, 1.0, 9)
+        ]
+        assert all(b > a for a, b in zip(currents, currents[1:]))
+
+    def test_subthreshold_slope_physical(self):
+        # Slope should be n * UT * ln(10) per decade: 80-110 mV/dec.
+        i1, *_ = self.m.ids(vg=0.20, vd=1.0, vs=0.0, w=W, l=L)
+        i2, *_ = self.m.ids(vg=0.30, vd=1.0, vs=0.0, w=W, l=L)
+        decades = np.log10(i2 / i1)
+        slope = 0.1 / decades
+        assert 0.070 < slope < 0.120
+
+    def test_source_drain_symmetry(self):
+        # Swapping source and drain must exactly negate the current.
+        fwd, *_ = self.m.ids(vg=1.0, vd=0.7, vs=0.2, vb=0.0, w=W, l=L)
+        rev, *_ = self.m.ids(vg=1.0, vd=0.2, vs=0.7, vb=0.0, w=W, l=L)
+        assert fwd == pytest.approx(-rev, rel=1e-9)
+
+    def test_body_effect_raises_threshold(self):
+        # Same vgs/vds but raised source-bulk potential -> less current.
+        low, *_ = self.m.ids(vg=0.8, vd=1.0, vs=0.0, vb=0.0, w=W, l=L)
+        high, *_ = self.m.ids(vg=1.1, vd=1.3, vs=0.3, vb=0.0, w=W, l=L)
+        assert high < low
+
+
+class TestPmos:
+    def setup_method(self):
+        self.m = pmos_45nm()
+
+    def test_off_when_gate_high(self):
+        ids, *_ = self.m.ids(vg=1.0, vd=0.0, vs=1.0, vb=1.0, w=W, l=L)
+        assert abs(ids) < 1e-7
+
+    def test_on_current_negative_into_drain(self):
+        # PMOS pulling its drain up: conventional current flows out of the
+        # drain terminal, i.e. ids (into drain) is negative.
+        ids, *_ = self.m.ids(vg=0.0, vd=0.0, vs=1.0, vb=1.0, w=W, l=L)
+        assert ids < -1e-6
+
+    def test_weaker_than_nmos(self):
+        n = nmos_45nm()
+        i_n, *_ = n.ids(vg=1.0, vd=1.0, vs=0.0, w=W, l=L)
+        i_p, *_ = self.m.ids(vg=0.0, vd=0.0, vs=1.0, vb=1.0, w=W, l=L)
+        assert abs(i_n) > abs(i_p)
+
+
+class TestDerivatives:
+    @pytest.mark.parametrize("model_fn", [nmos_45nm, pmos_45nm])
+    @pytest.mark.parametrize(
+        "vg,vd,vs,vb",
+        [
+            (0.9, 0.8, 0.0, 0.0),
+            (0.5, 0.1, 0.0, 0.0),
+            (0.2, 1.0, 0.0, 0.0),
+            (1.0, 0.5, 0.3, 0.0),
+            (0.0, 0.9, 1.0, 1.0),
+        ],
+    )
+    def test_conductances_match_finite_differences(self, model_fn, vg, vd, vs, vb):
+        m = model_fn()
+        h = 1e-6
+        _, gm, gds, gms, gmb = m.ids(vg, vd, vs, vb, w=W, l=L)
+
+        def i(vg=vg, vd=vd, vs=vs, vb=vb):
+            return float(m.ids(vg, vd, vs, vb, w=W, l=L)[0])
+
+        assert float(gm) == pytest.approx((i(vg=vg + h) - i(vg=vg - h)) / (2 * h), rel=1e-4, abs=1e-12)
+        assert float(gds) == pytest.approx((i(vd=vd + h) - i(vd=vd - h)) / (2 * h), rel=1e-4, abs=1e-12)
+        assert float(gms) == pytest.approx((i(vs=vs + h) - i(vs=vs - h)) / (2 * h), rel=1e-4, abs=1e-12)
+        assert float(gmb) == pytest.approx((i(vb=vb + h) - i(vb=vb - h)) / (2 * h), rel=1e-4, abs=1e-12)
+
+    @given(vg=volts, vd=volts, vs=volts)
+    @settings(max_examples=60, deadline=None)
+    def test_conservation_identity(self, vg, vd, vs):
+        # The current depends only on terminal differences, so the four
+        # conductances must sum to zero (gmb = -(gm + gds + gms)).
+        m = nmos_45nm()
+        _, gm, gds, gms, gmb = m.ids(vg, vd, vs, 0.0, w=W, l=L)
+        assert float(gm + gds + gms + gmb) == pytest.approx(0.0, abs=1e-9)
+
+    @given(shift=st.floats(min_value=-0.3, max_value=0.3))
+    @settings(max_examples=30, deadline=None)
+    def test_translation_invariance(self, shift):
+        # Shifting all terminals together must not change the current.
+        m = nmos_45nm()
+        i0, *_ = m.ids(0.9, 0.8, 0.1, 0.0, w=W, l=L)
+        i1, *_ = m.ids(0.9 + shift, 0.8 + shift, 0.1 + shift, 0.0 + shift, w=W, l=L)
+        assert float(i1) == pytest.approx(float(i0), rel=1e-9)
+
+
+class TestVariationKnobs:
+    def test_delta_vth_reduces_current(self):
+        m = nmos_45nm()
+        base, *_ = m.ids(0.8, 1.0, 0.0, w=W, l=L)
+        slow, *_ = m.ids(0.8, 1.0, 0.0, delta_vth=0.05, w=W, l=L)
+        fast, *_ = m.ids(0.8, 1.0, 0.0, delta_vth=-0.05, w=W, l=L)
+        assert slow < base < fast
+
+    def test_delta_vth_sign_convention_pmos(self):
+        # Positive delta_vth means a *weaker* device for both polarities.
+        m = pmos_45nm()
+        base, *_ = m.ids(0.0, 0.0, 1.0, 1.0, w=W, l=L)
+        slow, *_ = m.ids(0.0, 0.0, 1.0, 1.0, delta_vth=0.05, w=W, l=L)
+        assert abs(slow) < abs(base)
+
+    def test_beta_mult_scales_current(self):
+        m = nmos_45nm()
+        base, *_ = m.ids(1.0, 1.0, 0.0, w=W, l=L)
+        scaled, *_ = m.ids(1.0, 1.0, 0.0, beta_mult=1.2, w=W, l=L)
+        # In strong inversion the scaling is nearly proportional.
+        assert scaled == pytest.approx(1.2 * base, rel=0.05)
+
+    def test_vectorised_evaluation_matches_scalar(self):
+        m = nmos_45nm()
+        vgs = np.linspace(0.0, 1.0, 7)
+        vec_ids, vec_gm, *_ = m.ids(vgs, 1.0, 0.0, w=W, l=L)
+        for i, vg in enumerate(vgs):
+            s_ids, s_gm, *_ = m.ids(float(vg), 1.0, 0.0, w=W, l=L)
+            assert vec_ids[i] == pytest.approx(float(s_ids), rel=1e-12)
+            assert vec_gm[i] == pytest.approx(float(s_gm), rel=1e-12)
+
+
+class TestModelCard:
+    def test_pelgrom_sigmas(self):
+        m = nmos_45nm()
+        s1 = m.vth_sigma(W, L)
+        s2 = m.vth_sigma(4 * W, L)
+        assert s2 == pytest.approx(s1 / 2.0)
+        assert 0.01 < s1 < 0.1  # tens of millivolts
+
+    def test_capacitances_positive_and_scale_with_width(self):
+        m = nmos_45nm()
+        caps1 = m.capacitances(W, L)
+        caps2 = m.capacitances(2 * W, L)
+        assert all(c > 0 for c in caps1)
+        assert all(b > a for a, b in zip(caps1, caps2))
+
+    def test_with_overrides(self):
+        m = nmos_45nm().with_overrides(vto=0.5)
+        assert m.vto == 0.5
+        assert m.kp == nmos_45nm().kp
+
+    def test_beta_with_multiplier(self):
+        m = nmos_45nm()
+        assert m.beta(W, L, beta_mult=2.0) == pytest.approx(2 * m.beta(W, L))

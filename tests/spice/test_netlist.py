@@ -1,0 +1,93 @@
+"""Tests for circuit construction and node bookkeeping."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.spice.elements import Capacitor, Resistor, VoltageSource
+from repro.spice.netlist import GROUND_INDEX, Circuit
+
+
+class TestNodes:
+    def test_ground_aliases(self):
+        c = Circuit()
+        assert c.node("0") == GROUND_INDEX
+        assert c.node("gnd") == GROUND_INDEX
+        assert c.node("GND") == GROUND_INDEX
+
+    def test_indices_in_first_mention_order(self):
+        c = Circuit()
+        assert c.node("a") == 0
+        assert c.node("b") == 1
+        assert c.node("a") == 0  # stable on re-mention
+        assert c.node_names == ["a", "b"]
+
+    def test_empty_node_name_rejected(self):
+        with pytest.raises(NetlistError):
+            Circuit().node("")
+
+    def test_node_name_roundtrip(self):
+        c = Circuit()
+        c.node("x")
+        assert c.node_name(0) == "x"
+        assert c.node_name(GROUND_INDEX) == "0"
+
+    def test_index_of_unknown_node(self):
+        c = Circuit()
+        with pytest.raises(NetlistError):
+            c.index_of("nope")
+
+    def test_ground_not_counted(self):
+        c = Circuit()
+        c.add(Resistor("r1", "a", "0", 1.0))
+        assert c.num_nodes == 1
+
+
+class TestElements:
+    def test_duplicate_names_rejected(self):
+        c = Circuit()
+        c.add(Resistor("r1", "a", "b", 1.0))
+        with pytest.raises(NetlistError):
+            c.add(Resistor("r1", "b", "c", 1.0))
+
+    def test_lookup_by_name(self):
+        c = Circuit()
+        r = Resistor("r1", "a", "b", 42.0)
+        c.add(r)
+        assert c["r1"] is r
+        assert "r1" in c
+        assert "r2" not in c
+
+    def test_lookup_missing_raises(self):
+        with pytest.raises(NetlistError):
+            Circuit()["ghost"]
+
+    def test_add_returns_self_for_chaining(self):
+        c = Circuit()
+        out = c.add(Resistor("r1", "a", "b", 1.0)).add(Resistor("r2", "b", "0", 1.0))
+        assert out is c
+        assert len(c.elements) == 2
+
+    def test_binding_resolves_indices(self):
+        c = Circuit()
+        r = Resistor("r1", "in", "0", 1.0)
+        c.add(r)
+        assert r.nodes == [0, GROUND_INDEX]
+
+    def test_branch_elements(self):
+        c = Circuit()
+        c.add(Resistor("r1", "a", "0", 1.0))
+        c.add(VoltageSource("v1", "a", "0", 1.0))
+        c.add(VoltageSource("v2", "b", "0", 2.0))
+        assert [e.name for e in c.branch_elements()] == ["v1", "v2"]
+
+    def test_summary_lists_elements(self):
+        c = Circuit("demo")
+        c.add(Capacitor("c1", "a", "0", 1e-12))
+        text = c.summary()
+        assert "demo" in text
+        assert "c1" in text
+
+    def test_repr(self):
+        c = Circuit("x")
+        c.add(Resistor("r1", "a", "b", 1.0))
+        assert "nodes=2" in repr(c)

@@ -1,0 +1,59 @@
+"""Mosfet operating-point reporting tests."""
+
+import pytest
+
+from repro.spice.dcop import solve_dc
+from repro.spice.elements import Mosfet, Resistor, VoltageSource
+from repro.spice.mosfet import nmos_45nm, pmos_45nm
+from repro.spice.netlist import Circuit
+
+
+@pytest.fixture
+def biased_nmos():
+    c = Circuit("bias")
+    c.add(VoltageSource("vdd", "vdd", "0", 1.0))
+    c.add(VoltageSource("vg", "g", "0", 0.8))
+    c.add(Resistor("rd", "vdd", "d", 5e3))
+    c.add(Mosfet("m", "d", "g", "0", "0", nmos_45nm(), w=200e-9, l=50e-9))
+    op = solve_dc(c)
+    return c, op
+
+
+class TestOpPoint:
+    def test_bias_voltages_reported(self, biased_nmos):
+        c, op = biased_nmos
+
+        def volts(idx):
+            return 0.0 if idx < 0 else op.x[idx]
+
+        pt = c["m"].op_point(volts)
+        assert pt.vgs == pytest.approx(0.8)
+        assert 0.0 < pt.vds < 1.0
+        assert pt.vbs == 0.0
+
+    def test_current_consistent_with_resistor(self, biased_nmos):
+        c, op = biased_nmos
+
+        def volts(idx):
+            return 0.0 if idx < 0 else op.x[idx]
+
+        pt = c["m"].op_point(volts)
+        i_r = (1.0 - op.v("d")) / 5e3
+        assert pt.ids == pytest.approx(i_r, rel=1e-4)
+
+    def test_conductances_positive_in_active_region(self, biased_nmos):
+        c, op = biased_nmos
+
+        def volts(idx):
+            return 0.0 if idx < 0 else op.x[idx]
+
+        pt = c["m"].op_point(volts)
+        assert pt.gm > 0
+        assert pt.gds > 0
+
+    def test_repr_mentions_model_and_shift(self):
+        m = Mosfet("mx", "d", "g", "s", "b", pmos_45nm(), w=100e-9, l=50e-9,
+                   delta_vth=0.01)
+        text = repr(m)
+        assert "pmos_45nm" in text
+        assert "+0.01" in text

@@ -1,0 +1,132 @@
+"""Gradient estimator tests on analytic functions and a real circuit."""
+
+import numpy as np
+import pytest
+
+from repro.spice.elements import Capacitor, Mosfet, VoltageSource
+from repro.spice.mosfet import nmos_45nm, pmos_45nm
+from repro.spice.netlist import Circuit
+from repro.spice.sensitivity import (
+    central_difference,
+    forward_difference,
+    mosfet_vth_gradient,
+    spsa_gradient,
+)
+from repro.spice.sources import pulse
+from repro.spice.transient import run_transient
+
+
+def quadratic(x):
+    return float(x[0] ** 2 + 3.0 * x[1] + 0.5 * x[0] * x[1])
+
+
+def quadratic_grad(x):
+    return np.array([2 * x[0] + 0.5 * x[1], 3.0 + 0.5 * x[0]])
+
+
+class TestFiniteDifferences:
+    def test_central_matches_analytic(self):
+        x = np.array([1.0, -2.0])
+        np.testing.assert_allclose(
+            central_difference(quadratic, x, step=1e-5), quadratic_grad(x), rtol=1e-5
+        )
+
+    def test_forward_matches_analytic(self):
+        x = np.array([0.5, 0.5])
+        np.testing.assert_allclose(
+            forward_difference(quadratic, x, step=1e-6), quadratic_grad(x), rtol=1e-4
+        )
+
+    def test_forward_reuses_centre_value(self):
+        calls = []
+
+        def counted(x):
+            calls.append(1)
+            return quadratic(x)
+
+        x = np.zeros(2)
+        forward_difference(counted, x, step=1e-6, f0=quadratic(x))
+        assert len(calls) == 2  # d evaluations only
+
+    def test_central_exact_on_quadratics(self):
+        # Central differences are exact (to roundoff) for quadratics
+        # regardless of step size.
+        x = np.array([1.0, 2.0])
+        np.testing.assert_allclose(
+            central_difference(quadratic, x, step=0.5), quadratic_grad(x), rtol=1e-10
+        )
+
+
+class TestSpsa:
+    def test_exact_in_one_dimension(self):
+        # With a single coordinate the perturbation cancels exactly.
+        g = spsa_gradient(lambda x: float(3.0 * x[0]), np.zeros(1), repeats=1,
+                          rng=np.random.default_rng(0))
+        np.testing.assert_allclose(g, [3.0], rtol=1e-8)
+
+    def test_unbiased_on_linear_function(self):
+        # Single repeats are noisy (cross-terms a_j * D_j * D_i), but the
+        # average over many repeats converges to the true gradient.
+        a = np.array([1.0, -2.0, 0.5])
+        g = spsa_gradient(lambda x: float(a @ x), np.zeros(3), repeats=2000,
+                          rng=np.random.default_rng(0))
+        np.testing.assert_allclose(g, a, atol=0.15)
+
+    def test_converges_with_repeats(self):
+        x = np.array([1.0, -1.0])
+        rng = np.random.default_rng(1)
+        g = spsa_gradient(quadratic, x, step=1e-4, repeats=256, rng=rng)
+        err = np.linalg.norm(g - quadratic_grad(x)) / np.linalg.norm(quadratic_grad(x))
+        assert err < 0.35  # stochastic but tame on a near-linear local patch
+
+    def test_cost_is_two_evals_per_repeat(self):
+        calls = []
+
+        def counted(x):
+            calls.append(1)
+            return quadratic(x)
+
+        spsa_gradient(counted, np.zeros(2), repeats=3, rng=np.random.default_rng(2))
+        assert len(calls) == 6
+
+
+class TestCircuitLevel:
+    @pytest.fixture(scope="class")
+    def inverter(self):
+        c = Circuit("inv")
+        c.add(VoltageSource("vdd", "vdd", "0", 1.0))
+        c.add(
+            VoltageSource(
+                "vin", "in", "0", pulse(0, 1, delay=0.2e-9, rise=20e-12, width=1.5e-9)
+            )
+        )
+        c.add(Mosfet("mp", "out", "in", "vdd", "vdd", pmos_45nm(), w=180e-9, l=50e-9))
+        c.add(Mosfet("mn", "out", "in", "0", "0", nmos_45nm(), w=120e-9, l=50e-9))
+        c.add(Capacitor("cl", "out", "0", 2e-15))
+        return c
+
+    def _delay(self, circuit):
+        res = run_transient(circuit, 2e-9)
+        return res.waveform("in").delay_to(
+            res.waveform("out"), 0.5, 0.5, "rise", "fall"
+        )
+
+    def test_vth_gradient_signs(self, inverter):
+        grad = mosfet_vth_gradient(
+            inverter, lambda: self._delay(inverter), ["mn", "mp"], step=10e-3
+        )
+        # Raising the NMOS threshold slows the falling output: positive.
+        assert grad[0] > 0
+        # The PMOS barely participates in a falling transition.
+        assert abs(grad[1]) < abs(grad[0])
+
+    def test_restores_original_vth(self, inverter):
+        before = (inverter["mn"].delta_vth, inverter["mp"].delta_vth)
+        mosfet_vth_gradient(
+            inverter, lambda: self._delay(inverter), ["mn", "mp"], step=5e-3
+        )
+        assert (inverter["mn"].delta_vth, inverter["mp"].delta_vth) == before
+
+    def test_unknown_scheme_rejected(self, inverter):
+        with pytest.raises(ValueError):
+            mosfet_vth_gradient(inverter, lambda: 0.0, ["mn"], scheme="bogus")

@@ -1,0 +1,80 @@
+"""Tests for source waveform shapes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NetlistError
+from repro.spice.sources import dc, pulse, pwl
+
+
+class TestDc:
+    def test_constant(self):
+        s = dc(0.7)
+        assert s.value(0.0) == 0.7
+        assert s.value(1e9) == 0.7
+        assert s.dc_value() == 0.7
+
+
+class TestPulse:
+    def setup_method(self):
+        self.p = pulse(0.0, 1.0, delay=1e-9, rise=0.1e-9, fall=0.2e-9, width=2e-9)
+
+    def test_before_delay(self):
+        assert self.p.value(0.5e-9) == 0.0
+
+    def test_mid_rise(self):
+        assert self.p.value(1.05e-9) == pytest.approx(0.5)
+
+    def test_plateau(self):
+        assert self.p.value(2.0e-9) == 1.0
+
+    def test_mid_fall(self):
+        assert self.p.value(3.2e-9) == pytest.approx(0.5)
+
+    def test_after_pulse(self):
+        assert self.p.value(5e-9) == 0.0
+
+    def test_periodic_repeat(self):
+        p = pulse(0.0, 1.0, delay=0.0, rise=1e-12, fall=1e-12, width=1e-9, period=4e-9)
+        assert p.value(0.5e-9) == 1.0
+        assert p.value(2e-9) == 0.0
+        assert p.value(4.5e-9) == 1.0  # second period
+
+    def test_breakpoints_are_the_corners(self):
+        bps = self.p.breakpoints()
+        assert bps == pytest.approx((1e-9, 1.1e-9, 3.1e-9, 3.3e-9), rel=1e-12)
+
+    def test_negative_timing_rejected(self):
+        with pytest.raises(NetlistError):
+            pulse(0, 1, rise=-1e-12)
+
+    @given(t=st.floats(min_value=0, max_value=1e-8))
+    @settings(max_examples=50)
+    def test_value_always_within_levels(self, t):
+        v = self.p.value(t)
+        assert 0.0 <= v <= 1.0
+
+
+class TestPwl:
+    def test_interpolation(self):
+        s = pwl([(0.0, 0.0), (1e-9, 1.0), (2e-9, 0.5)])
+        assert s.value(0.5e-9) == pytest.approx(0.5)
+        assert s.value(1.5e-9) == pytest.approx(0.75)
+
+    def test_clamps_outside_range(self):
+        s = pwl([(1e-9, 0.2), (2e-9, 0.8)])
+        assert s.value(0.0) == pytest.approx(0.2)
+        assert s.value(5e-9) == pytest.approx(0.8)
+
+    def test_breakpoints(self):
+        s = pwl([(0.0, 0.0), (1e-9, 1.0)])
+        assert s.breakpoints() == (0.0, 1e-9)
+
+    def test_non_monotone_times_rejected(self):
+        with pytest.raises(NetlistError):
+            pwl([(1e-9, 0.0), (0.5e-9, 1.0)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(NetlistError):
+            pwl([])

@@ -1,0 +1,143 @@
+"""Waveform container and measurement tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MeasurementError
+from repro.spice.waveform import Waveform
+
+
+def ramp(t0=0.0, t1=1.0, v0=0.0, v1=1.0, n=11):
+    t = np.linspace(t0, t1, n)
+    v = np.linspace(v0, v1, n)
+    return Waveform(t, v, name="ramp")
+
+
+class TestConstruction:
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(MeasurementError):
+            Waveform([0, 1, 2], [0, 1])
+
+    def test_rejects_single_sample(self):
+        with pytest.raises(MeasurementError):
+            Waveform([0], [1])
+
+    def test_rejects_non_monotone_times(self):
+        with pytest.raises(MeasurementError):
+            Waveform([0, 1, 1], [0, 1, 2])
+
+    def test_repr_contains_name(self):
+        assert "ramp" in repr(ramp())
+
+
+class TestInterpolation:
+    def test_at_interpolates_linearly(self):
+        w = ramp()
+        assert w.at(0.25) == pytest.approx(0.25)
+
+    def test_at_clamps_outside(self):
+        w = ramp()
+        assert w.at(-1.0) == 0.0
+        assert w.at(2.0) == 1.0
+
+    @given(t=st.floats(min_value=0, max_value=1))
+    @settings(max_examples=30)
+    def test_identity_on_ramp(self, t):
+        assert ramp(n=101).at(t) == pytest.approx(t, abs=1e-9)
+
+
+class TestCrossings:
+    def test_rising_cross_interpolated(self):
+        w = ramp()
+        assert w.cross(0.5, direction="rise") == pytest.approx(0.5)
+
+    def test_falling_cross(self):
+        w = Waveform([0, 1], [1.0, 0.0])
+        assert w.cross(0.25, direction="fall") == pytest.approx(0.75)
+
+    def test_direction_filtering(self):
+        t = np.linspace(0, 2, 21)
+        v = np.concatenate([np.linspace(0, 1, 11), np.linspace(0.9, 0, 10)])
+        w = Waveform(t, v)
+        rise = w.cross(0.5, direction="rise")
+        fall = w.cross(0.5, direction="fall")
+        assert rise < 1.0 < fall
+
+    def test_occurrence_counting(self):
+        t = np.linspace(0, 4, 41)
+        v = np.sin(np.pi * t)  # crosses zero at 1, 2, 3
+        w = Waveform(t, v)
+        c1 = w.cross(0.0, occurrence=1, after=0.1)
+        c2 = w.cross(0.0, occurrence=2, after=0.1)
+        assert c1 == pytest.approx(1.0, abs=0.02)
+        assert c2 == pytest.approx(2.0, abs=0.02)
+
+    def test_after_skips_early_events(self):
+        t = np.linspace(0, 4, 41)
+        v = np.sin(np.pi * t)
+        w = Waveform(t, v)
+        assert w.cross(0.0, after=1.5) == pytest.approx(2.0, abs=0.02)
+
+    def test_missing_cross_raises(self):
+        with pytest.raises(MeasurementError):
+            ramp().cross(2.0)
+
+    def test_has_cross_predicate(self):
+        w = ramp()
+        assert w.has_cross(0.5)
+        assert not w.has_cross(1.5)
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(MeasurementError):
+            ramp().cross(0.5, direction="sideways")
+
+    def test_bad_occurrence_rejected(self):
+        with pytest.raises(MeasurementError):
+            ramp().cross(0.5, occurrence=0)
+
+
+class TestDerivedMeasurements:
+    def test_delay_between_waveforms(self):
+        a = ramp()  # crosses 0.5 at t=0.5
+        b = Waveform(np.linspace(0, 2, 21), np.linspace(-0.5, 1.5, 21))  # 0.5 at t=1
+        assert a.delay_to(b, 0.5, 0.5) == pytest.approx(0.5)
+
+    def test_slew_10_90(self):
+        w = ramp(n=101)
+        assert w.slew(0.1, 0.9) == pytest.approx(0.8, abs=1e-6)
+
+    def test_slew_flat_raises(self):
+        w = Waveform([0, 1], [0.5, 0.5])
+        with pytest.raises(MeasurementError):
+            w.slew()
+
+    def test_window_extraction(self):
+        w = ramp(n=101)
+        sub = w.window(0.25, 0.75)
+        assert sub.t_start == pytest.approx(0.25)
+        assert sub.t_stop == pytest.approx(0.75)
+        assert sub.values[0] == pytest.approx(0.25)
+
+    def test_window_empty_raises(self):
+        with pytest.raises(MeasurementError):
+            ramp().window(0.5, 0.5)
+
+    def test_subtraction_on_union_grid(self):
+        a = Waveform([0, 1], [0.0, 1.0])
+        b = Waveform([0, 0.5, 1], [0.0, 0.0, 0.0])
+        d = a - b
+        assert d.at(0.5) == pytest.approx(0.5)
+
+    def test_subtraction_no_overlap_raises(self):
+        a = Waveform([0, 1], [0, 1])
+        b = Waveform([2, 3], [0, 1])
+        with pytest.raises(MeasurementError):
+            a - b
+
+    def test_extrema_and_final(self):
+        w = ramp()
+        assert w.vmax() == 1.0
+        assert w.vmin() == 0.0
+        assert w.final() == 1.0

@@ -1,0 +1,72 @@
+"""6T cell builder tests."""
+
+import pytest
+
+from repro.sram.cell import CELL_DEVICE_ORDER, CellDesign, build_cell, cell_device_names
+
+
+class TestCellDesign:
+    def test_default_ratios(self):
+        d = CellDesign()
+        assert d.cell_ratio == pytest.approx(1.4)
+        assert d.pullup_ratio == pytest.approx(1.25)
+
+    def test_scaled_preserves_ratios(self):
+        d = CellDesign().scaled(2.0)
+        assert d.w_pd == pytest.approx(280e-9)
+        assert d.cell_ratio == pytest.approx(1.4)
+        assert d.l == CellDesign().l  # length untouched
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            CellDesign().w_pd = 1.0
+
+
+class TestBuildCell:
+    def test_canonical_device_names(self):
+        c = build_cell()
+        for name in CELL_DEVICE_ORDER:
+            assert name in c
+
+    def test_six_transistors(self):
+        assert len(build_cell().mosfets()) == 6
+
+    def test_cross_coupling(self):
+        c = build_cell()
+        # Left inverter output is q, driven by qb.
+        pu_l = c["m_pu_l"]
+        assert pu_l.terminals[0] == "q"    # drain
+        assert pu_l.terminals[1] == "qb"   # gate
+        pd_r = c["m_pd_r"]
+        assert pd_r.terminals[0] == "qb"
+        assert pd_r.terminals[1] == "q"
+
+    def test_access_transistors_on_wordline(self):
+        c = build_cell()
+        assert c["m_pg_l"].terminals[1] == "wl"
+        assert c["m_pg_r"].terminals[1] == "wl"
+        assert c["m_pg_l"].terminals[0] == "bl"
+        assert c["m_pg_r"].terminals[0] == "blb"
+
+    def test_polarities(self):
+        c = build_cell()
+        assert c["m_pu_l"].model.polarity == -1
+        assert c["m_pd_l"].model.polarity == +1
+        assert c["m_pg_l"].model.polarity == +1
+
+    def test_geometries_applied(self):
+        d = CellDesign(w_pd=200e-9, w_pg=120e-9, w_pu=90e-9)
+        c = build_cell(d)
+        assert c["m_pd_l"].w == pytest.approx(200e-9)
+        assert c["m_pg_r"].w == pytest.approx(120e-9)
+        assert c["m_pu_r"].w == pytest.approx(90e-9)
+
+    def test_suffix_for_columns(self):
+        c = build_cell(suffix="_c0")
+        c2 = build_cell(circuit=c, suffix="_c1", q="q1", qb="qb1")
+        assert "m_pd_l_c0" in c2
+        assert "m_pd_l_c1" in c2
+        assert len(c2.mosfets()) == 12
+
+    def test_cell_device_names_helper(self):
+        assert cell_device_names("_x") == [n + "_x" for n in CELL_DEVICE_ORDER]

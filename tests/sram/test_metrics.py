@@ -1,0 +1,128 @@
+"""Metric-extraction tests on synthetic waveforms (no simulator)."""
+
+import numpy as np
+import pytest
+
+from repro.spice.waveform import Waveform
+from repro.sram.metrics import read_access_time, read_disturb_peak, write_trip_time
+
+VDD = 1.0
+
+
+def wl_pulse(t_stop=3e-9, t_rise=0.2e-9):
+    t = np.linspace(0, t_stop, 301)
+    v = np.clip((t - t_rise) / 20e-12, 0, 1) * VDD
+    return Waveform(t, v, "wl")
+
+
+def bitline(drop_start, slope, t_stop=3e-9):
+    """BL discharging linearly from VDD after drop_start."""
+    t = np.linspace(0, t_stop, 301)
+    v = VDD - np.maximum(t - drop_start, 0.0) * slope
+    return Waveform(t, np.clip(v, 0, VDD), "bl")
+
+
+def flat(level, t_stop=3e-9):
+    t = np.linspace(0, t_stop, 301)
+    return Waveform(t, np.full_like(t, level))
+
+
+class TestReadAccessTime:
+    def test_measured_when_differential_develops(self):
+        wl = wl_pulse()
+        bl = bitline(0.3e-9, slope=0.2e9)  # 0.2 V/ns discharge
+        blb = flat(VDD)
+        s = read_access_time(bl, blb, wl, dv_spec=0.1, vdd=VDD)
+        assert s.event_found
+        # 0.1 V differential at 0.3ns + 0.1/0.2e9 = 0.8 ns; WL mid at 0.21 ns.
+        assert s.value == pytest.approx(0.8e-9 - 0.21e-9, rel=0.05)
+
+    def test_penalty_when_no_development(self):
+        wl = wl_pulse()
+        s = read_access_time(bitline(0.3e-9, slope=0.0), flat(VDD), wl, dv_spec=0.1, vdd=VDD)
+        assert not s.event_found
+        assert s.value > 2.5e-9  # beyond the window
+
+    def test_penalty_is_continuous_at_window_edge(self):
+        # A crossing exactly at the window end and a hair-short shortfall
+        # must produce almost identical values.
+        wl = wl_pulse()
+        t_stop = 3e-9
+        # Slope chosen so dv reaches exactly 0.1 V at t_stop.
+        slope_hit = 0.1 / (t_stop - 0.3e-9)
+        s_hit = read_access_time(
+            bitline(0.3e-9, slope_hit * 1.0001), flat(VDD), wl, dv_spec=0.1, vdd=VDD
+        )
+        s_miss = read_access_time(
+            bitline(0.3e-9, slope_hit * 0.9999), flat(VDD), wl, dv_spec=0.1, vdd=VDD
+        )
+        assert s_hit.event_found and not s_miss.event_found
+        assert s_miss.value == pytest.approx(s_hit.value, rel=0.01)
+
+    def test_monotone_in_slope(self):
+        wl = wl_pulse()
+        values = []
+        for slope in (0.3e9, 0.2e9, 0.1e9, 0.05e9, 0.02e9):
+            s = read_access_time(bitline(0.3e-9, slope), flat(VDD), wl, dv_spec=0.1, vdd=VDD)
+            values.append(s.value)
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_aux_fields(self):
+        wl = wl_pulse()
+        s = read_access_time(bitline(0.3e-9, 0.2e9), flat(VDD), wl, dv_spec=0.1, vdd=VDD)
+        assert "dv_final" in s.aux and "t_wl" in s.aux
+
+
+class TestWriteTripTime:
+    def rising_qb(self, trip_t, t_stop=3e-9):
+        t = np.linspace(0, t_stop, 301)
+        v = VDD / (1 + np.exp(-(t - trip_t) / 50e-12))
+        return Waveform(t, v, "qb")
+
+    def test_trip_measured(self):
+        wl = wl_pulse()
+        qb = self.rising_qb(1.0e-9)
+        q = flat(0.0)
+        s = write_trip_time(q, qb, wl, vdd=VDD)
+        assert s.event_found
+        assert s.value == pytest.approx(1.0e-9 - 0.21e-9, rel=0.05)
+
+    def test_penalty_when_never_trips(self):
+        wl = wl_pulse()
+        qb = flat(0.2)
+        s = write_trip_time(flat(VDD), qb, wl, vdd=VDD)
+        assert not s.event_found
+        assert s.value > 2.5e-9
+        assert s.aux["qb_peak"] == pytest.approx(0.2)
+
+    def test_penalty_scales_with_shortfall(self):
+        wl = wl_pulse()
+        s_close = write_trip_time(flat(VDD), flat(0.45), wl, vdd=VDD)
+        s_far = write_trip_time(flat(VDD), flat(0.10), wl, vdd=VDD)
+        assert s_far.value > s_close.value
+
+
+class TestReadDisturb:
+    def bumped_q(self, peak, t_stop=3e-9):
+        t = np.linspace(0, t_stop, 301)
+        v = peak * np.exp(-(((t - 1.5e-9) / 0.5e-9) ** 2))
+        return Waveform(t, v, "q")
+
+    def test_peak_measured(self):
+        s = read_disturb_peak(self.bumped_q(0.3), wl_pulse(), vdd=VDD)
+        assert s.value == pytest.approx(0.3, rel=0.02)
+        assert s.aux["flipped"] == 0.0
+
+    def test_flip_detected(self):
+        t = np.linspace(0, 3e-9, 301)
+        v = np.clip((t - 1e-9) / 0.2e-9, 0, 1) * VDD  # latches high
+        s = read_disturb_peak(Waveform(t, v), wl_pulse(), vdd=VDD)
+        assert s.value == pytest.approx(VDD, rel=0.02)
+        assert s.aux["flipped"] == 1.0
+
+    def test_monotone_in_peak(self):
+        peaks = [0.1, 0.2, 0.35, 0.48]
+        vals = [
+            read_disturb_peak(self.bumped_q(p), wl_pulse(), vdd=VDD).value for p in peaks
+        ]
+        assert all(b > a for a, b in zip(vals, vals[1:]))

@@ -1,0 +1,102 @@
+"""Sense-amplifier latch tests: resolution, offset, and the linear model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.sram.senseamp import SA_DEVICE_ORDER, SenseAmp, SenseAmpDesign
+
+
+@pytest.fixture(scope="module")
+def sa():
+    return SenseAmp()
+
+
+class TestResolve:
+    def test_positive_dv_resolves_correctly(self, sa):
+        correct, t_res = sa.resolve(0.1)
+        assert correct
+        assert 0 < t_res < 1e-9
+
+    def test_negative_dv_resolves_the_other_way(self, sa):
+        correct, _ = sa.resolve(-0.1)
+        assert not correct
+
+    def test_larger_dv_resolves_faster(self, sa):
+        _, t_small = sa.resolve(0.05)
+        _, t_large = sa.resolve(0.25)
+        assert t_large < t_small
+
+    def test_variation_restored(self, sa):
+        sa.resolve(0.1, {"m_sn_l": 0.05})
+        assert sa.circuit["m_sn_l"].delta_vth == 0.0
+
+    def test_simulation_counter(self, sa):
+        before = sa.n_simulations
+        sa.resolve(0.1)
+        assert sa.n_simulations == before + 1
+
+
+class TestOffset:
+    def test_nominal_offset_near_zero(self, sa):
+        assert abs(sa.offset()) < 0.01  # symmetric latch
+
+    def test_weak_left_nmos_needs_more_differential(self, sa):
+        off = sa.offset({"m_sn_l": 0.05})
+        assert off == pytest.approx(0.05, abs=0.01)
+
+    def test_weak_right_nmos_helps(self, sa):
+        off = sa.offset({"m_sn_r": 0.05})
+        assert off == pytest.approx(-0.05, abs=0.01)
+
+    def test_pmos_mismatch_negligible_for_precharge_high_latch(self, sa):
+        # The decision is made during the NMOS race; the PMOS pair is
+        # still off.  This is topology physics, not an approximation bug.
+        off = sa.offset({"m_sp_r": 0.05})
+        assert abs(off) < 0.01
+
+    def test_out_of_range_offset_raises(self, sa):
+        with pytest.raises(MeasurementError):
+            sa.offset({"m_sn_l": 0.5}, dv_max=0.1)
+
+
+class TestLinearModel:
+    def test_matches_bisection_on_nmos_patterns(self, sa):
+        sig = sa.design.vth_sigmas()
+        patterns = [
+            {"m_sn_l": 0.04},
+            {"m_sn_l": 0.04, "m_sn_r": -0.03},
+        ]
+        for pattern in patterns:
+            u = np.zeros((1, 4))
+            for name, shift in pattern.items():
+                idx = SA_DEVICE_ORDER.index(name)
+                u[0, idx] = shift / sig[idx]
+            linear = sa.offset_linear(u)[0]
+            bisect = sa.offset(pattern)
+            assert linear == pytest.approx(bisect, abs=0.012)
+
+    def test_vectorised_shape(self, sa):
+        u = np.random.default_rng(0).normal(size=(7, 4))
+        out = sa.offset_linear(u)
+        assert out.shape == (7,)
+
+    def test_wrong_width_rejected(self, sa):
+        with pytest.raises(MeasurementError):
+            sa.offset_linear(np.zeros((2, 3)))
+
+    def test_gm_ratio_small_for_this_topology(self, sa):
+        assert sa.gm_ratio() < 0.05
+
+
+class TestDesign:
+    def test_bigger_devices_smaller_sigma(self):
+        small = SenseAmpDesign().vth_sigmas()
+        big = SenseAmpDesign(w_sn=800e-9, w_sp=480e-9).vth_sigmas()
+        assert np.all(big < small)
+
+    def test_sigma_order_matches_device_order(self):
+        sig = SenseAmpDesign().vth_sigmas()
+        assert sig.shape == (4,)
+        assert sig[0] == sig[2]  # both NMOS
+        assert sig[1] == sig[3]  # both PMOS

@@ -1,0 +1,67 @@
+"""Butterfly-curve SNM tests."""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.sram.cell import CellDesign
+from repro.sram.statics import butterfly_snm, half_cell_vtc
+
+
+class TestVtc:
+    def test_vtc_is_monotone_decreasing(self):
+        vin, vout = half_cell_vtc(n_points=31)
+        assert all(b <= a + 1e-6 for a, b in zip(vout, vout[1:]))
+
+    def test_vtc_rails(self):
+        vin, vout = half_cell_vtc(n_points=31)
+        assert vout[0] == pytest.approx(1.0, abs=0.02)
+        assert vout[-1] == pytest.approx(0.0, abs=0.02)
+
+    def test_read_condition_lifts_low_output(self):
+        # With WL high and BL at VDD the access transistor fights the
+        # pull-down, lifting the logic-low output.
+        _, hold = half_cell_vtc(wl_voltage=0.0, n_points=21)
+        _, read = half_cell_vtc(wl_voltage=1.0, n_points=21)
+        assert read[-1] > hold[-1] + 0.02
+
+    def test_vth_shift_moves_switching_point(self):
+        vin0, vout0 = half_cell_vtc(n_points=41)
+        vin1, vout1 = half_cell_vtc(n_points=41, delta_vth={"pd": 0.1})
+        # Weaker pull-down -> switching threshold moves right.
+        mid0 = vin0[int((vout0 > 0.5).sum())]
+        mid1 = vin1[int((vout1 > 0.5).sum())]
+        assert mid1 > mid0
+
+
+class TestSnm:
+    def test_hold_snm_in_physical_range(self):
+        snm = butterfly_snm(n_points=41)
+        assert 0.2 < snm < 0.5  # 45nm-class cell at 1 V
+
+    def test_read_snm_below_hold_snm(self):
+        hold = butterfly_snm(mode="hold", n_points=41)
+        read = butterfly_snm(mode="read", n_points=41)
+        assert read < hold
+
+    def test_snm_shrinks_with_vdd(self):
+        s10 = butterfly_snm(vdd=1.0, n_points=31)
+        s07 = butterfly_snm(vdd=0.7, n_points=31)
+        assert s07 < s10
+
+    def test_asymmetry_degrades_snm(self):
+        nominal = butterfly_snm(n_points=41)
+        skewed = butterfly_snm(n_points=41, delta_vth_left={"pd": 0.08, "pu": -0.05})
+        assert skewed < nominal
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(MeasurementError):
+            butterfly_snm(mode="write")
+
+    def test_severe_skew_collapses_a_lobe(self):
+        # A huge threshold skew destroys bistability: SNM ~ 0.
+        snm = butterfly_snm(
+            n_points=41,
+            delta_vth_left={"pd": -0.4, "pu": 0.4},
+            delta_vth_right={"pd": 0.4, "pu": -0.4},
+        )
+        assert snm < 0.1

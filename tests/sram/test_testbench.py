@@ -1,0 +1,94 @@
+"""Read/write testbench tests on the reference MNA engine.
+
+These run full transients, so sample counts are kept small; statistical
+behaviour is tested against the batched engine elsewhere.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sram.testbench import OperationTiming, ReadTestbench, WriteTestbench
+
+
+@pytest.fixture(scope="module")
+def read_bench():
+    return ReadTestbench()
+
+
+@pytest.fixture(scope="module")
+def write_bench():
+    return WriteTestbench()
+
+
+class TestOperationTiming:
+    def test_t_stop_composition(self):
+        t = OperationTiming(wl_delay=1e-9, wl_rise=0.1e-9, wl_fall=0.1e-9,
+                            wl_width=2e-9, t_hold=0.5e-9)
+        assert t.t_stop == pytest.approx(3.7e-9)
+
+
+class TestReadTestbench:
+    def test_nominal_read_succeeds(self, read_bench):
+        s = read_bench.access_sample(None)
+        assert s.event_found
+        assert 1e-12 < s.value < 1e-9
+
+    def test_dimension_is_six(self, read_bench):
+        assert read_bench.dim == 6
+
+    def test_include_beta_doubles_dimension(self):
+        assert ReadTestbench(include_beta=True).dim == 12
+
+    def test_weak_passgate_slows_read(self, read_bench):
+        nominal = read_bench.metric(None)
+        # +3 sigma on the left pass-gate threshold (axis 2).
+        u = np.zeros(6)
+        u[2] = 3.0
+        slow = read_bench.metric(u)
+        assert slow > 1.3 * nominal
+
+    def test_strong_passgate_speeds_read(self, read_bench):
+        nominal = read_bench.metric(None)
+        u = np.zeros(6)
+        u[2] = -3.0
+        assert read_bench.metric(u) < nominal
+
+    def test_variation_reset_after_metric(self, read_bench):
+        u = np.full(6, 2.0)
+        read_bench.metric(u)
+        for mos in read_bench.circuit.mosfets():
+            assert mos.delta_vth == 0.0
+            assert mos.beta_mult == 1.0
+
+    def test_disturb_peak_small_at_nominal(self, read_bench):
+        peak = read_bench.disturb_metric(None)
+        assert 0.0 < peak < 0.45  # read bump exists but cell holds
+
+    def test_simulation_counter_increments(self):
+        bench = ReadTestbench()
+        before = bench.n_simulations
+        bench.metric(None)
+        bench.metric(np.zeros(6))
+        assert bench.n_simulations == before + 2
+
+
+class TestWriteTestbench:
+    def test_nominal_write_succeeds(self, write_bench):
+        s = write_bench.trip_sample(None)
+        assert s.event_found
+        assert 1e-12 < s.value < 1e-9
+        # After the operation the cell must hold the written value.
+        assert s.aux["q_final"] < 0.1
+        assert s.aux["qb_final"] > 0.9
+
+    def test_weak_passgate_slows_write(self, write_bench):
+        nominal = write_bench.metric(None)
+        u = np.zeros(6)
+        u[2] = 3.0  # left pass gate weaker
+        assert write_bench.metric(u) > nominal
+
+    def test_strong_pullup_fights_write(self, write_bench):
+        nominal = write_bench.metric(None)
+        u = np.zeros(6)
+        u[0] = -3.0  # left pull-up stronger (negative shift = stronger)
+        assert write_bench.metric(u) > nominal

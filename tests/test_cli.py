@@ -1,0 +1,56 @@
+"""CLI tests (parser wiring plus one fast end-to-end command)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_read_sigma_requires_spec_or_target(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["read-sigma"])
+
+    def test_spec_and_target_mutually_exclusive(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["read-sigma", "--spec-ps", "55",
+                               "--target-sigma", "4"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["read-sigma", "--spec-ps", "55"])
+        assert args.vdd == 1.0
+        assert args.budget == 4000
+        assert args.spec_ps == 55.0
+
+    def test_all_subcommands_parse(self):
+        parser = build_parser()
+        for argv in (
+            ["read-sigma", "--spec-ps", "50"],
+            ["write-sigma", "--target-sigma", "4"],
+            ["snm", "--vdd", "0.8"],
+            ["compare", "--target-sigma", "3.5"],
+        ):
+            assert parser.parse_args(argv) is not None
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestExecution:
+    def test_snm_command_runs(self, capsys):
+        assert main(["snm", "--vdd", "1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "hold SNM" in out
+        assert "read SNM" in out
+
+    def test_read_sigma_command_runs(self, capsys):
+        code = main([
+            "read-sigma", "--spec-ps", "55", "--budget", "1200",
+            "--n-steps", "250", "--rel-err", "0.2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sigma" in out
+        assert "p_fail" in out

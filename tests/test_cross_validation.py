@@ -1,0 +1,83 @@
+"""Cross-validation: batched engine vs the reference MNA engine.
+
+The batched engine is the statistical workhorse; the general MNA engine
+is the reference.  They share the device model but differ in integrator
+(fixed-grid BE vs adaptive trapezoidal) and capacitance handling, so the
+agreement budget is a few percent — enforced here at nominal and across
+a spread of variation vectors for both operations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sram.batched import Batched6T
+from repro.sram.testbench import ReadTestbench, WriteTestbench
+
+#: Relative disagreement budget between the two engines.
+TOLERANCE = 0.06
+
+
+@pytest.fixture(scope="module")
+def engines():
+    return {
+        "batched": Batched6T(n_steps=900),
+        "read": ReadTestbench(),
+        "write": WriteTestbench(),
+    }
+
+
+class TestReadCrossValidation:
+    def test_nominal(self, engines):
+        ref = engines["read"].metric(None)
+        fast = engines["batched"].read(np.zeros((1, 6))).metric[0]
+        assert fast == pytest.approx(ref, rel=TOLERANCE)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_variation_vectors(self, engines, seed):
+        rng = np.random.default_rng(seed)
+        u = rng.normal(0, 1.5, size=6)
+        sigma = engines["read"].space.sigma_vector()
+        ref = engines["read"].metric(u)
+        fast = engines["batched"].read((u * sigma)[None, :]).metric[0]
+        assert fast == pytest.approx(ref, rel=TOLERANCE)
+
+    def test_slow_corner(self, engines):
+        u = np.array([0.0, 1.0, 3.0, 0.0, 0.0, 0.5])
+        sigma = engines["read"].space.sigma_vector()
+        ref = engines["read"].metric(u)
+        fast = engines["batched"].read((u * sigma)[None, :]).metric[0]
+        assert fast == pytest.approx(ref, rel=TOLERANCE)
+
+
+class TestWriteCrossValidation:
+    def test_nominal(self, engines):
+        ref = engines["write"].metric(None)
+        fast = engines["batched"].write(np.zeros((1, 6))).metric[0]
+        assert fast == pytest.approx(ref, rel=TOLERANCE)
+
+    @pytest.mark.parametrize("seed", [10, 11, 12])
+    def test_random_variation_vectors(self, engines, seed):
+        rng = np.random.default_rng(seed)
+        u = rng.normal(0, 1.5, size=6)
+        sigma = engines["write"].space.sigma_vector()
+        ref = engines["write"].metric(u)
+        fast = engines["batched"].write((u * sigma)[None, :]).metric[0]
+        assert fast == pytest.approx(ref, rel=TOLERANCE)
+
+
+class TestFailureClassificationAgreement:
+    def test_engines_agree_on_failure_at_spread_of_points(self, engines):
+        """The binary failure classification (the thing the probability
+        estimate integrates) must agree between engines away from the
+        immediate boundary neighbourhood."""
+        rng = np.random.default_rng(99)
+        spec = 1.6 * engines["read"].metric(None)
+        sigma = engines["read"].space.sigma_vector()
+        disagreements = 0
+        for _ in range(8):
+            u = rng.normal(0, 2.0, size=6)
+            ref_fail = engines["read"].metric(u) >= spec
+            fast_fail = engines["batched"].read((u * sigma)[None, :]).metric[0] >= spec
+            if ref_fail != fast_fail:
+                disagreements += 1
+        assert disagreements <= 1

@@ -1,0 +1,44 @@
+"""Exception hierarchy tests."""
+
+import pytest
+
+from repro.errors import (
+    ConvergenceError,
+    EstimationError,
+    MeasurementError,
+    NetlistError,
+    ReproError,
+    SearchError,
+    SimulationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [NetlistError, ConvergenceError, SimulationError, MeasurementError,
+         EstimationError, SearchError],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("x")
+
+    def test_convergence_error_carries_diagnostics(self):
+        err = ConvergenceError("failed", iterations=12, residual=3.5e-4)
+        assert err.iterations == 12
+        assert err.residual == pytest.approx(3.5e-4)
+
+    def test_convergence_error_defaults(self):
+        err = ConvergenceError("failed")
+        assert err.iterations == -1
+        assert err.residual != err.residual  # NaN
+
+    def test_one_except_catches_everything(self):
+        caught = []
+        for exc in (NetlistError("a"), SearchError("b"), SimulationError("c")):
+            try:
+                raise exc
+            except ReproError as e:
+                caught.append(type(e).__name__)
+        assert caught == ["NetlistError", "SearchError", "SimulationError"]

@@ -1,0 +1,61 @@
+"""End-to-end integration: gradient IS on the real SRAM engine vs golden MC.
+
+The full pipeline at a sigma level low enough (≈3) for a moderate golden
+Monte Carlo run to resolve the truth: GIS's estimate (built from a
+gradient MPFP search plus ~2k importance samples) must agree with the
+golden failure fraction within its confidence interval — on the *actual*
+transistor-level metric, not a surrogate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.workloads import calibrate_read_spec, make_read_limitstate
+from repro.highsigma.gis import GradientImportanceSampling
+from repro.highsigma.mc import MonteCarloEstimator
+
+
+@pytest.fixture(scope="module")
+def calibrated():
+    spec = calibrate_read_spec(sigma_target=3.0, n_steps=250)
+    return spec
+
+
+class TestEndToEnd:
+    def test_gis_matches_golden_mc_on_sram(self, calibrated):
+        spec = calibrated
+
+        ls_gis = make_read_limitstate(spec, n_steps=250)
+        gis = GradientImportanceSampling(ls_gis, n_max=2500, target_rel_err=0.08)
+        res_gis = gis.run(np.random.default_rng(0))
+
+        ls_mc = make_read_limitstate(spec, n_steps=250)
+        mc = MonteCarloEstimator(ls_mc, n_max=60000, batch_size=8192,
+                                 target_rel_err=0.15)
+        res_mc = mc.run(np.random.default_rng(1))
+
+        assert res_mc.n_failures >= 10, "golden MC must actually resolve the rate"
+        # Agreement within the joint 95% confidence band.
+        joint = 1.96 * np.hypot(res_gis.std_err, res_mc.std_err)
+        assert abs(res_gis.p_fail - res_mc.p_fail) < joint + 0.3 * res_mc.p_fail
+
+    def test_gis_costs_far_less_than_mc(self, calibrated):
+        spec = calibrated
+        ls = make_read_limitstate(spec, n_steps=250)
+        res = GradientImportanceSampling(ls, n_max=2500, target_rel_err=0.1).run(
+            np.random.default_rng(2)
+        )
+        # At ~3 sigma, MC for 10% needs ~ (1-p)/(p*0.01) ~ 7e4; GIS should
+        # be at least an order of magnitude cheaper.
+        assert res.n_evals < 7000
+
+    def test_mpfp_identifies_pass_gate_as_critical(self, calibrated):
+        from repro.highsigma.mpfp import MpfpSearch
+
+        ls = make_read_limitstate(calibrated, n_steps=250)
+        res = MpfpSearch(ls).run()
+        # The read-access failure is dominated by the accessed-side pass
+        # gate threshold (axis 2 in canonical order).
+        dominant = int(np.argmax(np.abs(res.u_star)))
+        assert dominant == 2
+        assert res.u_star[2] > 0  # weaker pass gate slows the read

@@ -1,0 +1,117 @@
+"""Cross-cutting property-based invariants.
+
+These pin down relationships that individual unit tests only spot-check:
+estimator identities, model monotonicities, and conversion round-trips,
+each over randomly drawn inputs via hypothesis.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.highsigma.analytic import LinearLimitState
+from repro.highsigma.estimators import (
+    DefensiveMixture,
+    GaussianProposal,
+    effective_sample_size,
+    is_estimate,
+    log_std_normal_pdf,
+)
+from repro.spice.mosfet import nmos_45nm
+
+
+class TestImportanceSamplingIdentities:
+    @given(st.integers(min_value=1, max_value=200), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_weights_bounded_by_inverse_alpha(self, n, seed):
+        rng = np.random.default_rng(seed)
+        alpha = 0.2
+        mix = DefensiveMixture(
+            [GaussianProposal(rng.normal(size=3) * 3, 1.0)], alpha=alpha
+        )
+        u = rng.normal(size=(n, 3)) * 4
+        assert np.all(mix.log_weights(u) <= np.log(1 / alpha) + 1e-9)
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_mixture_density_normalised_direction(self, seed):
+        # logsumexp mixture must sit between the min and max component
+        # log-densities plus the weight bounds.
+        rng = np.random.default_rng(seed)
+        comp = GaussianProposal(rng.normal(size=2), 1.0)
+        mix = DefensiveMixture([comp], alpha=0.3)
+        u = rng.normal(size=(50, 2)) * 3
+        lo = np.minimum(log_std_normal_pdf(u), comp.logpdf(u)) + np.log(0.3)
+        hi = np.maximum(log_std_normal_pdf(u), comp.logpdf(u))
+        m = mix.logpdf(u)
+        assert np.all(m >= lo - 1e-9)
+        assert np.all(m <= hi + 1e-9)
+
+    @given(st.lists(st.floats(min_value=-3, max_value=3), min_size=2, max_size=60),
+           st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_estimate_invariant_to_permutation(self, log_w_list, seed):
+        rng = np.random.default_rng(seed)
+        log_w = np.array(log_w_list)
+        fails = rng.random(log_w.size) < 0.5
+        p1, se1 = is_estimate(log_w, fails)
+        perm = rng.permutation(log_w.size)
+        p2, se2 = is_estimate(log_w[perm], fails[perm])
+        assert p1 == pytest.approx(p2, rel=1e-12)
+        assert se1 == pytest.approx(se2, rel=1e-12)
+
+    @given(st.floats(min_value=-5, max_value=5), st.integers(min_value=2, max_value=50))
+    @settings(max_examples=25)
+    def test_ess_invariant_to_common_scaling(self, shift, n):
+        # Multiplying all weights by a constant must not change the ESS.
+        log_w = np.linspace(-1, 1, n)
+        fails = np.ones(n, dtype=bool)
+        assert effective_sample_size(log_w, fails) == pytest.approx(
+            effective_sample_size(log_w + shift, fails), rel=1e-9
+        )
+
+
+class TestDeviceModelMonotonicity:
+    @given(st.floats(min_value=0.3, max_value=1.0), st.floats(min_value=0.01, max_value=0.15))
+    @settings(max_examples=25, deadline=None)
+    def test_current_decreases_with_vth_shift(self, vg, dvth):
+        m = nmos_45nm()
+        base, *_ = m.ids(vg, 1.0, 0.0, w=120e-9, l=50e-9)
+        shifted, *_ = m.ids(vg, 1.0, 0.0, delta_vth=dvth, w=120e-9, l=50e-9)
+        assert shifted < base
+
+    @given(st.floats(min_value=0.8, max_value=1.3))
+    @settings(max_examples=20, deadline=None)
+    def test_current_scales_monotone_with_beta(self, mult):
+        m = nmos_45nm()
+        base, *_ = m.ids(1.0, 1.0, 0.0, w=120e-9, l=50e-9)
+        scaled, *_ = m.ids(1.0, 1.0, 0.0, beta_mult=mult, w=120e-9, l=50e-9)
+        if mult > 1:
+            assert scaled > base
+        elif mult < 1:
+            assert scaled < base
+
+    @given(st.floats(min_value=-0.5, max_value=1.5), st.floats(min_value=0.0, max_value=1.5))
+    @settings(max_examples=40, deadline=None)
+    def test_current_and_conductances_always_finite(self, vg, vd):
+        m = nmos_45nm()
+        out = m.ids(vg, vd, 0.0, w=120e-9, l=50e-9)
+        assert all(np.isfinite(float(x)) for x in out)
+
+
+class TestLimitStateIdentities:
+    @given(st.floats(min_value=2.0, max_value=6.0), st.integers(min_value=2, max_value=20))
+    @settings(max_examples=20, deadline=None)
+    def test_boundary_point_has_zero_margin(self, beta, dim):
+        ls = LinearLimitState(beta=beta, dim=dim)
+        u_boundary = beta * ls.a
+        assert ls.g(u_boundary) == pytest.approx(0.0, abs=1e-12)
+
+    @given(st.floats(min_value=2.0, max_value=6.0), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_batch_and_scalar_always_agree(self, beta, seed):
+        ls = LinearLimitState(beta=beta, dim=4)
+        rng = np.random.default_rng(seed)
+        ub = rng.normal(size=(8, 4)) * 2
+        np.testing.assert_allclose(ls.g_batch(ub), [ls.g(u) for u in ub], rtol=1e-12)

@@ -1,0 +1,129 @@
+"""Correlated (global + local) variation model tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NetlistError
+from repro.sram.cell import CELL_DEVICE_ORDER, build_cell
+from repro.variation.correlated import CorrelatedSpace, GlobalAxis
+from repro.variation.space import VariationSpace
+
+NMOS = ("m_pd_l", "m_pg_l", "m_pd_r", "m_pg_r")
+PMOS = ("m_pu_l", "m_pu_r")
+
+
+@pytest.fixture
+def space():
+    local = VariationSpace.from_mosfets(build_cell())
+    return CorrelatedSpace.nmos_pmos_globals(local, NMOS, PMOS,
+                                             sigma_nmos=0.02, sigma_pmos=0.03)
+
+
+class TestGlobalAxis:
+    def test_validation(self):
+        with pytest.raises(NetlistError):
+            GlobalAxis("g", "length", 0.02, ("m1",))
+        with pytest.raises(NetlistError):
+            GlobalAxis("g", "vth", -0.02, ("m1",))
+        with pytest.raises(NetlistError):
+            GlobalAxis("g", "vth", 0.02, ())
+
+
+class TestLayout:
+    def test_dim_is_local_plus_globals(self, space):
+        assert space.dim == 6 + 2
+
+    def test_labels(self, space):
+        assert space.labels[-2:] == ["global:nmos.vth", "global:pmos.vth"]
+
+    def test_split(self, space):
+        u = np.arange(8.0)
+        loc, glob = space.split(u)
+        assert loc.shape == (6,)
+        np.testing.assert_allclose(glob, [6.0, 7.0])
+
+    def test_wrong_shape(self, space):
+        with pytest.raises(NetlistError):
+            space.split(np.zeros(6))
+
+    def test_duplicate_globals_rejected(self):
+        local = VariationSpace.from_mosfets(build_cell())
+        axis = GlobalAxis("nmos", "vth", 0.02, NMOS)
+        with pytest.raises(NetlistError):
+            CorrelatedSpace(local, [axis, axis])
+
+
+class TestPhysicalMapping:
+    def test_global_shift_applied_to_all_members(self, space):
+        u = np.zeros(8)
+        u[6] = 2.0  # +2 sigma global NMOS
+        phys = space.to_physical(u)
+        for dev in NMOS:
+            assert phys[dev]["delta_vth"] == pytest.approx(0.04)
+        for dev in PMOS:
+            assert phys[dev]["delta_vth"] == 0.0
+
+    def test_local_and_global_add(self, space):
+        u = np.zeros(8)
+        u[2] = 1.0   # local pass-gate axis
+        u[6] = 1.0   # global NMOS
+        phys = space.to_physical(u)
+        local_sigma = space.local.axes[2].sigma
+        assert phys["m_pg_l"]["delta_vth"] == pytest.approx(local_sigma + 0.02)
+
+    def test_apply_to_circuit(self, space):
+        circuit = build_cell()
+        u = np.zeros(8)
+        u[7] = 1.0  # global PMOS
+        space.apply(circuit, u)
+        assert circuit["m_pu_l"].delta_vth == pytest.approx(0.03)
+        assert circuit["m_pu_r"].delta_vth == pytest.approx(0.03)
+        assert circuit["m_pd_l"].delta_vth == 0.0
+
+
+class TestBatchMatrices:
+    def test_vth_matrix_includes_globals(self, space):
+        u = np.zeros((2, 8))
+        u[0, 6] = 1.0
+        mat = space.vth_matrix(u, CELL_DEVICE_ORDER)
+        cols = {n: j for j, n in enumerate(CELL_DEVICE_ORDER)}
+        assert mat[0, cols["m_pd_l"]] == pytest.approx(0.02)
+        assert mat[0, cols["m_pu_l"]] == 0.0
+        np.testing.assert_allclose(mat[1], 0.0)
+
+    def test_matches_to_physical(self, space):
+        rng = np.random.default_rng(0)
+        u = rng.normal(size=8)
+        mat = space.vth_matrix(u[None, :], CELL_DEVICE_ORDER)
+        phys = space.to_physical(u)
+        for j, name in enumerate(CELL_DEVICE_ORDER):
+            assert mat[0, j] == pytest.approx(phys[name]["delta_vth"])
+
+    def test_beta_matrix_multiplicative(self):
+        local = VariationSpace.from_mosfets(build_cell(), include_beta=True)
+        cspace = CorrelatedSpace(
+            local, [GlobalAxis("nmos", "beta", 0.05, NMOS)]
+        )
+        u = np.zeros((1, cspace.dim))
+        u[0, -1] = 1.0
+        mat = cspace.beta_matrix(u, CELL_DEVICE_ORDER)
+        cols = {n: j for j, n in enumerate(CELL_DEVICE_ORDER)}
+        assert mat[0, cols["m_pd_l"]] == pytest.approx(1.05)
+        assert mat[0, cols["m_pu_l"]] == 1.0
+
+
+class TestEndToEnd:
+    def test_global_slowdown_visible_in_engine(self):
+        # A +2-sigma global NMOS slow-down must slow the read through the
+        # batched engine driven by the correlated space.
+        from repro.sram.batched import Batched6T
+
+        local = VariationSpace.from_mosfets(build_cell())
+        space = CorrelatedSpace.nmos_pmos_globals(local, NMOS, PMOS)
+        engine = Batched6T(n_steps=300)
+        u0 = np.zeros((1, space.dim))
+        u1 = np.zeros((1, space.dim))
+        u1[0, 6] = 2.0
+        base = engine.read(space.vth_matrix(u0, CELL_DEVICE_ORDER)).metric[0]
+        slow = engine.read(space.vth_matrix(u1, CELL_DEVICE_ORDER)).metric[0]
+        assert slow > 1.1 * base

@@ -1,0 +1,37 @@
+"""Pelgrom mismatch-law tests."""
+
+import numpy as np
+import pytest
+
+from repro.spice.mosfet import nmos_45nm, pmos_45nm
+from repro.variation.pelgrom import beta_mismatch_sigma, vth_mismatch_sigma
+
+
+class TestVthSigma:
+    def test_area_law(self):
+        m = nmos_45nm()
+        s = vth_mismatch_sigma(m, 100e-9, 50e-9)
+        s4 = vth_mismatch_sigma(m, 400e-9, 50e-9)
+        assert s4 == pytest.approx(s / 2)
+
+    def test_magnitude_tens_of_millivolts(self):
+        s = vth_mismatch_sigma(nmos_45nm(), 100e-9, 50e-9)
+        assert 0.02 < s < 0.06
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            vth_mismatch_sigma(nmos_45nm(), -1e-9, 50e-9)
+        with pytest.raises(ValueError):
+            vth_mismatch_sigma(nmos_45nm(), 1e-9, 0.0)
+
+
+class TestBetaSigma:
+    def test_area_law(self):
+        m = pmos_45nm()
+        s = beta_mismatch_sigma(m, 80e-9, 50e-9)
+        s4 = beta_mismatch_sigma(m, 320e-9, 50e-9)
+        assert s4 == pytest.approx(s / 2)
+
+    def test_fractional_range(self):
+        s = beta_mismatch_sigma(nmos_45nm(), 100e-9, 50e-9)
+        assert 0.01 < s < 0.5

@@ -1,0 +1,123 @@
+"""60-second smoke benchmark with a wall-clock regression gate.
+
+Runs a small fixed workload mix covering the hot paths (streaming
+accumulator loop, gradient-IS end-to-end on the batched 6T engine,
+sharded-plan execution) and compares total wall time against the
+committed baseline::
+
+    PYTHONPATH=src python benchmarks/smoke.py --check              # CI gate
+    PYTHONPATH=src python benchmarks/smoke.py --update-baseline    # re-record
+
+``--check`` exits non-zero when the run takes more than ``--factor``
+(default 2.0) times the baseline — the CI tripwire for accidental
+quadratic loops or per-batch re-reductions sneaking back in.  The
+baseline is a wall-clock number from one machine; the 2x margin is what
+absorbs ordinary machine-to-machine variation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import time
+
+import numpy as np
+
+BASELINE_PATH = pathlib.Path(__file__).parent / "results" / "smoke_baseline.json"
+
+
+def workload_streaming_core() -> None:
+    """Accumulator hot loop: many cheap batches, estimate every batch."""
+    from repro.highsigma.analytic import LinearLimitState
+    from repro.highsigma.estimators import MeanShiftISCore
+
+    ls = LinearLimitState(beta=4.0, dim=8)
+    core = MeanShiftISCore(
+        ls, shifts=[4.0 * ls.a], n_max=64 * 1500, batch_size=64,
+        target_rel_err=None,
+    )
+    core.run(np.random.default_rng(0), method="smoke")
+
+
+def workload_gis_engine() -> None:
+    """Gradient IS end-to-end on the real batched 6T read engine."""
+    from repro.experiments.workloads import make_read_limitstate
+    from repro.highsigma.gis import GradientImportanceSampling
+
+    # Fixed spec (~4 sigma for the default design at n_steps=300): the
+    # smoke run must not pay for a calibration sweep every time.
+    ls = make_read_limitstate(4.995e-11, n_steps=300)
+    gis = GradientImportanceSampling(ls, n_max=2000, target_rel_err=None)
+    gis.run(np.random.default_rng(1))
+
+
+def workload_sharded_plan() -> None:
+    """A pinned 4-shard plan executed in-process (plan overhead path)."""
+    from repro.highsigma.analytic import LinearLimitState
+    from repro.highsigma.estimators import MeanShiftISCore
+
+    ls = LinearLimitState(beta=4.0, dim=8)
+    core = MeanShiftISCore(
+        ls, shifts=[4.0 * ls.a], n_max=40000, batch_size=1024,
+        target_rel_err=None, workers=1, n_shards=4,
+    )
+    core.run(np.random.default_rng(2), method="smoke")
+
+
+WORKLOADS = [
+    ("streaming-core", workload_streaming_core),
+    ("gis-6t-engine", workload_gis_engine),
+    ("sharded-plan", workload_sharded_plan),
+]
+
+
+def run_smoke() -> dict:
+    timings = {}
+    total = 0.0
+    for name, fn in WORKLOADS:
+        t0 = time.perf_counter()
+        fn()
+        dt = time.perf_counter() - t0
+        timings[name] = round(dt, 3)
+        total += dt
+        print(f"{name:16s}: {dt:6.2f} s")
+    timings["total"] = round(total, 3)
+    print(f"{'total':16s}: {total:6.2f} s")
+    return timings
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--check", action="store_true",
+                        help="fail if total wall time exceeds factor * baseline")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="record this run as the new baseline")
+    parser.add_argument("--factor", type=float, default=2.0)
+    args = parser.parse_args()
+
+    timings = run_smoke()
+
+    if args.update_baseline:
+        BASELINE_PATH.parent.mkdir(exist_ok=True)
+        BASELINE_PATH.write_text(json.dumps(timings, indent=2) + "\n")
+        print(f"baseline written to {BASELINE_PATH}")
+        return 0
+
+    if args.check:
+        if not BASELINE_PATH.exists():
+            print(f"no baseline at {BASELINE_PATH}; run --update-baseline first")
+            return 1
+        baseline = json.loads(BASELINE_PATH.read_text())["total"]
+        limit = args.factor * baseline
+        print(f"baseline {baseline:.2f} s, limit {limit:.2f} s "
+              f"(factor {args.factor:g})")
+        if timings["total"] > limit:
+            print(f"FAIL: smoke run regressed: {timings['total']:.2f} s > {limit:.2f} s")
+            return 1
+        print("smoke benchmark within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

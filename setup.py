@@ -18,6 +18,8 @@ setup(
     python_requires=">=3.9",
     package_dir={"": "src"},
     packages=find_packages("src"),
-    install_requires=["numpy", "scipy"],
+    # The sharded engine spawns per-shard RNG streams via
+    # numpy.random.Generator.spawn, which appeared in numpy 1.25.
+    install_requires=["numpy>=1.25", "scipy"],
     extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
 )

@@ -15,6 +15,15 @@ Examples::
     python -m repro.cli write-sigma --target-sigma 5 --vdd 0.9
     python -m repro.cli snm --vdd 0.8
     python -m repro.cli compare --target-sigma 4 --budget 4000
+    python -m repro.cli read-sigma --spec-ps 55 --workers 4
+
+Parallelism: ``--workers N`` shards the sampling budget across ``N``
+worker processes through :mod:`repro.engine` (per-shard RNG streams
+spawned from one seed, shard accumulators merged exactly).  The shard
+plan is pinned to ``--shards`` (default: ``--workers``), so results are
+bit-identical for any worker count with the same ``--shards`` — e.g.
+``--shards 4 --workers 1`` reproduces ``--shards 4 --workers 4`` on a
+laptop with no free cores.
 """
 
 from __future__ import annotations
@@ -45,6 +54,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="target relative standard error")
         p.add_argument("--n-steps", type=int, default=400,
                        help="transient grid density of the batched engine")
+        p.add_argument("--workers", type=int, default=1,
+                       help="worker processes for sharded sampling; with "
+                            "--shards pinned, changing only this never "
+                            "changes the estimate")
+        p.add_argument("--shards", type=int, default=None,
+                       help="shard plan the estimate depends on (default: "
+                            "follows --workers); pin this to reproduce a "
+                            "run on any machine / worker count")
 
     p_read = sub.add_parser("read-sigma", help="read-access failure sigma")
     common(p_read)
@@ -109,7 +126,8 @@ def _run_sigma(args, kind: str) -> int:
 
     ls = make(spec, vdd=args.vdd, n_steps=args.n_steps)
     gis = GradientImportanceSampling(
-        ls, n_max=args.budget, target_rel_err=args.rel_err
+        ls, n_max=args.budget, target_rel_err=args.rel_err,
+        workers=args.workers, n_shards=args.shards,
     )
     result = gis.run(np.random.default_rng(args.seed))
     _report(result, spec, note)
@@ -145,7 +163,8 @@ def _run_compare(args) -> int:
         dim=6,
     )
     methods = default_methods(
-        n_max=args.budget, target_rel_err=args.rel_err, mc_budget=args.mc_budget
+        n_max=args.budget, target_rel_err=args.rel_err, mc_budget=args.mc_budget,
+        workers=args.workers, n_shards=args.shards,
     )
     rows = run_comparison(wl, methods, seeds=(args.seed,))
     print(render_table(

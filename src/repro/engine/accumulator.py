@@ -1,0 +1,119 @@
+"""Streaming importance-sampling accumulator.
+
+The estimator only ever needs four reductions of the sample history:
+
+* ``n``       — total samples drawn;
+* ``n_fail``  — failing samples;
+* ``S1 = sum_i w_i I_i``   (kept as ``log S1``);
+* ``S2 = sum_i w_i^2 I_i`` (kept as ``log S2``),
+
+because ``p = S1/n``, the ddof-1 sample variance of the contributions is
+``(S2 - S1^2/n) / (n-1)`` (all non-failing contributions are exactly
+zero), and the Kish effective sample size of the failing weights is
+``S1^2 / S2``.  Keeping the two weight sums in log space preserves the
+package-wide invariant that importance weights at 6 sigma — spanning
+hundreds of orders of magnitude — are never exponentiated until the
+final reduction.
+
+Invariants the engine relies on:
+
+* :meth:`update` does O(batch) work and leaves O(1) state — per-batch
+  cost is independent of how many batches came before;
+* :meth:`merge` is exact: merging per-shard accumulators in a fixed
+  order yields bit-identical moments no matter which process computed
+  each shard, which is what makes ``workers=N`` a pure speed knob;
+* the statistics match :func:`repro.highsigma.estimators.is_estimate` /
+  :func:`~repro.highsigma.estimators.effective_sample_size` applied to
+  the concatenated history (up to floating-point reduction order).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+from scipy.special import logsumexp
+
+from repro.errors import EstimationError
+
+__all__ = ["StreamingAccumulator"]
+
+
+class StreamingAccumulator:
+    """Constant-size running moments of a (log-weight, indicator) stream."""
+
+    __slots__ = ("n", "n_fail", "_log_s1", "_log_s2")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.n_fail = 0
+        self._log_s1 = float("-inf")
+        self._log_s2 = float("-inf")
+
+    # -- pickling (``__slots__`` removes ``__dict__``) -------------------
+
+    def __getstate__(self):
+        return (self.n, self.n_fail, self._log_s1, self._log_s2)
+
+    def __setstate__(self, state):
+        self.n, self.n_fail, self._log_s1, self._log_s2 = state
+
+    # --------------------------------------------------------------------
+
+    def update(self, log_w: np.ndarray, fails: np.ndarray) -> None:
+        """Fold one batch of log-weights / failure indicators in."""
+        log_w = np.asarray(log_w, dtype=float)
+        fails = np.asarray(fails, dtype=bool)
+        if log_w.shape != fails.shape:
+            raise EstimationError("log-weights and indicators must have equal shapes")
+        self.n += log_w.size
+        k = int(np.count_nonzero(fails))
+        if k:
+            self.n_fail += k
+            lw = log_w[fails]
+            self._log_s1 = float(np.logaddexp(self._log_s1, logsumexp(lw)))
+            self._log_s2 = float(np.logaddexp(self._log_s2, logsumexp(2.0 * lw)))
+
+    def merge(self, other: "StreamingAccumulator") -> None:
+        """Fold another accumulator in (exact, order-sensitive only in ulps).
+
+        Merging shard accumulators in a fixed shard order is the engine's
+        determinism contract: the result depends on the shard plan, not
+        on which worker process produced each shard.
+        """
+        self.n += other.n
+        self.n_fail += other.n_fail
+        self._log_s1 = float(np.logaddexp(self._log_s1, other._log_s1))
+        self._log_s2 = float(np.logaddexp(self._log_s2, other._log_s2))
+
+    # --------------------------------------------------------------------
+
+    def estimate(self) -> Tuple[float, float]:
+        """``(p_fail, std_err)`` of the stream so far.
+
+        Mirrors :func:`repro.highsigma.estimators.is_estimate`: zero
+        samples raise, one sample has infinite standard error, zero
+        failures give ``(0.0, 0.0)``.
+        """
+        if self.n == 0:
+            raise EstimationError("cannot estimate from zero samples")
+        s1 = float(np.exp(self._log_s1))
+        p = s1 / self.n
+        if self.n <= 1:
+            return p, float("inf")
+        s2 = float(np.exp(self._log_s2))
+        # ddof=1 variance of the n contributions, most of which are 0.
+        var = max(s2 - s1 * s1 / self.n, 0.0) / (self.n - 1)
+        return p, float(np.sqrt(var / self.n))
+
+    def ess(self) -> float:
+        """Kish effective sample size of the failing weights."""
+        if self.n_fail == 0 or self._log_s1 == float("-inf"):
+            return 0.0
+        return float(np.exp(2.0 * self._log_s1 - self._log_s2))
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamingAccumulator(n={self.n}, n_fail={self.n_fail}, "
+            f"log_s1={self._log_s1:.6g}, log_s2={self._log_s2:.6g})"
+        )

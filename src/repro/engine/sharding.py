@@ -1,0 +1,222 @@
+"""Deterministic budget sharding over worker processes.
+
+The contract, in one sentence: a *shard plan* (how the sampling budget
+splits and which RNG stream each shard gets) fully determines the
+statistics, and ``workers`` only decides how many OS processes execute
+the plan — so the same plan run with ``workers=1`` and ``workers=8`` is
+bit-identical.
+
+Mechanics:
+
+* per-shard RNG streams come from ``np.random.SeedSequence.spawn`` (via
+  :func:`spawn_generators`), so they are reproducible, independent, and
+  do not depend on the worker count;
+* the budget splits with :func:`split_budget` (largest shards first, a
+  fixed deterministic rule);
+* :class:`ShardedRunner` executes shard tasks either in-process
+  (``workers=1`` or when ``fork`` is unavailable) or on a fork-based
+  process pool.  Fork matters: limit states built around closures over
+  vectorised simulators are not picklable, but a forked child inherits
+  them — only the *results* (plain dataclasses of floats) cross process
+  boundaries;
+* each task reports the limit-state evaluations its shard consumed, and
+  the runner credits them back to the parent's
+  :attr:`~repro.highsigma.limitstate.LimitState.n_evals` after a pooled
+  run, so eval accounting reconciles exactly across processes (the
+  in-process path already counted them on the parent object).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import EstimationError
+
+__all__ = [
+    "ShardResult",
+    "ShardedRunner",
+    "resolve_shards",
+    "run_sharded",
+    "scale_shard_target",
+    "spawn_generators",
+    "split_budget",
+]
+
+
+def resolve_shards(n_shards: Optional[int], workers: int) -> int:
+    """The shard plan an estimator runs: explicit ``n_shards``, else one
+    shard per worker (so the default single-worker run keeps the classic
+    single-stream RNG consumption)."""
+    return n_shards if n_shards is not None else workers
+
+
+def scale_shard_target(target_rel_err: Optional[float], n_shards: int) -> Optional[float]:
+    """Shard-local relative-error stop for a global target.
+
+    Each shard holds 1/N of the samples, so a shard-level relative error
+    of ``t * sqrt(N)`` merges to ≈``t`` overall; without the scaling no
+    shard could meet the global target on its fraction of the budget and
+    sharding would silently disable early stopping.
+
+    The shard-local stop is a heuristic: shards stop independently, so a
+    run can come back ``converged=False`` with some shard budget unspent
+    when the merged error misses the global target by a hair.  The
+    convergence flag stays honest (it is recomputed from the merged
+    moments); rerun with a larger budget or fewer shards if that case
+    matters.
+    """
+    if target_rel_err is None:
+        return None
+    return float(target_rel_err) * float(np.sqrt(n_shards))
+
+
+def split_budget(total: int, n_shards: int) -> List[int]:
+    """Split ``total`` into ``n_shards`` near-equal deterministic parts.
+
+    The remainder goes to the lowest-index shards, so the split depends
+    only on ``(total, n_shards)``.
+    """
+    total = int(total)
+    n_shards = int(n_shards)
+    if n_shards < 1:
+        raise EstimationError(f"n_shards must be >= 1, got {n_shards}")
+    if total < 0:
+        raise EstimationError(f"budget must be >= 0, got {total}")
+    base, rem = divmod(total, n_shards)
+    return [base + (1 if i < rem else 0) for i in range(n_shards)]
+
+
+def spawn_generators(
+    rng: np.random.Generator, n: int
+) -> List[np.random.Generator]:
+    """``n`` independent child generators via SeedSequence spawning.
+
+    Children depend only on the parent's seed material and the spawn
+    count — not on how much of the parent stream was consumed after
+    seeding, and not on how many workers will run them.
+    """
+    return list(rng.spawn(int(n)))
+
+
+@dataclass
+class ShardResult:
+    """What one shard task hands back to the parent.
+
+    ``n_evals`` is the number of limit-state evaluations the shard
+    consumed (measured inside the shard against its own copy of the
+    limit state); ``payload`` is estimator-specific (an accumulator,
+    per-scale counts, ...).
+    """
+
+    index: int
+    n_evals: int
+    payload: Any
+    diagnostics: dict = field(default_factory=dict)
+
+
+# Fork-pool plumbing: the task closure (typically capturing a limit
+# state full of unpicklable simulator closures) is published through a
+# module global *before* the pool forks, so children inherit it by
+# memory copy and nothing but plain shard arguments and ShardResults
+# ever crosses a pipe.  The lock serialises concurrent pooled runs —
+# without it, two threads racing through set/fork could fork children
+# holding the other thread's task.
+_ACTIVE_TASK: Optional[Callable[..., ShardResult]] = None
+_ACTIVE_TASK_LOCK = threading.Lock()
+
+
+def _invoke_shard(args) -> ShardResult:
+    index, rng, budget = args
+    return _ACTIVE_TASK(index, rng, budget)
+
+
+def fork_available() -> bool:
+    """Whether fork-based pooling is supported on this platform."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+class ShardedRunner:
+    """Execute shard tasks serially or on a fork pool, results in order.
+
+    Parameters
+    ----------
+    workers:
+        Process count.  ``1`` (or an unavailable ``fork`` start method)
+        runs every shard in the calling process — same computation, same
+        results, no pool overhead.
+    """
+
+    def __init__(self, workers: int = 1):
+        self.workers = max(1, int(workers))
+
+    def run_shards(
+        self,
+        task: Callable[[int, np.random.Generator, int], ShardResult],
+        rngs: Sequence[np.random.Generator],
+        budgets: Sequence[int],
+        limit_state=None,
+    ) -> List[ShardResult]:
+        """Run ``task(i, rngs[i], budgets[i])`` for every shard.
+
+        Results come back ordered by shard index regardless of execution
+        order.  When the shards ran in worker processes and
+        ``limit_state`` is given, the per-shard evaluation counts are
+        added to ``limit_state.n_evals`` (the in-process path increments
+        it directly while running).
+        """
+        if len(rngs) != len(budgets):
+            raise EstimationError("one RNG stream per shard budget is required")
+        jobs = [(i, rng, int(b)) for i, (rng, b) in enumerate(zip(rngs, budgets))]
+        if self.workers == 1 or len(jobs) == 1 or not fork_available():
+            return [task(*job) for job in jobs]
+
+        global _ACTIVE_TASK
+        if _ACTIVE_TASK is not None:
+            # Nested sharding (a shard trying to shard again) would fork
+            # from inside a pool worker; run inner plans in-process.
+            return [task(*job) for job in jobs]
+        with _ACTIVE_TASK_LOCK:
+            _ACTIVE_TASK = task
+            try:
+                ctx = multiprocessing.get_context("fork")
+                with ctx.Pool(processes=min(self.workers, len(jobs))) as pool:
+                    results = pool.map(_invoke_shard, jobs)
+            finally:
+                _ACTIVE_TASK = None
+        results.sort(key=lambda r: r.index)
+        if limit_state is not None:
+            limit_state.n_evals += sum(r.n_evals for r in results)
+        return results
+
+
+def run_sharded(
+    shard_fn: Callable[[np.random.Generator, int], Any],
+    rng: np.random.Generator,
+    n_shards: int,
+    budget: int,
+    workers: int,
+    limit_state,
+) -> List[Any]:
+    """Run ``shard_fn(shard_rng, shard_budget) -> payload`` over a plan.
+
+    The one dispatch pattern every estimator shares: spawn per-shard RNG
+    streams, split the budget, measure each shard's limit-state evals
+    against its own process copy, execute via :class:`ShardedRunner`,
+    and hand back the payloads in shard order (eval counts already
+    reconciled into ``limit_state``).
+    """
+    rngs = spawn_generators(rng, n_shards)
+    budgets = split_budget(budget, n_shards)
+
+    def task(i: int, shard_rng: np.random.Generator, b: int) -> ShardResult:
+        before = limit_state.n_evals
+        payload = shard_fn(shard_rng, b)
+        return ShardResult(index=i, n_evals=limit_state.n_evals - before, payload=payload)
+
+    results = ShardedRunner(workers).run_shards(task, rngs, budgets, limit_state=limit_state)
+    return [r.payload for r in results]

@@ -47,13 +47,21 @@ def default_methods(
     mc_budget: int = 200000,
     include_mc: bool = True,
     n_starts: int = 1,
+    workers: int = 1,
+    n_shards: Optional[int] = None,
 ) -> List[MethodSpec]:
-    """The paper's comparison set with a shared sampling budget."""
+    """The paper's comparison set with a shared sampling budget.
+
+    ``workers`` / ``n_shards`` forward the :mod:`repro.engine` sharding
+    knobs to every estimator: the sampling stages fan out over worker
+    processes while every method keeps its exact shard-plan statistics.
+    """
     methods = [
         MethodSpec(
             "gis",
             lambda ls: GradientImportanceSampling(
-                ls, n_max=n_max, target_rel_err=target_rel_err, n_starts=n_starts
+                ls, n_max=n_max, target_rel_err=target_rel_err, n_starts=n_starts,
+                workers=workers, n_shards=n_shards,
             ),
         ),
         MethodSpec(
@@ -63,18 +71,24 @@ def default_methods(
                 n_presample=max(500, n_max // 4),
                 n_max=n_max,
                 target_rel_err=target_rel_err,
+                workers=workers,
+                n_shards=n_shards,
             ),
         ),
         MethodSpec(
             "spherical",
             lambda ls: SphericalSearchIS(
-                ls, n_max=n_max, target_rel_err=target_rel_err
+                ls, n_max=n_max, target_rel_err=target_rel_err,
+                workers=workers, n_shards=n_shards,
             ),
         ),
         MethodSpec(
             "sss",
             # Five scales share the same total budget as the IS methods.
-            lambda ls: ScaledSigmaSampling(ls, n_per_scale=max(400, n_max // 5)),
+            lambda ls: ScaledSigmaSampling(
+                ls, n_per_scale=max(400, n_max // 5),
+                workers=workers, n_shards=n_shards,
+            ),
         ),
     ]
     if include_mc:
@@ -83,7 +97,8 @@ def default_methods(
             MethodSpec(
                 "mc",
                 lambda ls: MonteCarloEstimator(
-                    ls, n_max=mc_budget, target_rel_err=target_rel_err
+                    ls, n_max=mc_budget, target_rel_err=target_rel_err,
+                    workers=workers, n_shards=n_shards,
                 ),
             ),
         )

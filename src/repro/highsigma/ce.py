@@ -51,8 +51,9 @@ class CrossEntropyIS:
         metrics must not silently return a garbage proposal).
     adapt_cov:
         Refit a diagonal covariance from the elites as well as the mean.
-    n_max / batch_size / target_rel_err / alpha:
-        Final estimation stage, as in the other samplers.
+    n_max / batch_size / target_rel_err / alpha / workers / n_shards:
+        Final estimation stage, as in the other samplers (the adaptation
+        levels stay serial — each level's refit needs the previous one).
     """
 
     method_name = "ce"
@@ -69,6 +70,8 @@ class CrossEntropyIS:
         batch_size: int = 256,
         target_rel_err: Optional[float] = 0.1,
         alpha: float = 0.1,
+        workers: int = 1,
+        n_shards: Optional[int] = None,
     ):
         if not 0.0 < elite_fraction < 1.0:
             raise SearchError(f"elite_fraction must be in (0,1), got {elite_fraction!r}")
@@ -84,6 +87,8 @@ class CrossEntropyIS:
         self.batch_size = int(batch_size)
         self.target_rel_err = target_rel_err
         self.alpha = float(alpha)
+        self.workers = max(1, int(workers))
+        self.n_shards = n_shards
 
     # ------------------------------------------------------------------
 
@@ -134,6 +139,8 @@ class CrossEntropyIS:
             batch_size=self.batch_size,
             n_max=self.n_max,
             target_rel_err=self.target_rel_err,
+            workers=self.workers,
+            n_shards=self.n_shards,
         )
         diagnostics = {
             "levels": levels,

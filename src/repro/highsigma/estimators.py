@@ -11,17 +11,24 @@ Contents:
   minimum-norm IS and spherical-search IS — the three methods differ only
   in *how they find the shift vector*, so sharing the sampler is both less
   code and a fairer comparison.
+
+The estimation stage streams its batches into a
+:class:`repro.engine.accumulator.StreamingAccumulator` (O(1) state per
+batch) and can split its budget across worker processes through
+:class:`repro.engine.sharding.ShardedRunner`; see :mod:`repro.engine`
+for the determinism contract.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import stats
 from scipy.special import logsumexp
 
+from repro.engine.accumulator import StreamingAccumulator
+from repro.engine.sharding import resolve_shards, run_sharded, scale_shard_target
 from repro.errors import EstimationError
 from repro.highsigma.limitstate import LimitState
 from repro.highsigma.results import EstimateResult
@@ -123,7 +130,9 @@ class DefensiveMixture:
         self.weights = w
 
     def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
-        """Draw ``n`` samples from the mixture."""
+        """Draw ``n`` samples from the mixture (``n=0`` gives an empty block)."""
+        if n <= 0:
+            return np.empty((0, self.dim))
         probs = np.concatenate(([self.alpha], self.weights))
         counts = rng.multinomial(n, probs / probs.sum())
         parts = []
@@ -146,6 +155,8 @@ class DefensiveMixture:
         stays consistent while cutting the estimator variance on smooth
         integrands — the QMC ablation quantifies by how much.
         """
+        if n <= 0:
+            return np.empty((0, self.dim))
         probs = np.concatenate(([self.alpha], self.weights))
         probs = probs / probs.sum()
         counts = np.floor(probs * n).astype(int)
@@ -228,21 +239,6 @@ def effective_sample_size(log_w: np.ndarray, fails: np.ndarray) -> float:
     return float(np.exp(num - den))
 
 
-@dataclass
-class _Accumulator:
-    """Running log-weight / indicator store across batches."""
-
-    log_w: List[np.ndarray]
-    fails: List[np.ndarray]
-
-    def extend(self, lw: np.ndarray, fl: np.ndarray) -> None:
-        self.log_w.append(lw)
-        self.fails.append(fl)
-
-    def collect(self) -> Tuple[np.ndarray, np.ndarray]:
-        return np.concatenate(self.log_w), np.concatenate(self.fails)
-
-
 class MeanShiftISCore:
     """Estimation stage shared by the mean-shift importance samplers.
 
@@ -250,6 +246,24 @@ class MeanShiftISCore:
     minimum-norm pre-search, or a spherical search), build the defensive
     mixture proposal and run batched sampling until the target relative
     error or the evaluation budget is reached.
+
+    The sampling loop streams every batch into a
+    :class:`~repro.engine.accumulator.StreamingAccumulator` — O(batch)
+    work per batch, no re-reduction of the history — and optionally
+    splits the budget into deterministic shards executed by a
+    :class:`~repro.engine.sharding.ShardedRunner`.  The estimate depends
+    on the shard plan (``n_shards``), never on ``workers``: the same
+    plan run serially or on four processes is bit-identical.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes for the sharded path (1 = in-process).
+    n_shards:
+        Number of budget shards.  ``None`` means ``workers`` (so the
+        default single-worker run keeps the classic single-stream RNG
+        consumption); pin it explicitly when comparing runs across
+        machines with different worker counts.
     """
 
     def __init__(
@@ -263,6 +277,8 @@ class MeanShiftISCore:
         target_rel_err: Optional[float] = 0.1,
         min_batches: int = 2,
         sampler: str = "random",
+        workers: int = 1,
+        n_shards: Optional[int] = None,
     ):
         if sampler not in ("random", "qmc"):
             raise EstimationError(f"unknown sampler {sampler!r}")
@@ -274,6 +290,42 @@ class MeanShiftISCore:
         self.target_rel_err = target_rel_err
         self.min_batches = int(min_batches)
         self.sampler = sampler
+        self.workers = max(1, int(workers))
+        self.n_shards = None if n_shards is None else max(1, int(n_shards))
+
+    def _sample_shard(
+        self, rng: np.random.Generator, budget: int, target: Optional[float] = None
+    ) -> Tuple[StreamingAccumulator, int, bool]:
+        """One shard's batched sampling loop: O(1) state per batch.
+
+        ``target`` is the shard-local relative-error stop.  A sharded run
+        passes ``target_rel_err * sqrt(n_shards)``: each shard holds 1/N
+        of the samples, so a shard-level relative error of ``t*sqrt(N)``
+        merges to ≈``t`` overall — without the scaling, no shard could
+        ever meet the global target on its fraction of the budget and
+        sharding would silently disable early stopping.
+        """
+        acc = StreamingAccumulator()
+        n_drawn = 0
+        batches = 0
+        converged = False
+        while n_drawn < budget:
+            k = min(self.batch_size, budget - n_drawn)
+            if self.sampler == "qmc":
+                u = self.proposal.sample_qmc(k, rng)
+            else:
+                u = self.proposal.sample(k, rng)
+            fails = self.ls.fails_batch(u)
+            log_w = self.proposal.log_weights(u)
+            acc.update(log_w, fails)
+            n_drawn += k
+            batches += 1
+            if target is not None and batches >= self.min_batches:
+                p, se = acc.estimate()
+                if p > 0 and se / p <= target:
+                    converged = True
+                    break
+        return acc, n_drawn, converged
 
     def run(self, rng: np.random.Generator, method: str, extra_evals: int = 0,
             diagnostics: Optional[dict] = None) -> EstimateResult:
@@ -281,35 +333,38 @@ class MeanShiftISCore:
 
         ``extra_evals`` is the search-phase cost to fold into ``n_evals``.
         """
-        acc = _Accumulator([], [])
-        n_drawn = 0
-        batches = 0
-        converged = False
-        p, se = 0.0, float("inf")
-        while n_drawn < self.n_max:
-            k = min(self.batch_size, self.n_max - n_drawn)
-            if self.sampler == "qmc":
-                u = self.proposal.sample_qmc(k, rng)
-            else:
-                u = self.proposal.sample(k, rng)
-            fails = self.ls.fails_batch(u)
-            log_w = self.proposal.log_weights(u)
-            acc.extend(log_w, fails)
-            n_drawn += k
-            batches += 1
-            log_w_all, fails_all = acc.collect()
-            p, se = is_estimate(log_w_all, fails_all)
-            if (
+        shards = resolve_shards(self.n_shards, self.workers)
+        diag = dict(diagnostics or {})
+        if shards <= 1:
+            acc, n_drawn, converged = self._sample_shard(
+                rng, self.n_max, self.target_rel_err
+            )
+        else:
+            shard_target = scale_shard_target(self.target_rel_err, shards)
+            payloads = run_sharded(
+                lambda shard_rng, budget: self._sample_shard(shard_rng, budget, shard_target),
+                rng, shards, self.n_max, self.workers, self.ls,
+            )
+            acc = StreamingAccumulator()
+            n_drawn = 0
+            shard_converged = []
+            for shard_acc, nd, conv in payloads:
+                acc.merge(shard_acc)
+                n_drawn += nd
+                shard_converged.append(bool(conv))
+            converged = False  # decided from the merged moments below
+            diag.update(
+                n_shards=shards,
+                workers=self.workers,
+                shard_converged=shard_converged,
+            )
+        p, se = acc.estimate()
+        if shards > 1:
+            converged = bool(
                 self.target_rel_err is not None
-                and batches >= self.min_batches
                 and p > 0
                 and se / p <= self.target_rel_err
-            ):
-                converged = True
-                break
-        log_w_all, fails_all = acc.collect()
-        ess = effective_sample_size(log_w_all, fails_all)
-        diag = dict(diagnostics or {})
+            )
         diag.update(
             n_sampling=n_drawn,
             alpha=self.proposal.alpha,
@@ -319,9 +374,9 @@ class MeanShiftISCore:
             p_fail=p,
             std_err=se,
             n_evals=n_drawn + extra_evals,
-            n_failures=int(fails_all.sum()),
+            n_failures=acc.n_fail,
             method=method,
             converged=converged,
-            ess=ess,
+            ess=acc.ess(),
             diagnostics=diag,
         )

@@ -72,6 +72,10 @@ class GradientImportanceSampling:
     beta_window:
         Keep only MPFPs with ``beta <= beta_min + beta_window`` (farther
         regions contribute negligibly).
+    workers / n_shards:
+        Stage-2 sampling parallelism, forwarded to
+        :class:`~repro.highsigma.estimators.MeanShiftISCore` (the search
+        stage stays serial — it is a tiny fraction of the budget).
     """
 
     method_name = "gis"
@@ -91,6 +95,8 @@ class GradientImportanceSampling:
         grad_fn=None,
         dedup_distance: float = 0.8,
         beta_window: float = 1.5,
+        workers: int = 1,
+        n_shards: Optional[int] = None,
     ):
         self.ls = limit_state
         self.n_max = int(n_max)
@@ -105,6 +111,8 @@ class GradientImportanceSampling:
         self.grad_fn = grad_fn
         self.dedup_distance = float(dedup_distance)
         self.beta_window = float(beta_window)
+        self.workers = max(1, int(workers))
+        self.n_shards = n_shards
 
     # ------------------------------------------------------------------
 
@@ -172,6 +180,8 @@ class GradientImportanceSampling:
             batch_size=self.batch_size,
             n_max=self.n_max,
             target_rel_err=self.target_rel_err,
+            workers=self.workers,
+            n_shards=self.n_shards,
         )
         core.proposal.weights = weights * (1.0 - self.alpha)
 

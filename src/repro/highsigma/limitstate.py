@@ -50,6 +50,14 @@ class LimitState:
     cache:
         Keep a dict of previously evaluated points (keyed on the rounded
         vector bytes).  Only scalar evaluations are cached.
+    cache_decimals:
+        Decimals the cache key is rounded to.  MPFP line searches
+        re-evaluate points that differ only in the last ulp; rounding
+        makes those hits land on one key.
+    cache_size:
+        Bound on the number of cached points (oldest entries evicted
+        first).  ``None`` disables the bound — fine for short runs, a
+        leak on long ones.
     """
 
     def __init__(
@@ -61,6 +69,8 @@ class LimitState:
         name: str = "limit-state",
         batch_fn: Optional[Callable[[np.ndarray], np.ndarray]] = None,
         cache: bool = True,
+        cache_decimals: int = 12,
+        cache_size: Optional[int] = 1 << 18,
     ):
         if direction not in ("upper", "lower"):
             raise EstimationError(f"direction must be 'upper' or 'lower', got {direction!r}")
@@ -74,6 +84,10 @@ class LimitState:
         self.name = name
         self.n_evals = 0
         self._cache: Optional[Dict[bytes, float]] = {} if cache else None
+        self._cache_decimals = int(cache_decimals)
+        if cache_size is not None and int(cache_size) < 1:
+            raise EstimationError(f"cache_size must be >= 1 or None, got {cache_size!r}")
+        self._cache_size = None if cache_size is None else int(cache_size)
 
     # ------------------------------------------------------------------
 
@@ -82,18 +96,27 @@ class LimitState:
             return self.spec - metric
         return metric - self.spec
 
+    def _cache_key(self, u: np.ndarray) -> bytes:
+        # ``+ 0.0`` collapses -0.0 onto 0.0 so a sign-of-zero difference
+        # cannot split one point over two keys.
+        return (np.round(u, self._cache_decimals) + 0.0).tobytes()
+
     def metric(self, u: np.ndarray) -> float:
         """Raw (un-margined) metric at ``u``; counted like any evaluation."""
         u = np.asarray(u, dtype=float)
         self._check(u)
         key = None
         if self._cache is not None:
-            key = u.tobytes()
+            key = self._cache_key(u)
             if key in self._cache:
                 return self._cache[key]
         value = float(self._fn(u))
         self.n_evals += 1
         if self._cache is not None:
+            if self._cache_size is not None and len(self._cache) >= self._cache_size:
+                # FIFO eviction: dicts iterate in insertion order, so the
+                # first key is the oldest entry.
+                self._cache.pop(next(iter(self._cache)))
             self._cache[key] = value
         return value
 

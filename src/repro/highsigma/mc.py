@@ -13,6 +13,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.engine.sharding import resolve_shards, run_sharded, scale_shard_target
 from repro.errors import EstimationError
 from repro.highsigma.limitstate import LimitState
 from repro.highsigma.results import EstimateResult
@@ -48,6 +49,12 @@ class MonteCarloEstimator:
     target_rel_err:
         Stop once the relative standard error of the estimate drops below
         this (None disables early stopping).
+    workers:
+        Worker processes for sharded sampling (1 = in-process).
+    n_shards:
+        Budget shards; ``None`` means ``workers``.  The estimate depends
+        on the shard plan only, never on the worker count — see
+        :mod:`repro.engine`.
     """
 
     method_name = "mc"
@@ -58,32 +65,68 @@ class MonteCarloEstimator:
         n_max: int = 100000,
         batch_size: int = 4096,
         target_rel_err: Optional[float] = 0.1,
+        workers: int = 1,
+        n_shards: Optional[int] = None,
     ):
         self.ls = limit_state
         self.n_max = int(n_max)
         self.batch_size = int(batch_size)
         self.target_rel_err = target_rel_err
+        self.workers = max(1, int(workers))
+        self.n_shards = None if n_shards is None else max(1, int(n_shards))
+
+    def _sample_shard(self, rng: np.random.Generator, budget: int,
+                      target: Optional[float] = None):
+        """One shard's counting loop: ``(n_done, k_fail, converged)``.
+
+        ``target`` is the shard-local relative-error stop; a sharded run
+        passes ``target_rel_err * sqrt(n_shards)`` so that shard-level
+        stops merge to ≈ the global target (each shard only holds 1/N of
+        the failures the global criterion expects).
+        """
+        n_done = 0
+        k_fail = 0
+        converged = False
+        while n_done < budget:
+            m = min(self.batch_size, budget - n_done)
+            u = rng.standard_normal((m, self.ls.dim))
+            k_fail += int(self.ls.fails_batch(u).sum())
+            n_done += m
+            if target is not None and k_fail >= 10:
+                p = k_fail / n_done
+                rel = np.sqrt((1.0 - p) / (k_fail))
+                if rel <= target:
+                    converged = True
+                    break
+        return n_done, k_fail, converged
 
     def run(self, rng: Optional[np.random.Generator] = None) -> EstimateResult:
         """Sample until the budget or the target relative error is reached."""
         rng = rng if rng is not None else np.random.default_rng()
-        n_done = 0
-        k_fail = 0
-        converged = False
-        while n_done < self.n_max:
-            m = min(self.batch_size, self.n_max - n_done)
-            u = rng.standard_normal((m, self.ls.dim))
-            k_fail += int(self.ls.fails_batch(u).sum())
-            n_done += m
-            if self.target_rel_err is not None and k_fail >= 10:
-                p = k_fail / n_done
-                rel = np.sqrt((1.0 - p) / (k_fail))
-                if rel <= self.target_rel_err:
-                    converged = True
-                    break
+        shards = resolve_shards(self.n_shards, self.workers)
+        diagnostics = {}
+        if shards <= 1:
+            n_done, k_fail, converged = self._sample_shard(
+                rng, self.n_max, self.target_rel_err
+            )
+        else:
+            shard_target = scale_shard_target(self.target_rel_err, shards)
+            payloads = run_sharded(
+                lambda shard_rng, budget: self._sample_shard(shard_rng, budget, shard_target),
+                rng, shards, self.n_max, self.workers, self.ls,
+            )
+            n_done = sum(p[0] for p in payloads)
+            k_fail = sum(p[1] for p in payloads)
+            converged = bool(
+                self.target_rel_err is not None
+                and k_fail >= 10
+                and np.sqrt((1.0 - k_fail / n_done) / k_fail) <= self.target_rel_err
+            )
+            diagnostics.update(n_shards=shards, workers=self.workers)
         p = k_fail / n_done
         std_err = float(np.sqrt(p * (1.0 - p) / n_done)) if n_done > 1 else float("inf")
         lo, hi = wilson_interval(k_fail, n_done)
+        diagnostics["wilson_ci"] = (lo, hi)
         return EstimateResult(
             p_fail=p,
             std_err=std_err,
@@ -92,7 +135,7 @@ class MonteCarloEstimator:
             method=self.method_name,
             converged=converged,
             ess=float(n_done),
-            diagnostics={"wilson_ci": (lo, hi)},
+            diagnostics=diagnostics,
         )
 
     @staticmethod

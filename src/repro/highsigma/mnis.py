@@ -78,6 +78,8 @@ class MinimumNormIS:
         target_rel_err: Optional[float] = 0.1,
         alpha: float = 0.1,
         cov_widen: float = 1.0,
+        workers: int = 1,
+        n_shards: Optional[int] = None,
     ):
         if presample_mode not in ("scaled-normal", "uniform"):
             raise SearchError(f"unknown presample mode {presample_mode!r}")
@@ -94,6 +96,8 @@ class MinimumNormIS:
         self.target_rel_err = target_rel_err
         self.alpha = float(alpha)
         self.cov_widen = float(cov_widen)
+        self.workers = max(1, int(workers))
+        self.n_shards = n_shards
 
     # ------------------------------------------------------------------
 
@@ -144,6 +148,8 @@ class MinimumNormIS:
             batch_size=self.batch_size,
             n_max=self.n_max,
             target_rel_err=self.target_rel_err,
+            workers=self.workers,
+            n_shards=self.n_shards,
         )
         diagnostics = {
             "centre": centre.tolist(),

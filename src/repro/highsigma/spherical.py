@@ -51,6 +51,8 @@ class SphericalSearchIS:
         target_rel_err: Optional[float] = 0.1,
         alpha: float = 0.1,
         cov_widen: float = 1.0,
+        workers: int = 1,
+        n_shards: Optional[int] = None,
     ):
         self.ls = limit_state
         self.n_directions = int(n_directions)
@@ -64,6 +66,8 @@ class SphericalSearchIS:
         self.target_rel_err = target_rel_err
         self.alpha = float(alpha)
         self.cov_widen = float(cov_widen)
+        self.workers = max(1, int(workers))
+        self.n_shards = n_shards
 
     # ------------------------------------------------------------------
 
@@ -123,6 +127,8 @@ class SphericalSearchIS:
             batch_size=self.batch_size,
             n_max=self.n_max,
             target_rel_err=self.target_rel_err,
+            workers=self.workers,
+            n_shards=self.n_shards,
         )
         diagnostics = {
             "centre": centre.tolist(),

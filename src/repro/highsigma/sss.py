@@ -27,6 +27,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.engine.sharding import resolve_shards, run_sharded
 from repro.errors import EstimationError
 from repro.highsigma.limitstate import LimitState
 from repro.highsigma.results import EstimateResult
@@ -74,6 +75,12 @@ class ScaledSigmaSampling:
         (their ``log p_hat`` is too noisy to help).
     n_bootstrap:
         Parametric bootstrap replicates for the standard error.
+    workers:
+        Worker processes for sharded sampling (1 = in-process).
+    n_shards:
+        Shards the per-scale budget splits into; ``None`` means
+        ``workers``.  The counts depend on the shard plan only, never on
+        the worker count — see :mod:`repro.engine`.
     """
 
     method_name = "sss"
@@ -85,6 +92,8 @@ class ScaledSigmaSampling:
         n_per_scale: int = 2000,
         min_failures: int = 5,
         n_bootstrap: int = 300,
+        workers: int = 1,
+        n_shards: Optional[int] = None,
     ):
         scales = tuple(float(s) for s in scales)
         if any(s <= 1.0 for s in scales):
@@ -94,17 +103,56 @@ class ScaledSigmaSampling:
         self.n_per_scale = int(n_per_scale)
         self.min_failures = int(min_failures)
         self.n_bootstrap = int(n_bootstrap)
+        self.workers = max(1, int(workers))
+        self.n_shards = None if n_shards is None else max(1, int(n_shards))
+
+    def _count_shard(self, rng: np.random.Generator, budget: int) -> np.ndarray:
+        """Failure counts per scale for one shard of the per-scale budget."""
+        d = self.ls.dim
+        counts = np.zeros(len(self.scales), dtype=int)
+        for i, s in enumerate(self.scales):
+            u = rng.standard_normal((budget, d)) * s
+            counts[i] = int(self.ls.fails_batch(u).sum())
+        return counts
+
+    def _sample_counts(self, rng: np.random.Generator) -> np.ndarray:
+        """Per-scale failure counts, serial or sharded across workers."""
+        shards = resolve_shards(self.n_shards, self.workers)
+        if shards <= 1:
+            return self._count_shard(rng, self.n_per_scale)
+        payloads = run_sharded(
+            self._count_shard, rng, shards, self.n_per_scale, self.workers, self.ls
+        )
+        return np.sum(payloads, axis=0)
+
+    def _bootstrap_log_p(
+        self, rng: np.random.Generator, s_use: np.ndarray, p_use: np.ndarray
+    ) -> np.ndarray:
+        """Parametric bootstrap of ``log P(1)``: resample per-scale counts.
+
+        Replicates refit with the *same* ``min_failures`` threshold the
+        main fit applied — letting replicates keep scales with a single
+        failure (which the main fit would have dropped as too noisy)
+        systematically understates the spread and biases the error bar.
+        Returns the finite replicate values.
+        """
+        boot = np.empty(self.n_bootstrap)
+        for b in range(self.n_bootstrap):
+            k_b = rng.binomial(self.n_per_scale, p_use)
+            ok = k_b >= self.min_failures
+            if ok.sum() < 3:
+                boot[b] = np.nan
+                continue
+            coef_b = fit_sss_model(s_use[ok], k_b[ok] / self.n_per_scale, k_b[ok])
+            boot[b] = coef_b[0] - coef_b[2]
+        return boot[np.isfinite(boot)]
 
     def run(self, rng: Optional[np.random.Generator] = None) -> EstimateResult:
         """Sample every scale, fit, extrapolate, bootstrap the error bar."""
         rng = rng if rng is not None else np.random.default_rng()
         evals_before = self.ls.n_evals
-        d = self.ls.dim
 
-        counts = np.zeros(len(self.scales), dtype=int)
-        for i, s in enumerate(self.scales):
-            u = rng.standard_normal((self.n_per_scale, d)) * s
-            counts[i] = int(self.ls.fails_batch(u).sum())
+        counts = self._sample_counts(rng)
         n_evals = self.ls.n_evals - evals_before
 
         usable = counts >= self.min_failures
@@ -121,17 +169,7 @@ class ScaledSigmaSampling:
         log_p1 = coef[0] - coef[2]
         p1 = float(np.exp(log_p1))
 
-        # Parametric bootstrap: resample per-scale failure counts.
-        boot = np.empty(self.n_bootstrap)
-        for b in range(self.n_bootstrap):
-            k_b = rng.binomial(self.n_per_scale, p_use)
-            ok = k_b >= 1
-            if ok.sum() < 3:
-                boot[b] = np.nan
-                continue
-            coef_b = fit_sss_model(s_use[ok], k_b[ok] / self.n_per_scale, k_b[ok])
-            boot[b] = coef_b[0] - coef_b[2]
-        boot = boot[np.isfinite(boot)]
+        boot = self._bootstrap_log_p(rng, s_use, p_use)
         if boot.size >= 10:
             # Standard error of p via the log-scale bootstrap spread.
             log_se = float(np.std(boot, ddof=1))

@@ -1,0 +1,127 @@
+"""StreamingAccumulator: equivalence with the batch formulas, exact merge."""
+
+import numpy as np
+import pytest
+
+from repro.engine.accumulator import StreamingAccumulator
+from repro.errors import EstimationError
+from repro.highsigma.estimators import effective_sample_size, is_estimate
+
+
+def reference(log_w, fails):
+    """The full-history reductions the accumulator must reproduce."""
+    p, se = is_estimate(log_w, fails)
+    return p, se, effective_sample_size(log_w, fails)
+
+
+def random_stream(seed, n_batches=20, batch=64, fail_rate=0.2, spread=30.0):
+    rng = np.random.default_rng(seed)
+    for _ in range(n_batches):
+        log_w = rng.uniform(-spread, 2.0, size=batch)
+        fails = rng.random(batch) < fail_rate
+        yield log_w, fails
+
+
+class TestStreamingEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_collect_reductions(self, seed):
+        acc = StreamingAccumulator()
+        all_w, all_f = [], []
+        for log_w, fails in random_stream(seed):
+            acc.update(log_w, fails)
+            all_w.append(log_w)
+            all_f.append(fails)
+        p_ref, se_ref, ess_ref = reference(np.concatenate(all_w), np.concatenate(all_f))
+        p, se = acc.estimate()
+        assert p == pytest.approx(p_ref, rel=1e-10)
+        assert se == pytest.approx(se_ref, rel=1e-8)
+        assert acc.ess() == pytest.approx(ess_ref, rel=1e-10)
+
+    def test_extreme_log_weights_stay_in_log_space(self):
+        # Weights at 6 sigma: hundreds of orders of magnitude apart.
+        acc = StreamingAccumulator()
+        acc.update(np.array([-700.0, -710.0, -2.0]), np.array([True, True, True]))
+        p, se = acc.estimate()
+        assert p == pytest.approx(np.exp(-2.0) / 3, rel=1e-12)
+        assert np.isfinite(se)
+        assert acc.ess() == pytest.approx(1.0, rel=1e-6)
+
+    def test_no_failures(self):
+        acc = StreamingAccumulator()
+        acc.update(np.zeros(10), np.zeros(10, dtype=bool))
+        assert acc.estimate() == (0.0, 0.0)
+        assert acc.ess() == 0.0
+
+    def test_zero_samples_raise(self):
+        with pytest.raises(EstimationError):
+            StreamingAccumulator().estimate()
+
+    def test_single_sample_infinite_se(self):
+        acc = StreamingAccumulator()
+        acc.update(np.array([0.0]), np.array([True]))
+        p, se = acc.estimate()
+        assert p == pytest.approx(1.0)
+        assert se == float("inf")
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(EstimationError):
+            StreamingAccumulator().update(np.zeros(3), np.zeros(4, dtype=bool))
+
+    def test_counts(self):
+        acc = StreamingAccumulator()
+        acc.update(np.zeros(8), np.array([True] * 3 + [False] * 5))
+        acc.update(np.zeros(4), np.array([False, True, False, False]))
+        assert acc.n == 12
+        assert acc.n_fail == 4
+
+
+class TestMerge:
+    def test_merge_equals_single_stream(self):
+        """Splitting a stream over two accumulators then merging is exact."""
+        whole = StreamingAccumulator()
+        part_a, part_b = StreamingAccumulator(), StreamingAccumulator()
+        for i, (log_w, fails) in enumerate(random_stream(7, n_batches=10)):
+            whole.update(log_w, fails)
+            (part_a if i < 5 else part_b).update(log_w, fails)
+        merged = StreamingAccumulator()
+        merged.merge(part_a)
+        merged.merge(part_b)
+        assert merged.n == whole.n
+        assert merged.n_fail == whole.n_fail
+        p_m, se_m = merged.estimate()
+        p_w, se_w = whole.estimate()
+        assert p_m == pytest.approx(p_w, rel=1e-12)
+        assert se_m == pytest.approx(se_w, rel=1e-12)
+        assert merged.ess() == pytest.approx(whole.ess(), rel=1e-12)
+
+    def test_merge_deterministic_in_order(self):
+        """Same parts merged in the same order give bit-identical moments."""
+        parts = []
+        for seed in (1, 2, 3, 4):
+            acc = StreamingAccumulator()
+            for log_w, fails in random_stream(seed, n_batches=3):
+                acc.update(log_w, fails)
+            parts.append(acc)
+        merged1, merged2 = StreamingAccumulator(), StreamingAccumulator()
+        for p in parts:
+            merged1.merge(p)
+        for p in parts:
+            merged2.merge(p)
+        assert merged1.estimate() == merged2.estimate()
+        assert merged1.ess() == merged2.ess()
+
+    def test_merge_empty_is_identity(self):
+        acc = StreamingAccumulator()
+        acc.update(np.array([-1.0, -2.0]), np.array([True, False]))
+        before = acc.estimate()
+        acc.merge(StreamingAccumulator())
+        assert acc.estimate() == before
+
+    def test_pickle_roundtrip(self):
+        import pickle
+
+        acc = StreamingAccumulator()
+        acc.update(np.array([-1.0, -2.0]), np.array([True, True]))
+        clone = pickle.loads(pickle.dumps(acc))
+        assert clone.estimate() == acc.estimate()
+        assert clone.n == acc.n and clone.n_fail == acc.n_fail

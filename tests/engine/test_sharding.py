@@ -1,0 +1,216 @@
+"""ShardedRunner: determinism across worker counts, exact reconciliation.
+
+The engine's contract is that ``workers`` is a pure speed knob: with the
+shard plan pinned (``n_shards``), every statistic — ``p_fail``,
+``std_err``, ``ess``, ``n_evals``, failure counts — must be bit-for-bit
+identical whether the shards run in-process or on a fork pool.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine.sharding import (
+    ShardedRunner,
+    ShardResult,
+    fork_available,
+    spawn_generators,
+    split_budget,
+)
+from repro.errors import EstimationError
+from repro.highsigma.analytic import LinearLimitState
+from repro.highsigma.estimators import MeanShiftISCore
+from repro.highsigma.mc import MonteCarloEstimator
+from repro.highsigma.sss import ScaledSigmaSampling
+
+needs_fork = pytest.mark.skipif(not fork_available(), reason="fork start method unavailable")
+
+
+class TestSplitBudget:
+    def test_even_split(self):
+        assert split_budget(100, 4) == [25, 25, 25, 25]
+
+    def test_remainder_to_lowest_indices(self):
+        assert split_budget(10, 4) == [3, 3, 2, 2]
+
+    def test_total_preserved(self):
+        for total in (0, 1, 7, 4097):
+            for shards in (1, 2, 3, 8):
+                assert sum(split_budget(total, shards)) == total
+
+    def test_invalid(self):
+        with pytest.raises(EstimationError):
+            split_budget(10, 0)
+        with pytest.raises(EstimationError):
+            split_budget(-1, 2)
+
+
+class TestSpawnGenerators:
+    def test_deterministic_and_independent(self):
+        a = spawn_generators(np.random.default_rng(42), 3)
+        b = spawn_generators(np.random.default_rng(42), 3)
+        draws_a = [g.standard_normal(4) for g in a]
+        draws_b = [g.standard_normal(4) for g in b]
+        for x, y in zip(draws_a, draws_b):
+            np.testing.assert_array_equal(x, y)
+        # Streams differ from each other.
+        assert not np.allclose(draws_a[0], draws_a[1])
+
+
+class TestRunnerPlumbing:
+    @staticmethod
+    def _task(i, rng, budget):
+        return ShardResult(index=i, n_evals=budget, payload=float(rng.standard_normal()))
+
+    def test_serial_matches_pool_results(self):
+        rngs1 = spawn_generators(np.random.default_rng(0), 4)
+        rngs2 = spawn_generators(np.random.default_rng(0), 4)
+        budgets = split_budget(100, 4)
+        serial = ShardedRunner(workers=1).run_shards(self._task, rngs1, budgets)
+        pooled = ShardedRunner(workers=4).run_shards(self._task, rngs2, budgets)
+        assert [r.payload for r in serial] == [r.payload for r in pooled]
+        assert [r.index for r in pooled] == [0, 1, 2, 3]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(EstimationError):
+            ShardedRunner().run_shards(self._task, spawn_generators(np.random.default_rng(0), 2), [1])
+
+    @needs_fork
+    def test_eval_reconciliation_after_pool(self):
+        ls = LinearLimitState(beta=3.0, dim=4)
+
+        def task(i, rng, budget):
+            before = ls.n_evals
+            ls.fails_batch(rng.standard_normal((budget, 4)))
+            return ShardResult(index=i, n_evals=ls.n_evals - before, payload=None)
+
+        rngs = spawn_generators(np.random.default_rng(1), 4)
+        ShardedRunner(workers=4).run_shards(task, rngs, [10, 10, 10, 10], limit_state=ls)
+        # Children billed their own copies; the runner must credit the parent.
+        assert ls.n_evals == 40
+
+
+def _core_result(workers, n_shards, sampler="random"):
+    ls = LinearLimitState(beta=4.0, dim=6)
+    core = MeanShiftISCore(
+        ls,
+        shifts=[4.0 * ls.a],
+        n_max=4096,
+        batch_size=256,
+        target_rel_err=None,
+        sampler=sampler,
+        workers=workers,
+        n_shards=n_shards,
+    )
+    res = core.run(np.random.default_rng(123), method="test")
+    return res, ls.n_evals
+
+
+class TestShardedCoreDeterminism:
+    @needs_fork
+    def test_workers4_bitwise_equals_workers1(self):
+        """The ISSUE's acceptance criterion, verbatim."""
+        r1, evals1 = _core_result(workers=1, n_shards=4)
+        r4, evals4 = _core_result(workers=4, n_shards=4)
+        assert r4.p_fail == r1.p_fail
+        assert r4.std_err == r1.std_err
+        assert r4.ess == r1.ess
+        assert r4.n_evals == r1.n_evals
+        assert r4.n_failures == r1.n_failures
+        assert evals4 == evals1
+
+    @needs_fork
+    def test_qmc_sampler_also_deterministic(self):
+        r1, _ = _core_result(workers=1, n_shards=2, sampler="qmc")
+        r2, _ = _core_result(workers=2, n_shards=2, sampler="qmc")
+        assert r2.p_fail == r1.p_fail
+        assert r2.std_err == r1.std_err
+
+    def test_sharded_estimate_is_sane(self):
+        ls = LinearLimitState(beta=4.0, dim=6)
+        core = MeanShiftISCore(
+            ls, shifts=[4.0 * ls.a], n_max=8000, target_rel_err=None, n_shards=4
+        )
+        res = core.run(np.random.default_rng(5), method="test")
+        assert res.p_fail == pytest.approx(ls.exact_pfail(), rel=0.15)
+        assert res.diagnostics["n_shards"] == 4
+
+    def test_sharded_early_stopping_active(self):
+        """The sqrt(N)-scaled shard target keeps early stopping alive: an
+        easy workload must stop well short of the budget, meeting the
+        global target on the merged moments, instead of silently
+        exhausting the budget because no shard could reach the global
+        target on its 1/N of the samples."""
+        ls = LinearLimitState(beta=3.0, dim=4)
+        core = MeanShiftISCore(
+            ls, shifts=[3.0 * ls.a], n_max=50000, batch_size=256,
+            target_rel_err=0.1, n_shards=4,
+        )
+        res = core.run(np.random.default_rng(9), method="test")
+        assert res.converged
+        assert res.n_evals < 50000
+        assert res.rel_err <= 0.1
+
+    @needs_fork
+    def test_early_stopping_bit_identical_across_workers(self):
+        def run(workers):
+            ls = LinearLimitState(beta=3.0, dim=4)
+            core = MeanShiftISCore(
+                ls, shifts=[3.0 * ls.a], n_max=50000, batch_size=256,
+                target_rel_err=0.1, workers=workers, n_shards=4,
+            )
+            return core.run(np.random.default_rng(9), method="test")
+
+        r1, r4 = run(1), run(4)
+        assert (r1.p_fail, r1.std_err, r1.n_evals) == (r4.p_fail, r4.std_err, r4.n_evals)
+
+    def test_budget_respected_across_shards(self):
+        ls = LinearLimitState(beta=3.0, dim=4)
+        core = MeanShiftISCore(
+            ls, shifts=[3.0 * ls.a], n_max=1000, target_rel_err=None, n_shards=3
+        )
+        res = core.run(np.random.default_rng(2), method="test")
+        assert res.n_evals == 1000
+        assert ls.n_evals == 1000
+
+
+class TestShardedMonteCarlo:
+    @needs_fork
+    def test_workers_bit_identical(self):
+        def run(workers):
+            ls = LinearLimitState(beta=2.0, dim=3)
+            est = MonteCarloEstimator(
+                ls, n_max=20000, batch_size=2048, target_rel_err=None,
+                workers=workers, n_shards=4,
+            )
+            return est.run(np.random.default_rng(11)), ls.n_evals
+
+        r1, e1 = run(1)
+        r4, e4 = run(4)
+        assert r4.p_fail == r1.p_fail
+        assert r4.std_err == r1.std_err
+        assert r4.n_evals == r1.n_evals == e1 == e4
+        assert r4.n_failures == r1.n_failures
+
+    def test_sharded_mc_accuracy(self):
+        ls = LinearLimitState(beta=2.0, dim=3)
+        est = MonteCarloEstimator(ls, n_max=40000, target_rel_err=None, n_shards=4)
+        res = est.run(np.random.default_rng(3))
+        assert res.p_fail == pytest.approx(ls.exact_pfail(), rel=0.1)
+
+
+class TestShardedSss:
+    @needs_fork
+    def test_workers_bit_identical(self):
+        def run(workers):
+            ls = LinearLimitState(beta=3.0, dim=4)
+            est = ScaledSigmaSampling(
+                ls, n_per_scale=1500, n_bootstrap=50, workers=workers, n_shards=4
+            )
+            return est.run(np.random.default_rng(17)), ls.n_evals
+
+        r1, e1 = run(1)
+        r4, e4 = run(4)
+        assert r4.p_fail == r1.p_fail
+        assert r4.std_err == r1.std_err
+        assert r4.n_evals == r1.n_evals == e1 == e4
+        assert r4.diagnostics["counts"] == r1.diagnostics["counts"]

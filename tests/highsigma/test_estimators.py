@@ -108,6 +108,17 @@ class TestDefensiveMixture:
         mix = DefensiveMixture(comps, alpha=0.1, weights=[3.0, 1.0])
         np.testing.assert_allclose(mix.weights, [0.675, 0.225])
 
+    def test_sample_n_zero_returns_empty_block(self):
+        # Regression: used to raise ValueError from np.concatenate([]).
+        mix = self.make()
+        out = mix.sample(0, np.random.default_rng(0))
+        assert out.shape == (0, 2)
+
+    def test_sample_qmc_n_zero_returns_empty_block(self):
+        mix = self.make()
+        out = mix.sample_qmc(0, np.random.default_rng(0))
+        assert out.shape == (0, 2)
+
 
 class TestIsEstimate:
     def test_exact_on_known_weights(self):
@@ -198,3 +209,79 @@ class TestMeanShiftISCore:
         res = core.run(np.random.default_rng(10), method="test", diagnostics={"tag": 1})
         assert res.diagnostics["tag"] == 1
         assert res.diagnostics["n_components"] == 1
+
+    def test_streaming_matches_collect_reference(self):
+        """The streaming accumulator reproduces the old collect-everything
+        path: same seed, same batches, identical p/std_err/ESS."""
+        from repro.highsigma.estimators import effective_sample_size, is_estimate
+
+        ls = LinearLimitState(beta=4.0, dim=5)
+        core = MeanShiftISCore(
+            ls, shifts=[4.0 * ls.a], n_max=4096, batch_size=256, target_rel_err=None
+        )
+        res = core.run(np.random.default_rng(21), method="test")
+
+        # Reference replay: the quadratic pre-fix algorithm — store every
+        # batch, re-concatenate, reduce over the full history.
+        ls_ref = LinearLimitState(beta=4.0, dim=5)
+        core_ref = MeanShiftISCore(
+            ls_ref, shifts=[4.0 * ls_ref.a], n_max=4096, batch_size=256,
+            target_rel_err=None,
+        )
+        rng = np.random.default_rng(21)
+        log_w_hist, fails_hist = [], []
+        n_drawn = 0
+        while n_drawn < 4096:
+            k = min(256, 4096 - n_drawn)
+            u = core_ref.proposal.sample(k, rng)
+            fails_hist.append(ls_ref.fails_batch(u))
+            log_w_hist.append(core_ref.proposal.log_weights(u))
+            n_drawn += k
+        log_w_all = np.concatenate(log_w_hist)
+        fails_all = np.concatenate(fails_hist)
+        p_ref, se_ref = is_estimate(log_w_all, fails_all)
+        ess_ref = effective_sample_size(log_w_all, fails_all)
+
+        assert res.p_fail == pytest.approx(p_ref, rel=1e-10)
+        assert res.std_err == pytest.approx(se_ref, rel=1e-8)
+        assert res.ess == pytest.approx(ess_ref, rel=1e-10)
+        assert res.n_failures == int(fails_all.sum())
+
+    def test_per_batch_cost_constant(self):
+        """O(1) bookkeeping per batch: late batches must not cost more
+        than early ones (the pre-fix accumulator re-reduced the whole
+        history each batch, so batch cost grew linearly with the index).
+
+        Wall-clock medians over wide windows, with retries: a scheduler
+        hiccup on a loaded CI runner is transient and passes on retry,
+        while a real quadratic regression (>10x growth over 800 batches
+        at this batch size) fails every attempt.
+        """
+        import time
+
+        def measure():
+            stamps = []
+            ls = LinearLimitState(beta=3.0, dim=4)
+            orig = ls._batch_fn
+
+            def timed_batch(u_batch):
+                stamps.append(time.perf_counter())
+                return orig(u_batch)
+
+            ls._batch_fn = timed_batch
+            core = MeanShiftISCore(
+                ls, shifts=[3.0 * ls.a], n_max=16 * 800, batch_size=16,
+                target_rel_err=None,
+            )
+            core.run(np.random.default_rng(0), method="test")
+            gaps = np.diff(np.array(stamps))
+            assert gaps.size >= 700
+            early = float(np.median(gaps[20:120]))
+            late = float(np.median(gaps[-100:]))
+            return early, late
+
+        for _attempt in range(3):
+            early, late = measure()
+            if late <= 6.0 * early:
+                return
+        raise AssertionError(f"per-batch cost grew: {early:.2e}s -> {late:.2e}s")

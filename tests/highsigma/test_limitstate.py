@@ -84,6 +84,51 @@ class TestCounting:
         ls.reset_counter()
         assert ls.n_evals == 0
 
+    def test_cache_key_rounds_ulp_differences(self):
+        # Regression: keys were raw u.tobytes(), so MPFP line-search
+        # re-evaluations differing in the last ulp never hit the cache.
+        ls = make_upper()
+        u = np.array([1.0 / 3.0, 2.0, 3.0])
+        ls.g(u)
+        ls.g(u + 1e-15)
+        assert ls.n_evals == 1
+
+    def test_cache_key_negative_zero(self):
+        ls = make_upper()
+        ls.g(np.array([0.0, 0.0, 0.0]))
+        ls.g(np.array([-1e-16, 0.0, 0.0]))  # rounds to -0.0 -> same key
+        assert ls.n_evals == 1
+
+    def test_cache_distinguishes_real_differences(self):
+        ls = make_upper()
+        ls.g(np.array([1.0, 0.0, 0.0]))
+        ls.g(np.array([1.0 + 1e-9, 0.0, 0.0]))  # above the 12-decimal round
+        assert ls.n_evals == 2
+
+    def test_cache_size_bound(self):
+        ls = LimitState(
+            fn=lambda u: float(u[0]), spec=2.0, dim=1, cache_size=4
+        )
+        for i in range(10):
+            ls.g(np.array([float(i)]))
+        assert len(ls._cache) == 4
+        # The oldest points were evicted: re-evaluating one re-bills.
+        ls.g(np.array([0.0]))
+        assert ls.n_evals == 11
+        # The newest points are still cached.
+        ls.g(np.array([9.0]))
+        assert ls.n_evals == 11
+
+    def test_cache_size_validation(self):
+        with pytest.raises(EstimationError):
+            LimitState(fn=lambda u: 0.0, spec=0, dim=1, cache_size=0)
+
+    def test_unbounded_cache_opt_in(self):
+        ls = LimitState(fn=lambda u: float(u[0]), spec=2.0, dim=1, cache_size=None)
+        for i in range(10):
+            ls.g(np.array([float(i)]))
+        assert len(ls._cache) == 10
+
 
 class TestBatchConsistency:
     def test_batch_fn_matches_scalar(self):

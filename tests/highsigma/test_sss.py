@@ -76,3 +76,45 @@ class TestEstimator:
         ls.reset_counter()
         r2 = ScaledSigmaSampling(ls, n_per_scale=1000).run(np.random.default_rng(7))
         assert r1.p_fail == r2.p_fail
+
+
+class TestBootstrapThreshold:
+    def test_replicates_apply_min_failures(self, monkeypatch):
+        """Regression: bootstrap replicates refit with any ``k_b >= 1``
+        while the main fit dropped scales below ``min_failures`` — the
+        replicate fits saw noisier scales than the estimate they were
+        supposed to calibrate, biasing the error bar."""
+        import repro.highsigma.sss as sss_mod
+
+        recorded = []
+        real_fit = sss_mod.fit_sss_model
+
+        def recording_fit(scales, p_hat, counts):
+            recorded.append(np.asarray(counts, dtype=float).copy())
+            return real_fit(scales, p_hat, counts)
+
+        monkeypatch.setattr(sss_mod, "fit_sss_model", recording_fit)
+
+        ls = LinearLimitState(beta=4.0, dim=4)
+        est = ScaledSigmaSampling(ls, n_per_scale=600, min_failures=8, n_bootstrap=200)
+        rng = np.random.default_rng(11)
+        est.run(rng)
+        # Every fit — main and every bootstrap replicate — must only see
+        # scales with at least min_failures failures.
+        assert len(recorded) > 1
+        for counts in recorded:
+            assert np.all(counts >= est.min_failures)
+
+    def test_bootstrap_skips_underdetermined_replicates(self):
+        """Replicates where fewer than 3 scales clear the threshold are
+        dropped instead of being fit."""
+        ls = LinearLimitState(beta=4.0, dim=4)
+        est = ScaledSigmaSampling(ls, n_per_scale=600, min_failures=8, n_bootstrap=100)
+        rng = np.random.default_rng(13)
+        # Per-scale probabilities hovering near the threshold: many
+        # replicates must be discarded, none may sneak under it.
+        p_use = np.array([8.0, 9.0, 10.0, 12.0]) / 600.0
+        s_use = np.array([1.6, 2.0, 2.5, 3.2])
+        boot = est._bootstrap_log_p(rng, s_use, p_use)
+        assert boot.size < est.n_bootstrap
+        assert np.all(np.isfinite(boot))

@@ -1,0 +1,81 @@
+"""Throughput benchmark: fused fast kernel vs reference 6T integrator.
+
+Runs identical read and write batches through ``Batched6T`` with
+``kernel="fast"`` (with and without retirement) and ``kernel="reference"``,
+reports samples/second, and — as a CI gate — asserts that the fast kernel
+is at least as fast as the reference path and that the two agree on the
+metrics::
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py
+    PYTHONPATH=src python benchmarks/bench_kernel.py --n 2048 --repeat 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+
+def bench(engine, mode: str, dvth, bmult, repeat: int):
+    """Best-of-``repeat`` samples/second for one engine and operation."""
+    op = engine.read if mode == "read" else engine.write
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        result = op(dvth, bmult)
+        best = min(best, time.perf_counter() - t0)
+    return dvth.shape[0] / best, result
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=512, help="samples per batch")
+    parser.add_argument("--n-steps", type=int, default=300)
+    parser.add_argument("--repeat", type=int, default=2)
+    parser.add_argument("--sigma-vth", type=float, default=0.03,
+                        help="per-device delta-vth spread [V]")
+    args = parser.parse_args()
+
+    from repro.sram.batched import Batched6T
+
+    rng = np.random.default_rng(42)
+    dvth = rng.normal(0.0, args.sigma_vth, size=(args.n, 6))
+    bmult = 1.0 + rng.normal(0.0, 0.05, size=(args.n, 6))
+
+    engines = {
+        "reference": Batched6T(n_steps=args.n_steps, kernel="reference"),
+        "fast": Batched6T(n_steps=args.n_steps, kernel="fast", retire=False),
+        "fast+retire": Batched6T(n_steps=args.n_steps, kernel="fast", retire=True),
+    }
+
+    ok = True
+    rates = {}
+    for mode in ("read", "write"):
+        results = {}
+        for name, eng in engines.items():
+            sps, res = bench(eng, mode, dvth, bmult, args.repeat)
+            rates[(name, mode)] = sps
+            results[name] = res
+            print(f"{mode:5s} {name:12s}: {sps:9.1f} samples/s")
+        ref = results["reference"].metric
+        for name in ("fast", "fast+retire"):
+            rel = np.max(np.abs(results[name].metric - ref) / np.abs(ref))
+            agree = rel < 1e-6
+            ok &= agree
+            print(f"      {name:12s} vs reference max rel metric diff: "
+                  f"{rel:.3e} {'ok' if agree else 'FAIL'}")
+        if rates[("fast", mode)] < rates[("reference", mode)]:
+            print(f"FAIL: fast kernel slower than reference for {mode}")
+            ok = False
+
+    if not ok:
+        return 1
+    print("kernel benchmark ok: fast >= reference, metrics agree")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,10 +9,16 @@ committed baseline::
     PYTHONPATH=src python benchmarks/smoke.py --update-baseline    # re-record
 
 ``--check`` exits non-zero when the run takes more than ``--factor``
-(default 2.0) times the baseline — the CI tripwire for accidental
-quadratic loops or per-batch re-reductions sneaking back in.  The
-baseline is a wall-clock number from one machine; the 2x margin is what
-absorbs ordinary machine-to-machine variation.
+(default 2.0) times the baseline — *per section and in total* — the CI
+tripwire for accidental quadratic loops, per-batch re-reductions or
+kernel regressions sneaking back in.  Gating each section separately
+means a regression in one hot path (say the 6T engine) cannot hide
+behind an unrelated speedup elsewhere.  Sections faster than
+``--min-section`` seconds in the baseline are gated against
+``factor * min-section`` instead, so timer noise on near-instant
+sections cannot trip the gate.  The baseline is a wall-clock number from
+one machine; the 2x margin is what absorbs ordinary machine-to-machine
+variation.
 """
 
 from __future__ import annotations
@@ -94,6 +100,10 @@ def main() -> int:
     parser.add_argument("--update-baseline", action="store_true",
                         help="record this run as the new baseline")
     parser.add_argument("--factor", type=float, default=2.0)
+    parser.add_argument("--min-section", type=float, default=0.5,
+                        help="sections with a baseline below this many "
+                             "seconds are gated against factor * this "
+                             "floor (timer-noise guard)")
     args = parser.parse_args()
 
     timings = run_smoke()
@@ -108,12 +118,26 @@ def main() -> int:
         if not BASELINE_PATH.exists():
             print(f"no baseline at {BASELINE_PATH}; run --update-baseline first")
             return 1
-        baseline = json.loads(BASELINE_PATH.read_text())["total"]
-        limit = args.factor * baseline
-        print(f"baseline {baseline:.2f} s, limit {limit:.2f} s "
-              f"(factor {args.factor:g})")
-        if timings["total"] > limit:
-            print(f"FAIL: smoke run regressed: {timings['total']:.2f} s > {limit:.2f} s")
+        baseline = json.loads(BASELINE_PATH.read_text())
+        failed = False
+        for name, _ in WORKLOADS:
+            base = baseline.get(name)
+            if base is None:
+                print(f"NOTE: section {name!r} missing from baseline; "
+                      "re-record with --update-baseline")
+                continue
+            limit = args.factor * max(base, args.min_section)
+            status = "ok" if timings[name] <= limit else "FAIL"
+            print(f"{name:16s}: {timings[name]:6.2f} s  "
+                  f"(baseline {base:.2f} s, limit {limit:.2f} s)  {status}")
+            failed |= timings[name] > limit
+        total_limit = args.factor * baseline["total"]
+        print(f"{'total':16s}: {timings['total']:6.2f} s  "
+              f"(baseline {baseline['total']:.2f} s, limit {total_limit:.2f} s)")
+        if timings["total"] > total_limit:
+            failed = True
+        if failed:
+            print("FAIL: smoke run regressed against the per-section gate")
             return 1
         print("smoke benchmark within budget")
     return 0

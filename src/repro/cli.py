@@ -54,6 +54,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="target relative standard error")
         p.add_argument("--n-steps", type=int, default=400,
                        help="transient grid density of the batched engine")
+        p.add_argument("--kernel", choices=("fast", "reference"), default="fast",
+                       help="batched-engine integrator: the fused fast "
+                            "kernel (default) or the reference per-device "
+                            "loop (slower, maximally transparent)")
         p.add_argument("--workers", type=int, default=1,
                        help="worker processes for sharded sampling; with "
                             "--shards pinned, changing only this never "
@@ -121,10 +125,12 @@ def _run_sigma(args, kind: str) -> int:
         note = ""
     else:
         print(f"calibrating {kind} spec for {args.target_sigma:g} sigma ...")
-        spec = calibrate(args.target_sigma, n_steps=args.n_steps, vdd=args.vdd)
+        spec = calibrate(
+            args.target_sigma, n_steps=args.n_steps, vdd=args.vdd, kernel=args.kernel
+        )
         note = f"  (calibrated for {args.target_sigma:g} sigma)"
 
-    ls = make(spec, vdd=args.vdd, n_steps=args.n_steps)
+    ls = make(spec, vdd=args.vdd, n_steps=args.n_steps, kernel=args.kernel)
     gis = GradientImportanceSampling(
         ls, n_max=args.budget, target_rel_err=args.rel_err,
         workers=args.workers, n_shards=args.shards,
@@ -155,10 +161,14 @@ def _run_compare(args) -> int:
     )
 
     print(f"calibrating read spec for {args.target_sigma:g} sigma ...")
-    spec = calibrate_read_spec(args.target_sigma, n_steps=args.n_steps, vdd=args.vdd)
+    spec = calibrate_read_spec(
+        args.target_sigma, n_steps=args.n_steps, vdd=args.vdd, kernel=args.kernel
+    )
     wl = Workload(
         name=f"read-{args.target_sigma:g}s",
-        make=lambda: make_read_limitstate(spec, vdd=args.vdd, n_steps=args.n_steps),
+        make=lambda: make_read_limitstate(
+            spec, vdd=args.vdd, n_steps=args.n_steps, kernel=args.kernel
+        ),
         exact_pfail=None,
         dim=6,
     )

@@ -18,7 +18,11 @@ Mechanics:
   process pool.  Fork matters: limit states built around closures over
   vectorised simulators are not picklable, but a forked child inherits
   them — only the *results* (plain dataclasses of floats) cross process
-  boundaries;
+  boundaries.  With ``persistent=True`` the runner keeps the pool alive
+  across ``run_shards`` calls that execute an *equivalent* task (same
+  shard function, same limit state), amortising the fork cost over many
+  small runs; a different task transparently respawns the pool, because
+  forked children can only ever run the task snapshot they inherited;
 * each task reports the limit-state evaluations its shard consumed, and
   the runner credits them back to the parent's
   :attr:`~repro.highsigma.limitstate.LimitState.n_evals` after a pooled
@@ -28,10 +32,11 @@ Mechanics:
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -120,24 +125,71 @@ class ShardResult:
 
 
 # Fork-pool plumbing: the task closure (typically capturing a limit
-# state full of unpicklable simulator closures) is published through a
-# module global *before* the pool forks, so children inherit it by
-# memory copy and nothing but plain shard arguments and ShardResults
-# ever crosses a pipe.  The lock serialises concurrent pooled runs —
-# without it, two threads racing through set/fork could fork children
-# holding the other thread's task.
-_ACTIVE_TASK: Optional[Callable[..., ShardResult]] = None
-_ACTIVE_TASK_LOCK = threading.Lock()
+# state full of unpicklable simulator closures) is published into a
+# keyed module-level registry *before* the pool forks, so children
+# inherit it by memory copy and nothing but plain shard arguments and
+# ShardResults ever crosses a pipe.  The registry (rather than a single
+# slot) matters for robustness: if the Pool's maintenance thread has to
+# fork a replacement worker later — e.g. after a worker is killed — the
+# replacement inherits the registry *as it is then*, and a persistent
+# pool's entry is still registered (it is only removed at close), so the
+# replacement can still resolve its task by key.  The lock serialises
+# registry mutation + fork so a concurrent thread cannot fork children
+# mid-update.
+_POOL_TASKS: Dict[int, Callable[..., ShardResult]] = {}
+_POOL_LOCK = threading.Lock()
+_POOL_KEYS = itertools.count()
+# Set (via the Pool initializer) in every worker, including replacements
+# forked mid-lifetime: the flag a shard task uses to detect that it is
+# already inside a pool worker and must run nested plans in-process.
+_IN_POOL_WORKER = False
+
+
+def _mark_pool_worker() -> None:
+    global _IN_POOL_WORKER
+    _IN_POOL_WORKER = True
 
 
 def _invoke_shard(args) -> ShardResult:
-    index, rng, budget = args
-    return _ACTIVE_TASK(index, rng, budget)
+    key, index, rng, budget = args
+    return _POOL_TASKS[key](index, rng, budget)
 
 
 def fork_available() -> bool:
     """Whether fork-based pooling is supported on this platform."""
     return "fork" in multiprocessing.get_all_start_methods()
+
+
+class _MeasuredShardTask:
+    """Stable, comparable wrapper: run a shard function, bill its evals.
+
+    Two wrappers are *equivalent* (``==``) when they hold the same shard
+    function (bound-method equality: same object, same function) and the
+    very same limit-state object — the condition under which a persistent
+    pool's forked snapshot computes the same thing as the fresh wrapper,
+    so the pool may be reused without a respawn.
+    """
+
+    __slots__ = ("shard_fn", "limit_state")
+
+    def __init__(self, shard_fn: Callable[[np.random.Generator, int], Any], limit_state):
+        self.shard_fn = shard_fn
+        self.limit_state = limit_state
+
+    def __call__(self, i: int, rng: np.random.Generator, budget: int) -> ShardResult:
+        before = 0 if self.limit_state is None else self.limit_state.n_evals
+        payload = self.shard_fn(rng, budget)
+        after = 0 if self.limit_state is None else self.limit_state.n_evals
+        return ShardResult(index=i, n_evals=after - before, payload=payload)
+
+    def __eq__(self, other):
+        return (
+            type(other) is _MeasuredShardTask
+            and self.shard_fn == other.shard_fn
+            and self.limit_state is other.limit_state
+        )
+
+    __hash__ = None  # identity/equality only; never used as a dict key
 
 
 class ShardedRunner:
@@ -149,10 +201,75 @@ class ShardedRunner:
         Process count.  ``1`` (or an unavailable ``fork`` start method)
         runs every shard in the calling process — same computation, same
         results, no pool overhead.
+    persistent:
+        Keep the fork pool alive across ``run_shards`` calls.  The pool
+        is (re)forked whenever the submitted task is not equivalent to
+        the one the live pool inherited — fork children can only run
+        their inherited snapshot — so persistence is a pure speed knob:
+        results are identical either way, and the fork is only saved for
+        repeated runs of the same task (e.g. the estimation stage of one
+        estimator run many times, or a budget top-up round).  Callers own
+        the lifecycle: use the runner as a context manager or call
+        :meth:`close`.  Mutating the task's captured state (estimator
+        configuration, limit-state ``fn``) between runs of an equivalent
+        task is not supported while a pool is live — ``close()`` first.
     """
 
-    def __init__(self, workers: int = 1):
+    def __init__(self, workers: int = 1, persistent: bool = False):
         self.workers = max(1, int(workers))
+        self.persistent = bool(persistent)
+        self._pool = None
+        self._pool_task: Optional[_MeasuredShardTask] = None
+        self._pool_key: Optional[int] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        """Terminate the persistent pool (no-op when none is live)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+            self._pool_task = None
+            with _POOL_LOCK:
+                _POOL_TASKS.pop(self._pool_key, None)
+            self._pool_key = None
+
+    def __enter__(self) -> "ShardedRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- execution -----------------------------------------------------
+
+    def _fork_pool(self, task, n_jobs: int):
+        """Register ``task`` and fork a pool that inherits the registry.
+
+        Returns ``(pool, key)``; the caller owns deregistration (at the
+        end of the run for one-shot pools, at :meth:`close` for
+        persistent ones — keeping the entry alive is what lets the Pool
+        fork working replacement workers mid-lifetime).
+        """
+        key = next(_POOL_KEYS)
+        with _POOL_LOCK:
+            _POOL_TASKS[key] = task
+            try:
+                ctx = multiprocessing.get_context("fork")
+                pool = ctx.Pool(
+                    processes=min(self.workers, n_jobs),
+                    initializer=_mark_pool_worker,
+                )
+            except BaseException:
+                _POOL_TASKS.pop(key, None)
+                raise
+        return pool, key
 
     def run_shards(
         self,
@@ -171,23 +288,41 @@ class ShardedRunner:
         """
         if len(rngs) != len(budgets):
             raise EstimationError("one RNG stream per shard budget is required")
-        jobs = [(i, rng, int(b)) for i, (rng, b) in enumerate(zip(rngs, budgets))]
-        if self.workers == 1 or len(jobs) == 1 or not fork_available():
-            return [task(*job) for job in jobs]
-
-        global _ACTIVE_TASK
-        if _ACTIVE_TASK is not None:
+        if (
+            self.workers == 1
+            or len(rngs) == 1
+            or not fork_available()
+            or _IN_POOL_WORKER
             # Nested sharding (a shard trying to shard again) would fork
             # from inside a pool worker; run inner plans in-process.
-            return [task(*job) for job in jobs]
-        with _ACTIVE_TASK_LOCK:
-            _ACTIVE_TASK = task
+        ):
+            return [task(i, rng, int(b)) for i, (rng, b) in enumerate(zip(rngs, budgets))]
+
+        if self.persistent:
+            if self._pool is None or not (
+                task is self._pool_task or task == self._pool_task
+            ):
+                self.close()
+                self._pool, self._pool_key = self._fork_pool(task, len(rngs))
+                self._pool_task = task
+            jobs = [
+                (self._pool_key, i, rng, int(b))
+                for i, (rng, b) in enumerate(zip(rngs, budgets))
+            ]
+            results = self._pool.map(_invoke_shard, jobs)
+        else:
+            pool, key = self._fork_pool(task, len(rngs))
+            jobs = [
+                (key, i, rng, int(b))
+                for i, (rng, b) in enumerate(zip(rngs, budgets))
+            ]
             try:
-                ctx = multiprocessing.get_context("fork")
-                with ctx.Pool(processes=min(self.workers, len(jobs))) as pool:
-                    results = pool.map(_invoke_shard, jobs)
+                results = pool.map(_invoke_shard, jobs)
             finally:
-                _ACTIVE_TASK = None
+                pool.terminate()
+                pool.join()
+                with _POOL_LOCK:
+                    _POOL_TASKS.pop(key, None)
         results.sort(key=lambda r: r.index)
         if limit_state is not None:
             limit_state.n_evals += sum(r.n_evals for r in results)
@@ -201,6 +336,7 @@ def run_sharded(
     budget: int,
     workers: int,
     limit_state,
+    runner: Optional[ShardedRunner] = None,
 ) -> List[Any]:
     """Run ``shard_fn(shard_rng, shard_budget) -> payload`` over a plan.
 
@@ -209,14 +345,16 @@ def run_sharded(
     against its own process copy, execute via :class:`ShardedRunner`,
     and hand back the payloads in shard order (eval counts already
     reconciled into ``limit_state``).
+
+    ``runner`` lets the caller supply a long-lived (possibly persistent)
+    :class:`ShardedRunner`; pass a *stable* ``shard_fn`` (a bound method,
+    not a fresh lambda) so the persistent pool recognises repeat runs of
+    the same task and skips the respawn.
     """
     rngs = spawn_generators(rng, n_shards)
     budgets = split_budget(budget, n_shards)
-
-    def task(i: int, shard_rng: np.random.Generator, b: int) -> ShardResult:
-        before = limit_state.n_evals
-        payload = shard_fn(shard_rng, b)
-        return ShardResult(index=i, n_evals=limit_state.n_evals - before, payload=payload)
-
-    results = ShardedRunner(workers).run_shards(task, rngs, budgets, limit_state=limit_state)
+    task = _MeasuredShardTask(shard_fn, limit_state)
+    if runner is None:
+        runner = ShardedRunner(workers)
+    results = runner.run_shards(task, rngs, budgets, limit_state=limit_state)
     return [r.payload for r in results]

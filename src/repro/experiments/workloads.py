@@ -150,6 +150,11 @@ def _engine_limitstate(
         bmult = space.beta_matrix(u_batch, CELL_DEVICE_ORDER) if include_beta else None
         return metric_batch(dvth, bmult)
 
+    # Caching is on: scalar evaluations (MPFP line searches) and
+    # stencil-sized batches (MPFP gradients) share one bounded cache, so
+    # a line search revisiting a stencil point costs nothing; bulk
+    # sampling batches bypass the cache machinery entirely (see
+    # LimitState.g_batch).
     return LimitState(
         fn=lambda u: float(batch_fn(np.asarray(u)[None, :])[0]),
         batch_fn=batch_fn,
@@ -157,7 +162,6 @@ def _engine_limitstate(
         dim=space.dim,
         direction=direction,
         name=name,
-        cache=False,
     )
 
 
@@ -170,11 +174,13 @@ def make_read_limitstate(
     n_steps: int = 400,
     include_beta: bool = False,
     timing: Optional[OperationTiming] = None,
+    kernel: str = "fast",
 ) -> LimitState:
     """Read-access-time limit state: failure when access time >= spec."""
     design = design or CellDesign()
     engine = Batched6T(
-        design=design, vdd=vdd, cbl=cbl, dv_spec=dv_spec, n_steps=n_steps, timing=timing
+        design=design, vdd=vdd, cbl=cbl, dv_spec=dv_spec, n_steps=n_steps, timing=timing,
+        kernel=kernel,
     )
     space = cell_variation_space(design, include_beta)
     return _engine_limitstate(
@@ -192,6 +198,7 @@ def make_write_limitstate(
     n_steps: int = 400,
     include_beta: bool = False,
     timing: Optional[OperationTiming] = None,
+    kernel: str = "fast",
 ) -> LimitState:
     """Write-trip-time limit state: failure when trip time >= spec.
 
@@ -200,7 +207,8 @@ def make_write_limitstate(
     """
     design = design or CellDesign()
     engine = Batched6T(
-        design=design, vdd=vdd, cbl=cbl, rdrv=rdrv, n_steps=n_steps, timing=timing
+        design=design, vdd=vdd, cbl=cbl, rdrv=rdrv, n_steps=n_steps, timing=timing,
+        kernel=kernel,
     )
     space = cell_variation_space(design, include_beta)
     return _engine_limitstate(
@@ -217,12 +225,15 @@ def make_disturb_limitstate(
     n_steps: int = 400,
     include_beta: bool = False,
     timing: Optional[OperationTiming] = None,
+    kernel: str = "fast",
 ) -> LimitState:
     """Dynamic read-stability limit state: failure when the low node's
     read bump reaches ``spec`` volts (the trip point, conventionally
     ``vdd/2``)."""
     design = design or CellDesign()
-    engine = Batched6T(design=design, vdd=vdd, cbl=cbl, n_steps=n_steps, timing=timing)
+    engine = Batched6T(
+        design=design, vdd=vdd, cbl=cbl, n_steps=n_steps, timing=timing, kernel=kernel
+    )
     space = cell_variation_space(design, include_beta)
     return _engine_limitstate(
         engine, space, engine.read_disturb_peaks, spec, "upper",
@@ -240,6 +251,7 @@ def make_system_read_limitstate(
     dv_floor: float = 0.02,
     n_steps: int = 400,
     timing: Optional[OperationTiming] = None,
+    kernel: str = "fast",
 ) -> LimitState:
     """System-level read limit state: cell *and* sense-amp variation.
 
@@ -258,7 +270,7 @@ def make_system_read_limitstate(
     sense = SenseAmp(sa_design, vdd=vdd)
     engine = Batched6T(
         design=design, vdd=vdd, cbl=cbl, dv_spec=dv_base, n_steps=n_steps,
-        timing=timing,
+        timing=timing, kernel=kernel,
     )
     cell_space = cell_variation_space(design)
 
@@ -276,7 +288,6 @@ def make_system_read_limitstate(
         dim=10,
         direction="upper",
         name=f"sram-system-read(spec={spec:.3e}s, vdd={vdd:g}V)",
-        cache=False,
     )
 
 

@@ -28,7 +28,12 @@ from scipy import stats
 from scipy.special import logsumexp
 
 from repro.engine.accumulator import StreamingAccumulator
-from repro.engine.sharding import resolve_shards, run_sharded, scale_shard_target
+from repro.engine.sharding import (
+    ShardedRunner,
+    resolve_shards,
+    run_sharded,
+    scale_shard_target,
+)
 from repro.errors import EstimationError
 from repro.highsigma.limitstate import LimitState
 from repro.highsigma.results import EstimateResult
@@ -264,6 +269,10 @@ class MeanShiftISCore:
         default single-worker run keeps the classic single-stream RNG
         consumption); pin it explicitly when comparing runs across
         machines with different worker counts.
+    runner:
+        Optional caller-owned :class:`~repro.engine.sharding.ShardedRunner`
+        (e.g. a persistent one) used for the sharded sampling rounds;
+        ``None`` forks a fresh pool per round.
     """
 
     def __init__(
@@ -279,6 +288,7 @@ class MeanShiftISCore:
         sampler: str = "random",
         workers: int = 1,
         n_shards: Optional[int] = None,
+        runner: Optional[ShardedRunner] = None,
     ):
         if sampler not in ("random", "qmc"):
             raise EstimationError(f"unknown sampler {sampler!r}")
@@ -292,6 +302,7 @@ class MeanShiftISCore:
         self.sampler = sampler
         self.workers = max(1, int(workers))
         self.n_shards = None if n_shards is None else max(1, int(n_shards))
+        self.runner = runner
 
     def _sample_shard(
         self, rng: np.random.Generator, budget: int, target: Optional[float] = None
@@ -327,11 +338,25 @@ class MeanShiftISCore:
                     break
         return acc, n_drawn, converged
 
+    def _shard_entry(self, shard_rng: np.random.Generator, budget: int):
+        """Stable sharded-sampling entry point (one per estimator object,
+        so persistent runners recognise repeat rounds of the same task)."""
+        shards = resolve_shards(self.n_shards, self.workers)
+        return self._sample_shard(
+            shard_rng, budget, scale_shard_target(self.target_rel_err, shards)
+        )
+
     def run(self, rng: np.random.Generator, method: str, extra_evals: int = 0,
             diagnostics: Optional[dict] = None) -> EstimateResult:
         """Sample until converged or out of budget; return the result.
 
         ``extra_evals`` is the search-phase cost to fold into ``n_evals``.
+
+        Sharded runs stop cooperatively: shards stop independently at the
+        ``sqrt(N)``-scaled shard target, so after the merge the global
+        target can be missed while shard budget sits stranded; in that
+        case one top-up round re-shards the stranded budget instead of
+        returning ``converged=False`` with samples unspent.
         """
         shards = resolve_shards(self.n_shards, self.workers)
         diag = dict(diagnostics or {})
@@ -340,23 +365,36 @@ class MeanShiftISCore:
                 rng, self.n_max, self.target_rel_err
             )
         else:
-            shard_target = scale_shard_target(self.target_rel_err, shards)
-            payloads = run_sharded(
-                lambda shard_rng, budget: self._sample_shard(shard_rng, budget, shard_target),
-                rng, shards, self.n_max, self.workers, self.ls,
-            )
             acc = StreamingAccumulator()
             n_drawn = 0
             shard_converged = []
-            for shard_acc, nd, conv in payloads:
-                acc.merge(shard_acc)
-                n_drawn += nd
-                shard_converged.append(bool(conv))
+
+            def sample_round(budget: int) -> int:
+                drawn = 0
+                payloads = run_sharded(
+                    self._shard_entry, rng, shards, budget,
+                    self.workers, self.ls, runner=self.runner,
+                )
+                for shard_acc, nd, conv in payloads:
+                    acc.merge(shard_acc)
+                    drawn += nd
+                    shard_converged.append(bool(conv))
+                return drawn
+
+            n_drawn += sample_round(self.n_max)
+            topup = 0
+            if self.target_rel_err is not None:
+                stranded = self.n_max - n_drawn
+                p, se = acc.estimate()
+                if stranded > 0 and not (p > 0 and se / p <= self.target_rel_err):
+                    topup = stranded
+                    n_drawn += sample_round(stranded)
             converged = False  # decided from the merged moments below
             diag.update(
                 n_shards=shards,
                 workers=self.workers,
                 shard_converged=shard_converged,
+                topup_samples=topup,
             )
         p, se = acc.estimate()
         if shards > 1:

@@ -72,10 +72,12 @@ class GradientImportanceSampling:
     beta_window:
         Keep only MPFPs with ``beta <= beta_min + beta_window`` (farther
         regions contribute negligibly).
-    workers / n_shards:
+    workers / n_shards / runner:
         Stage-2 sampling parallelism, forwarded to
         :class:`~repro.highsigma.estimators.MeanShiftISCore` (the search
         stage stays serial — it is a tiny fraction of the budget).
+        ``runner`` may be a persistent
+        :class:`~repro.engine.sharding.ShardedRunner` shared across runs.
     """
 
     method_name = "gis"
@@ -97,6 +99,7 @@ class GradientImportanceSampling:
         beta_window: float = 1.5,
         workers: int = 1,
         n_shards: Optional[int] = None,
+        runner=None,
     ):
         self.ls = limit_state
         self.n_max = int(n_max)
@@ -113,6 +116,7 @@ class GradientImportanceSampling:
         self.beta_window = float(beta_window)
         self.workers = max(1, int(workers))
         self.n_shards = n_shards
+        self.runner = runner
 
     # ------------------------------------------------------------------
 
@@ -182,6 +186,7 @@ class GradientImportanceSampling:
             target_rel_err=self.target_rel_err,
             workers=self.workers,
             n_shards=self.n_shards,
+            runner=self.runner,
         )
         core.proposal.weights = weights * (1.0 - self.alpha)
 

@@ -49,7 +49,11 @@ class LimitState:
         Dimensionality of u-space.
     cache:
         Keep a dict of previously evaluated points (keyed on the rounded
-        vector bytes).  Only scalar evaluations are cached.
+        vector bytes).  Scalar evaluations check and populate it;
+        batched evaluations populate it too when the batch is
+        stencil-sized (at most ``max(32, 4 * dim)`` rows), so gradient
+        stencils seed the cache for later line searches while bulk
+        sampling batches skip the bookkeeping entirely.
     cache_decimals:
         Decimals the cache key is rounded to.  MPFP line searches
         re-evaluate points that differ only in the last ulp; rounding
@@ -101,6 +105,13 @@ class LimitState:
         # cannot split one point over two keys.
         return (np.round(u, self._cache_decimals) + 0.0).tobytes()
 
+    def _cache_store(self, key: bytes, value: float) -> None:
+        if self._cache_size is not None and len(self._cache) >= self._cache_size:
+            # FIFO eviction: dicts iterate in insertion order, so the
+            # first key is the oldest entry.
+            self._cache.pop(next(iter(self._cache)))
+        self._cache[key] = value
+
     def metric(self, u: np.ndarray) -> float:
         """Raw (un-margined) metric at ``u``; counted like any evaluation."""
         u = np.asarray(u, dtype=float)
@@ -113,11 +124,7 @@ class LimitState:
         value = float(self._fn(u))
         self.n_evals += 1
         if self._cache is not None:
-            if self._cache_size is not None and len(self._cache) >= self._cache_size:
-                # FIFO eviction: dicts iterate in insertion order, so the
-                # first key is the oldest entry.
-                self._cache.pop(next(iter(self._cache)))
-            self._cache[key] = value
+            self._cache_store(key, value)
         return value
 
     def g(self, u: np.ndarray) -> float:
@@ -125,7 +132,18 @@ class LimitState:
         return self._margin(self.metric(u))
 
     def g_batch(self, u_batch: np.ndarray) -> np.ndarray:
-        """Margins for a block of samples (uses ``batch_fn`` when given)."""
+        """Margins for a block of samples (uses ``batch_fn`` when given).
+
+        Stencil-sized batches (at most ``max(32, 4 * dim)`` rows — a
+        central-difference stencil is ``2 * dim``) populate the scalar
+        cache when caching is on, so an MPFP line search re-evaluating a
+        point that already appeared in a gradient stencil hits the cache
+        instead of paying for another simulation.  Bulk sampling batches
+        skip the population: per-row bookkeeping on 10^5-sample runs
+        would cost more than the hits are worth and would churn the
+        FIFO-bounded cache through exactly the stencil entries it exists
+        to keep.
+        """
         u_batch = np.atleast_2d(np.asarray(u_batch, dtype=float))
         if u_batch.shape[1] != self.dim:
             raise EstimationError(
@@ -139,8 +157,15 @@ class LimitState:
                     f"expected ({u_batch.shape[0]},)"
                 )
             self.n_evals += u_batch.shape[0]
+            if self._cache is not None and u_batch.shape[0] <= max(32, 4 * self.dim):
+                keyed = np.round(u_batch, self._cache_decimals) + 0.0
+                for row, value in zip(keyed, metrics):
+                    self._cache_store(row.tobytes(), float(value))
             return self._margin(metrics)
-        return np.array([self.g(u) for u in u_batch])
+        # Fallback: one metric() pass per row (billed and cached there),
+        # margined once as a block rather than re-entering g() per row.
+        metrics = np.array([self.metric(u) for u in u_batch])
+        return self._margin(metrics)
 
     def fails(self, u: np.ndarray) -> bool:
         """Failure indicator at one point."""

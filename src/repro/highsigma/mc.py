@@ -13,7 +13,12 @@ from typing import Optional
 
 import numpy as np
 
-from repro.engine.sharding import resolve_shards, run_sharded, scale_shard_target
+from repro.engine.sharding import (
+    ShardedRunner,
+    resolve_shards,
+    run_sharded,
+    scale_shard_target,
+)
 from repro.errors import EstimationError
 from repro.highsigma.limitstate import LimitState
 from repro.highsigma.results import EstimateResult
@@ -55,6 +60,9 @@ class MonteCarloEstimator:
         Budget shards; ``None`` means ``workers``.  The estimate depends
         on the shard plan only, never on the worker count — see
         :mod:`repro.engine`.
+    runner:
+        Optional caller-owned :class:`~repro.engine.sharding.ShardedRunner`
+        (e.g. a persistent one); ``None`` forks a fresh pool per round.
     """
 
     method_name = "mc"
@@ -67,6 +75,7 @@ class MonteCarloEstimator:
         target_rel_err: Optional[float] = 0.1,
         workers: int = 1,
         n_shards: Optional[int] = None,
+        runner: Optional[ShardedRunner] = None,
     ):
         self.ls = limit_state
         self.n_max = int(n_max)
@@ -74,6 +83,7 @@ class MonteCarloEstimator:
         self.target_rel_err = target_rel_err
         self.workers = max(1, int(workers))
         self.n_shards = None if n_shards is None else max(1, int(n_shards))
+        self.runner = runner
 
     def _sample_shard(self, rng: np.random.Generator, budget: int,
                       target: Optional[float] = None):
@@ -100,8 +110,29 @@ class MonteCarloEstimator:
                     break
         return n_done, k_fail, converged
 
+    def _shard_entry(self, shard_rng: np.random.Generator, budget: int):
+        """Stable sharded-sampling entry point (one per estimator object,
+        so persistent runners recognise repeat rounds of the same task)."""
+        shards = resolve_shards(self.n_shards, self.workers)
+        return self._sample_shard(
+            shard_rng, budget, scale_shard_target(self.target_rel_err, shards)
+        )
+
+    def _global_converged(self, n_done: int, k_fail: int) -> bool:
+        return bool(
+            self.target_rel_err is not None
+            and k_fail >= 10
+            and np.sqrt((1.0 - k_fail / n_done) / k_fail) <= self.target_rel_err
+        )
+
     def run(self, rng: Optional[np.random.Generator] = None) -> EstimateResult:
-        """Sample until the budget or the target relative error is reached."""
+        """Sample until the budget or the target relative error is reached.
+
+        Sharded runs stop cooperatively: if the merged counts miss the
+        global target while shard budget sits stranded (shards stop at
+        the ``sqrt(N)``-scaled local target), one top-up round re-shards
+        the stranded budget before giving up.
+        """
         rng = rng if rng is not None else np.random.default_rng()
         shards = resolve_shards(self.n_shards, self.workers)
         diagnostics = {}
@@ -110,19 +141,26 @@ class MonteCarloEstimator:
                 rng, self.n_max, self.target_rel_err
             )
         else:
-            shard_target = scale_shard_target(self.target_rel_err, shards)
-            payloads = run_sharded(
-                lambda shard_rng, budget: self._sample_shard(shard_rng, budget, shard_target),
-                rng, shards, self.n_max, self.workers, self.ls,
+            def sample_round(budget: int):
+                payloads = run_sharded(
+                    self._shard_entry, rng, shards, budget,
+                    self.workers, self.ls, runner=self.runner,
+                )
+                return sum(p[0] for p in payloads), sum(p[1] for p in payloads)
+
+            n_done, k_fail = sample_round(self.n_max)
+            topup = 0
+            if self.target_rel_err is not None:
+                stranded = self.n_max - n_done
+                if stranded > 0 and not self._global_converged(n_done, k_fail):
+                    topup = stranded
+                    nd, kf = sample_round(stranded)
+                    n_done += nd
+                    k_fail += kf
+            converged = self._global_converged(n_done, k_fail)
+            diagnostics.update(
+                n_shards=shards, workers=self.workers, topup_samples=topup
             )
-            n_done = sum(p[0] for p in payloads)
-            k_fail = sum(p[1] for p in payloads)
-            converged = bool(
-                self.target_rel_err is not None
-                and k_fail >= 10
-                and np.sqrt((1.0 - k_fail / n_done) / k_fail) <= self.target_rel_err
-            )
-            diagnostics.update(n_shards=shards, workers=self.workers)
         p = k_fail / n_done
         std_err = float(np.sqrt(p * (1.0 - p) / n_done)) if n_done > 1 else float("inf")
         lo, hi = wilson_interval(k_fail, n_done)

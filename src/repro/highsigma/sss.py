@@ -27,7 +27,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.engine.sharding import resolve_shards, run_sharded
+from repro.engine.sharding import ShardedRunner, resolve_shards, run_sharded
 from repro.errors import EstimationError
 from repro.highsigma.limitstate import LimitState
 from repro.highsigma.results import EstimateResult
@@ -81,6 +81,9 @@ class ScaledSigmaSampling:
         Shards the per-scale budget splits into; ``None`` means
         ``workers``.  The counts depend on the shard plan only, never on
         the worker count — see :mod:`repro.engine`.
+    runner:
+        Optional caller-owned :class:`~repro.engine.sharding.ShardedRunner`
+        (e.g. a persistent one); ``None`` forks a fresh pool per run.
     """
 
     method_name = "sss"
@@ -94,6 +97,7 @@ class ScaledSigmaSampling:
         n_bootstrap: int = 300,
         workers: int = 1,
         n_shards: Optional[int] = None,
+        runner: Optional[ShardedRunner] = None,
     ):
         scales = tuple(float(s) for s in scales)
         if any(s <= 1.0 for s in scales):
@@ -105,6 +109,7 @@ class ScaledSigmaSampling:
         self.n_bootstrap = int(n_bootstrap)
         self.workers = max(1, int(workers))
         self.n_shards = None if n_shards is None else max(1, int(n_shards))
+        self.runner = runner
 
     def _count_shard(self, rng: np.random.Generator, budget: int) -> np.ndarray:
         """Failure counts per scale for one shard of the per-scale budget."""
@@ -121,7 +126,8 @@ class ScaledSigmaSampling:
         if shards <= 1:
             return self._count_shard(rng, self.n_per_scale)
         payloads = run_sharded(
-            self._count_shard, rng, shards, self.n_per_scale, self.workers, self.ls
+            self._count_shard, rng, shards, self.n_per_scale, self.workers, self.ls,
+            runner=self.runner,
         )
         return np.sum(payloads, axis=0)
 

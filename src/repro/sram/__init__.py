@@ -10,6 +10,9 @@
   butterfly curves.
 * :mod:`repro.sram.batched` — vectorised fixed-topology 6T transient
   engine used for golden Monte Carlo and large sampling budgets.
+* :mod:`repro.sram.kernel` — the fused fast integrator kernel behind
+  ``Batched6T(kernel="fast")``: stacked device evaluation, closed-form
+  batched 4x4 solves, sample retirement.
 """
 
 from repro.sram.cell import CellDesign, build_cell

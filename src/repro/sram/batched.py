@@ -11,8 +11,7 @@ all samples simultaneously:
 * device currents come from the *same*
   :meth:`repro.spice.mosfet.MosfetModel.ids` implementation the scalar
   engine uses, evaluated on ``(n_samples,)`` arrays;
-* each backward-Euler step solves one batched 4x4 Newton system via
-  ``numpy.linalg.solve`` on ``(n, 4, 4)`` stacks;
+* each backward-Euler step solves one batched 4x4 Newton system;
 * metrics (bitline-differential crossing, write trip, disturb peak) are
   accumulated on the fly with the same penalty-extension formulas as
   :mod:`repro.sram.metrics`, so the two engines are directly
@@ -23,6 +22,21 @@ refinement around the wordline corners) trades a few percent of waveform
 accuracy for unconditional robustness — the right trade for an engine
 whose job is statistics, and the cross-validation test in
 ``tests/test_cross_validation.py`` pins the disagreement budget.
+
+Two interchangeable integrator kernels implement the scheme:
+
+* ``kernel="fast"`` (default) — the fused kernel in
+  :mod:`repro.sram.kernel`: one stacked device evaluation over ``(6, n)``
+  arrays per Newton iteration, closed-form batched 4x4 solves, hoisted
+  step constants, and read-mode sample retirement (samples whose
+  threshold crossing is recorded and whose disturb accumulators are
+  settled drop out of the active set; disable with ``retire=False`` when
+  bit-faithful aux tails matter).
+* ``kernel="reference"`` — the original per-device loop over
+  :meth:`MosfetModel.ids` calls with ``np.linalg.solve``; slower but
+  maximally transparent.  ``tests/sram/test_kernel.py`` pins the
+  agreement between the two across read/write modes and sigma-scaled
+  corners.
 """
 
 from __future__ import annotations
@@ -81,7 +95,11 @@ class Batched6T:
 
     Parameters mirror :class:`~repro.sram.testbench.ReadTestbench` /
     :class:`~repro.sram.testbench.WriteTestbench`; ``n_steps`` controls
-    the base integration grid density.
+    the base integration grid density.  ``kernel`` selects the integrator
+    implementation (``"fast"`` — the fused kernel in
+    :mod:`repro.sram.kernel` — or ``"reference"``); ``retire`` enables
+    read-mode sample retirement on the fast kernel (ignored by the
+    reference kernel).
     """
 
     def __init__(
@@ -97,6 +115,8 @@ class Batched6T:
         newton_max_iter: int = 40,
         chunk_size: int = 8192,
         max_fail_fraction: float = 0.01,
+        kernel: str = "fast",
+        retire: bool = True,
     ):
         self.design = design or CellDesign()
         self.vdd = float(vdd)
@@ -109,12 +129,25 @@ class Batched6T:
         self.newton_max_iter = int(newton_max_iter)
         self.chunk_size = int(chunk_size)
         self.max_fail_fraction = float(max_fail_fraction)
+        if kernel not in ("fast", "reference"):
+            raise SimulationError(
+                f"kernel must be 'fast' or 'reference', got {kernel!r}"
+            )
+        self.kernel = kernel
+        self.retire = bool(retire)
         self.n_simulations = 0  # total per-sample transients run
+        self.n_sample_steps = 0  # total (sample x grid-step) integrations
 
         self._geometry = self._device_geometry()
         self._cmat, self._wl_coupling = self._capacitance_structure()
         self._grid = self._time_grid()
         self._wl_shape = self._wordline()
+        if kernel == "fast":
+            from repro.sram.kernel import FusedTransientKernel
+
+            self._fast_kernel = FusedTransientKernel(self)
+        else:
+            self._fast_kernel = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -306,6 +339,7 @@ class Batched6T:
         y_prev2: Optional[np.ndarray] = None
         h_prev: Optional[float] = None
         for t_now in grid[1:]:
+            self.n_sample_steps += n
             h = t_now - t_prev
             vwl = wl_of(t_now)
             dwl_dt = (vwl - wl_prev) / h
@@ -414,10 +448,14 @@ class Batched6T:
         else:
             dv_vec = np.broadcast_to(np.asarray(dv_spec, dtype=float), (n,)).copy()
 
+        run_chunk = (
+            self._fast_kernel.run_chunk if self._fast_kernel is not None
+            else self._run_chunk
+        )
         outs = []
         for start in range(0, n, self.chunk_size):
             sl = slice(start, min(start + self.chunk_size, n))
-            outs.append(self._run_chunk(
+            outs.append(run_chunk(
                 dvth[sl], bmult[sl], mode,
                 dv_spec=None if dv_vec is None else dv_vec[sl],
             ))

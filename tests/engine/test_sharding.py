@@ -6,6 +6,8 @@ shard plan pinned (``n_shards``), every statistic — ``p_fail``,
 identical whether the shards run in-process or on a fork pool.
 """
 
+import os
+
 import numpy as np
 import pytest
 
@@ -13,6 +15,7 @@ from repro.engine.sharding import (
     ShardedRunner,
     ShardResult,
     fork_available,
+    run_sharded,
     spawn_generators,
     split_budget,
 )
@@ -87,6 +90,195 @@ class TestRunnerPlumbing:
         ShardedRunner(workers=4).run_shards(task, rngs, [10, 10, 10, 10], limit_state=ls)
         # Children billed their own copies; the runner must credit the parent.
         assert ls.n_evals == 40
+
+
+class TestPersistentPool:
+    """Persistent fork pools: pure speed knob, results and invariants
+    (1-4 in ROADMAP.md) unchanged; lifecycle owned by the caller."""
+
+    @staticmethod
+    def _pid_task(i, rng, budget):
+        return ShardResult(
+            index=i, n_evals=budget,
+            payload=(os.getpid(), float(rng.standard_normal())),
+        )
+
+    @needs_fork
+    def test_pool_reused_for_equivalent_task(self):
+        ls = LinearLimitState(beta=3.0, dim=4)
+
+        def shard_fn(rng, budget):
+            ls.fails_batch(rng.standard_normal((budget, 4)))
+            return os.getpid()
+
+        with ShardedRunner(workers=2, persistent=True) as runner:
+            run_sharded(shard_fn, np.random.default_rng(0), 2, 20, 2, ls, runner=runner)
+            pool_first = runner._pool
+            run_sharded(shard_fn, np.random.default_rng(1), 2, 20, 2, ls, runner=runner)
+            assert runner._pool is pool_first  # no respawn for the same task
+        assert runner._pool is None  # context exit closed the pool
+
+    @needs_fork
+    def test_task_change_respawns_pool(self):
+        with ShardedRunner(workers=2, persistent=True) as runner:
+            rngs = spawn_generators(np.random.default_rng(0), 2)
+            runner.run_shards(self._pid_task, rngs, [1, 1])
+            pool_first = runner._pool
+
+            def other_task(i, rng, budget):
+                return ShardResult(index=i, n_evals=0, payload="other")
+
+            out = runner.run_shards(other_task, spawn_generators(np.random.default_rng(0), 2), [1, 1])
+            assert runner._pool is not pool_first
+            assert [r.payload for r in out] == ["other", "other"]
+
+    @needs_fork
+    def test_persistent_results_bit_identical_to_fresh(self):
+        def run(runner):
+            rngs = spawn_generators(np.random.default_rng(7), 4)
+            return [
+                r.payload[1]
+                for r in runner.run_shards(self._pid_task, rngs, split_budget(40, 4))
+            ]
+
+        fresh = run(ShardedRunner(workers=4))
+        with ShardedRunner(workers=4, persistent=True) as persistent:
+            first = run(persistent)
+            second = run(persistent)
+        assert fresh == first == second
+
+    @needs_fork
+    def test_eval_reconciliation_with_persistent_pool(self):
+        ls = LinearLimitState(beta=3.0, dim=4)
+
+        def shard_fn(rng, budget):
+            ls.fails_batch(rng.standard_normal((budget, 4)))
+            return None
+
+        with ShardedRunner(workers=2, persistent=True) as runner:
+            run_sharded(shard_fn, np.random.default_rng(3), 2, 30, 2, ls, runner=runner)
+            run_sharded(shard_fn, np.random.default_rng(4), 2, 30, 2, ls, runner=runner)
+        assert ls.n_evals == 60
+
+    @needs_fork
+    def test_estimator_runs_share_one_pool(self):
+        """The 'many small runs' case the ROADMAP names: repeated run()
+        calls of one estimator keep one pool and stay bit-identical to
+        fresh-pool runs."""
+        ls = LinearLimitState(beta=4.0, dim=6)
+        with ShardedRunner(workers=2, persistent=True) as runner:
+            core = MeanShiftISCore(
+                ls, shifts=[4.0 * ls.a], n_max=2048, batch_size=256,
+                target_rel_err=None, workers=2, n_shards=4, runner=runner,
+            )
+            r1 = core.run(np.random.default_rng(21), method="test")
+            pool = runner._pool
+            r2 = core.run(np.random.default_rng(21), method="test")
+            assert runner._pool is pool
+        baseline = MeanShiftISCore(
+            LinearLimitState(beta=4.0, dim=6),
+            shifts=[4.0 * ls.a], n_max=2048, batch_size=256,
+            target_rel_err=None, workers=2, n_shards=4,
+        ).run(np.random.default_rng(21), method="test")
+        assert r1.p_fail == r2.p_fail == baseline.p_fail
+        assert r1.std_err == r2.std_err == baseline.std_err
+
+    @needs_fork
+    def test_late_fork_still_resolves_registered_task(self):
+        """The Pool replaces a recycled/dead worker by forking from the
+        parent *later* than the original pool fork; such a child must
+        still resolve the task.  The property that makes that work is
+        that the registry entry stays registered for the pool's whole
+        lifetime (regression: a single published-task slot was cleared
+        right after the original fork, so late forks inherited nothing).
+        Exercised here by forking a fresh child after the first run and
+        invoking the worker entry point with the live pool's key."""
+        from repro.engine import sharding
+
+        with ShardedRunner(workers=2, persistent=True) as runner:
+            rngs = spawn_generators(np.random.default_rng(0), 2)
+            first = runner.run_shards(self._pid_task, rngs, [1, 1])
+            key = runner._pool_key
+            assert key in sharding._POOL_TASKS
+
+            ctx = __import__("multiprocessing").get_context("fork")
+            parent_conn, child_conn = ctx.Pipe()
+
+            def late_child(conn):
+                rng = spawn_generators(np.random.default_rng(0), 2)[0]
+                res = sharding._invoke_shard((key, 0, rng, 1))
+                conn.send(res.payload[1])
+
+            proc = ctx.Process(target=late_child, args=(child_conn,))
+            proc.start()
+            proc.join(timeout=30)
+            assert parent_conn.poll(1)
+            assert parent_conn.recv() == first[0].payload[1]
+
+    def test_close_is_idempotent_and_serial_path_unaffected(self):
+        runner = ShardedRunner(workers=1, persistent=True)
+        rngs = spawn_generators(np.random.default_rng(0), 2)
+        out = runner.run_shards(self._pid_task, rngs, [1, 1])
+        assert len(out) == 2 and runner._pool is None
+        runner.close()
+        runner.close()
+
+
+class TestCooperativeTopUp:
+    """A sharded run that misses the global target with stranded shard
+    budget runs one top-up round instead of giving up."""
+
+    # The trigger needs a marginal budget: most shards stop at the
+    # sqrt(8)-scaled local target while the stragglers exhaust their
+    # slice, so the merge misses the global target with budget stranded.
+    # The seeds below are pinned to configurations where that happens
+    # (the whole pipeline is deterministic per seed).
+
+    def _make_core(self, workers=1):
+        ls = LinearLimitState(beta=4.0, dim=6)
+        return ls, MeanShiftISCore(
+            ls, shifts=[4.0 * ls.a], n_max=4000, batch_size=64,
+            target_rel_err=0.035, workers=workers, n_shards=8,
+        )
+
+    def test_topup_consumes_stranded_budget(self):
+        ls, core = self._make_core()
+        res = core.run(np.random.default_rng(5), method="test")
+        assert res.diagnostics["topup_samples"] > 0
+        # The stranded budget was spent and bought global convergence.
+        assert res.n_evals == 4000
+        assert res.converged
+        assert res.rel_err <= 0.035
+
+    def test_no_topup_when_untargeted(self):
+        ls = LinearLimitState(beta=3.0, dim=4)
+        core = MeanShiftISCore(
+            ls, shifts=[3.0 * ls.a], n_max=4000, target_rel_err=None, n_shards=4
+        )
+        res = core.run(np.random.default_rng(1), method="test")
+        assert res.diagnostics["topup_samples"] == 0
+        assert res.n_evals == 4000
+
+    @needs_fork
+    def test_topup_bit_identical_across_workers(self):
+        def run(workers):
+            _, core = self._make_core(workers=workers)
+            return core.run(np.random.default_rng(5), method="test")
+
+        r1, r4 = run(1), run(4)
+        assert r1.diagnostics["topup_samples"] == r4.diagnostics["topup_samples"] > 0
+        assert (r1.p_fail, r1.std_err, r1.n_evals) == (r4.p_fail, r4.std_err, r4.n_evals)
+
+    def test_mc_topup(self):
+        ls = LinearLimitState(beta=2.5, dim=3)
+        est = MonteCarloEstimator(
+            ls, n_max=16000, batch_size=256, target_rel_err=0.1, n_shards=8
+        )
+        res = est.run(np.random.default_rng(6))
+        assert res.diagnostics["topup_samples"] > 0
+        assert res.converged
+        assert res.n_evals == 16000
+        assert ls.n_evals == res.n_evals
 
 
 def _core_result(workers, n_shards, sampler="random"):

@@ -1,0 +1,202 @@
+"""Fused fast kernel: equivalence with the reference path, solve4, retirement."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sram.batched import Batched6T
+from repro.sram.kernel import solve4
+
+N_STEPS = 300
+
+
+@pytest.fixture(scope="module")
+def engines():
+    return {
+        "reference": Batched6T(n_steps=N_STEPS, kernel="reference"),
+        "fast": Batched6T(n_steps=N_STEPS, kernel="fast", retire=False),
+    }
+
+
+def nominal_batch(rng, n=64, sigma=0.03):
+    dvth = rng.normal(0.0, sigma, size=(n, 6))
+    bmult = 1.0 + rng.normal(0.0, 0.05, size=(n, 6))
+    return dvth, bmult
+
+
+def sss_corner_batch(rng, n=32):
+    """Sigma-scaled corners as SSS visits them: |delta vth| pushed past 0.5 V."""
+    dvth = rng.normal(0.0, 0.03, size=(n, 6)) * 4.0
+    dvth[0] = [0.55, -0.55, 0.55, -0.55, 0.55, -0.55]
+    dvth[1] = [-0.6, 0.6, -0.6, 0.6, -0.6, 0.6]
+    bmult = 1.0 + rng.normal(0.0, 0.05, size=(n, 6))
+    return dvth, bmult
+
+
+class TestSolve4:
+    def test_matches_lapack_on_random_stacks(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(200, 4, 4)) + 4.0 * np.eye(4)
+        b = rng.normal(size=(200, 4))
+        ref = np.linalg.solve(a, b[..., None])[..., 0]
+        x = solve4(
+            np.ascontiguousarray(a.transpose(1, 2, 0)),
+            np.ascontiguousarray(b.T),
+        )
+        np.testing.assert_allclose(x.T, ref, rtol=1e-10, atol=1e-12)
+
+    def test_pivot_guard_falls_back_to_lapack(self):
+        # A matrix whose (0, 0) pivot vanishes: the natural-order
+        # elimination is invalid and the guard must reroute the sample
+        # through the row-pivoted solver.
+        a = np.array([[0.0, 1.0, 0.0, 0.0],
+                      [1.0, 0.0, 0.0, 0.0],
+                      [0.0, 0.0, 1.0, 0.0],
+                      [0.0, 0.0, 0.0, 1.0]])
+        b = np.array([1.0, 2.0, 3.0, 4.0])
+        stack_a = np.repeat(a[:, :, None], 3, axis=2)
+        stack_b = np.repeat(b[:, None], 3, axis=1)
+        x = solve4(stack_a, stack_b)
+        np.testing.assert_allclose(x[:, 0], [2.0, 1.0, 3.0, 4.0], rtol=1e-12)
+
+    def test_inputs_not_mutated(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(4, 4, 8)) + 4.0 * np.eye(4)[:, :, None]
+        b = rng.normal(size=(4, 8))
+        a0, b0 = a.copy(), b.copy()
+        solve4(a, b)
+        np.testing.assert_array_equal(a, a0)
+        np.testing.assert_array_equal(b, b0)
+
+
+class TestFastVsReference:
+    @pytest.mark.parametrize("mode", ["read", "write"])
+    def test_nominal_agreement(self, engines, mode):
+        rng = np.random.default_rng(7)
+        dvth, bmult = nominal_batch(rng)
+        r_ref = getattr(engines["reference"], mode)(dvth, bmult)
+        r_fast = getattr(engines["fast"], mode)(dvth, bmult)
+        np.testing.assert_allclose(r_fast.metric, r_ref.metric, rtol=1e-9)
+        np.testing.assert_array_equal(r_fast.event_found, r_ref.event_found)
+        np.testing.assert_array_equal(r_fast.converged, r_ref.converged)
+        for key in r_ref.aux:
+            np.testing.assert_allclose(
+                r_fast.aux[key], r_ref.aux[key], rtol=1e-9, atol=1e-12
+            )
+
+    @pytest.mark.parametrize("mode", ["read", "write"])
+    def test_sss_scale_corner_agreement(self, mode):
+        """|delta vth| > 0.5 V corners, where damped Newton works hardest.
+
+        A few such samples legitimately exhaust the Newton budget (in
+        both kernels), so the engines run with a loose fail-fraction
+        guard and the comparison is pinned on the samples both kernels
+        converged — plus agreement of the convergence flags themselves.
+        """
+        rng = np.random.default_rng(11)
+        dvth, bmult = sss_corner_batch(rng)
+        ref = Batched6T(n_steps=N_STEPS, kernel="reference", max_fail_fraction=0.2)
+        fast = Batched6T(
+            n_steps=N_STEPS, kernel="fast", retire=False, max_fail_fraction=0.2
+        )
+        r_ref = getattr(ref, mode)(dvth, bmult)
+        r_fast = getattr(fast, mode)(dvth, bmult)
+        np.testing.assert_array_equal(r_fast.converged, r_ref.converged)
+        np.testing.assert_array_equal(r_fast.event_found, r_ref.event_found)
+        ok = r_ref.converged
+        assert ok.mean() > 0.9
+        np.testing.assert_allclose(r_fast.metric[ok], r_ref.metric[ok], rtol=1e-6)
+
+    def test_per_sample_dv_spec_agreement(self, engines):
+        rng = np.random.default_rng(3)
+        dvth, bmult = nominal_batch(rng, n=16)
+        dv = rng.uniform(0.08, 0.2, size=16)
+        r_ref = engines["reference"].read(dvth, bmult, dv_spec=dv)
+        r_fast = engines["fast"].read(dvth, bmult, dv_spec=dv)
+        np.testing.assert_allclose(r_fast.metric, r_ref.metric, rtol=1e-9)
+
+    def test_simulation_counters_match(self):
+        ref = Batched6T(n_steps=N_STEPS, kernel="reference")
+        fast = Batched6T(n_steps=N_STEPS, kernel="fast")
+        dvth = np.zeros((5, 6))
+        ref.read(dvth)
+        fast.read(dvth)
+        assert ref.n_simulations == fast.n_simulations == 5
+
+    def test_invalid_kernel_rejected(self):
+        with pytest.raises(SimulationError):
+            Batched6T(kernel="turbo")
+
+
+class TestRetirement:
+    def test_metric_identity_read(self):
+        """Retirement must not change the metric: the crossing is recorded
+        before a sample retires and the penalty branch never retires."""
+        rng = np.random.default_rng(5)
+        dvth, bmult = nominal_batch(rng, n=128)
+        # Mix in hopeless samples (no crossing) so both branches are hit.
+        dvth[:8] += 0.4
+        on = Batched6T(n_steps=N_STEPS, kernel="fast", retire=True)
+        off = Batched6T(n_steps=N_STEPS, kernel="fast", retire=False)
+        r_on = on.read(dvth, bmult)
+        r_off = off.read(dvth, bmult)
+        np.testing.assert_allclose(r_on.metric, r_off.metric, rtol=1e-7, atol=1e-15)
+        np.testing.assert_array_equal(r_on.event_found, r_off.event_found)
+
+    def test_disturb_peak_identity(self):
+        """q_peak is settled once the wordline falls — retirement must not
+        change the read-disturb metric either."""
+        rng = np.random.default_rng(6)
+        dvth, bmult = nominal_batch(rng, n=96)
+        on = Batched6T(n_steps=N_STEPS, kernel="fast", retire=True)
+        off = Batched6T(n_steps=N_STEPS, kernel="fast", retire=False)
+        np.testing.assert_allclose(
+            on.read(dvth, bmult).aux["q_peak"],
+            off.read(dvth, bmult).aux["q_peak"],
+            rtol=1e-9,
+            atol=1e-15,
+        )
+
+    def test_write_mode_unaffected(self):
+        rng = np.random.default_rng(8)
+        dvth, bmult = nominal_batch(rng, n=32)
+        on = Batched6T(n_steps=N_STEPS, kernel="fast", retire=True)
+        off = Batched6T(n_steps=N_STEPS, kernel="fast", retire=False)
+        r_on = on.write(dvth, bmult)
+        r_off = off.write(dvth, bmult)
+        np.testing.assert_array_equal(r_on.metric, r_off.metric)
+        assert on.n_sample_steps == off.n_sample_steps
+
+    def test_per_step_cost_tracks_active_samples(self):
+        """Regression: the per-step cost must shrink with the retired
+        fraction — a batch that crosses early must integrate measurably
+        fewer sample-steps than its retirement-off twin, while a batch
+        that never crosses saves nothing."""
+        n = 128
+        crossing = np.zeros((n, 6))  # nominal cells cross early
+        stuck = np.zeros((n, 6))  # dead pass gates: bitline never moves
+        stuck[:, 2] = stuck[:, 5] = 0.8
+        on = Batched6T(n_steps=N_STEPS, kernel="fast", retire=True)
+        off = Batched6T(n_steps=N_STEPS, kernel="fast", retire=False)
+
+        on.read(crossing)
+        off.read(crossing)
+        steps_on, steps_off = on.n_sample_steps, off.n_sample_steps
+        assert steps_on < 0.9 * steps_off
+
+        on.n_sample_steps = off.n_sample_steps = 0
+        on.read(stuck)
+        off.read(stuck)
+        assert on.n_sample_steps == off.n_sample_steps
+
+    def test_more_retirees_do_not_cost_more_tail_steps(self):
+        """Doubling the early-crossing population doubles the pre-
+        retirement work but the retired tail stays retired: per-sample
+        step counts must not grow with the retired fraction."""
+        eng = Batched6T(n_steps=N_STEPS, kernel="fast", retire=True)
+        eng.read(np.zeros((64, 6)))
+        per_sample_64 = eng.n_sample_steps / 64
+        eng.n_sample_steps = 0
+        eng.read(np.zeros((128, 6)))
+        per_sample_128 = eng.n_sample_steps / 128
+        assert per_sample_128 == pytest.approx(per_sample_64, rel=0.02)

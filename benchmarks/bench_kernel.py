@@ -1,10 +1,12 @@
-"""Throughput benchmark: fused fast kernel vs reference 6T integrator.
+"""Throughput benchmark: fused compiled kernels vs reference integrators.
 
 Runs identical read and write batches through ``Batched6T`` with
 ``kernel="fast"`` (with and without retirement) and ``kernel="reference"``,
 reports samples/second, and — as a CI gate — asserts that the fast kernel
 is at least as fast as the reference path and that the two agree on the
-metrics::
+metrics.  A second section runs a compiled *non-6T* circuit (the
+sense-amp latch) through both compiled kernels, so a compiler regression
+cannot hide behind the 6T specialisation::
 
     PYTHONPATH=src python benchmarks/bench_kernel.py
     PYTHONPATH=src python benchmarks/bench_kernel.py --n 2048 --repeat 3
@@ -70,6 +72,43 @@ def main() -> int:
         if rates[("fast", mode)] < rates[("reference", mode)]:
             print(f"FAIL: fast kernel slower than reference for {mode}")
             ok = False
+
+    # ------------------------------------------------------------------
+    # Compiled non-6T circuit: the sense-amp latch (3 unknowns, solve3).
+    # ------------------------------------------------------------------
+    from repro.sram.senseamp import SenseAmp
+
+    sense = SenseAmp()
+    dvt_sa = rng.normal(0.0, 0.02, size=(args.n, 4))
+    dv_sa = rng.uniform(-0.15, 0.15, size=args.n)
+    sa_results = {}
+    sa_rates = {}
+    for name in ("reference", "fast"):
+        best = float("inf")
+        for _ in range(args.repeat):
+            t0 = time.perf_counter()
+            sa_results[name] = sense.resolve_batch(dv_sa, dvt_sa, kernel=name)
+            best = min(best, time.perf_counter() - t0)
+        sa_rates[name] = args.n / best
+        print(f"latch {name:12s}: {sa_rates[name]:9.1f} samples/s")
+    c_ref, t_ref = sa_results["reference"]
+    c_fast, t_fast = sa_results["fast"]
+    decisions_equal = bool(
+        (c_fast == c_ref).all()
+        and (np.isfinite(t_fast) == np.isfinite(t_ref)).all()
+    )
+    finite = np.isfinite(t_ref) & np.isfinite(t_fast)
+    rel = float(np.max(
+        np.abs(t_fast[finite] - t_ref[finite]) / t_ref[finite]
+    )) if finite.any() else 0.0
+    agree = decisions_equal and rel < 1e-6
+    ok &= agree
+    print(f"      {'fast':12s} vs reference latch: decisions "
+          f"{'equal' if decisions_equal else 'DIFFER'}, "
+          f"max rel time diff {rel:.3e} {'ok' if agree else 'FAIL'}")
+    if sa_rates["fast"] < sa_rates["reference"]:
+        print("FAIL: fused compiled latch slower than its reference kernel")
+        ok = False
 
     if not ok:
         return 1

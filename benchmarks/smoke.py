@@ -71,10 +71,44 @@ def workload_sharded_plan() -> None:
     core.run(np.random.default_rng(2), method="smoke")
 
 
+def workload_system_read_batched() -> None:
+    """Batched system-level read (ten axes, compiled fast path).
+
+    Also asserts the point of the batched path: evaluating the block
+    through ``g_batch`` must beat the scalar per-sample loop over the
+    same samples by at least 2x wall clock, or the section fails.
+    """
+    from repro.experiments.workloads import make_system_read_limitstate
+
+    ls = make_system_read_limitstate(6e-11, n_steps=300)
+    rng = np.random.default_rng(3)
+    u = rng.normal(0.0, 1.0, size=(1024, 10))
+    t0 = time.perf_counter()
+    g_batched = ls.g_batch(u)
+    t_batched = time.perf_counter() - t0
+
+    # Scalar per-sample loop on a subset (the full block would dominate
+    # the smoke budget — exactly the point being made).
+    n_scalar = 32
+    t0 = time.perf_counter()
+    g_scalar = np.array([ls.g(row) for row in u[:n_scalar]])
+    t_scalar_per = (time.perf_counter() - t0) / n_scalar
+    np.testing.assert_allclose(g_batched[:n_scalar], g_scalar, rtol=1e-9)
+
+    speedup = t_scalar_per * u.shape[0] / t_batched
+    print(f"  [system-read] batched vs per-sample loop: {speedup:.1f}x")
+    if speedup < 2.0:
+        raise RuntimeError(
+            f"batched system-read only {speedup:.2f}x faster than the "
+            "scalar per-sample loop (acceptance floor: 2x)"
+        )
+
+
 WORKLOADS = [
     ("streaming-core", workload_streaming_core),
     ("gis-6t-engine", workload_gis_engine),
     ("sharded-plan", workload_sharded_plan),
+    ("system-read-batched", workload_system_read_batched),
 ]
 
 

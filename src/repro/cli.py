@@ -5,17 +5,24 @@ run the extractions without writing Python:
 
 * ``read-sigma``  — gradient-IS extraction of the read-access failure
   sigma at a given spec (or a spec calibrated to a target sigma);
+  ``--system`` runs the ten-dimensional system-level read (cell + sense
+  amplifier) on the compiled batched path, with ``--sa-model`` choosing
+  the latch offset extractor;
 * ``write-sigma`` — same for the write-trip failure;
+* ``sa-sigma``    — sense-amplifier offset failure sigma on the compiled
+  latch (batched bisection);
 * ``snm``         — static noise margins of the cell;
 * ``compare``     — the full method-comparison table on one workload.
 
 Examples::
 
     python -m repro.cli read-sigma --spec-ps 55
+    python -m repro.cli read-sigma --spec-ps 60 --system --sa-model latch
     python -m repro.cli write-sigma --target-sigma 5 --vdd 0.9
+    python -m repro.cli sa-sigma --spec-mv 80
     python -m repro.cli snm --vdd 0.8
     python -m repro.cli compare --target-sigma 4 --budget 4000
-    python -m repro.cli read-sigma --spec-ps 55 --workers 4
+    python -m repro.cli read-sigma --spec-ps 55 --workers 4 --starts 4
 
 Parallelism: ``--workers N`` shards the sampling budget across ``N``
 worker processes through :mod:`repro.engine` (per-shard RNG streams
@@ -59,13 +66,18 @@ def build_parser() -> argparse.ArgumentParser:
                             "kernel (default) or the reference per-device "
                             "loop (slower, maximally transparent)")
         p.add_argument("--workers", type=int, default=1,
-                       help="worker processes for sharded sampling; with "
-                            "--shards pinned, changing only this never "
-                            "changes the estimate")
+                       help="worker processes for sharded sampling (and the "
+                            "multi-start search stage); with --shards "
+                            "pinned, changing only this never changes the "
+                            "estimate")
         p.add_argument("--shards", type=int, default=None,
                        help="shard plan the estimate depends on (default: "
                             "follows --workers); pin this to reproduce a "
                             "run on any machine / worker count")
+        p.add_argument("--starts", type=int, default=1,
+                       help="gradient-search starts (multi-start covers "
+                            "multiple failure regions; starts shard over "
+                            "--workers)")
 
     p_read = sub.add_parser("read-sigma", help="read-access failure sigma")
     common(p_read)
@@ -73,6 +85,14 @@ def build_parser() -> argparse.ArgumentParser:
     group.add_argument("--spec-ps", type=float, help="access-time spec [ps]")
     group.add_argument("--target-sigma", type=float,
                        help="calibrate the spec to this sigma first")
+    p_read.add_argument("--system", action="store_true",
+                        help="system-level read: ten variation axes (six "
+                             "cell + four sense-amp); requires --spec-ps")
+    p_read.add_argument("--sa-model", choices=("linear", "latch"),
+                        default="linear",
+                        help="with --system: sense-amp offset extractor — "
+                             "the validated first-order model or batched "
+                             "bisection on the compiled latch transient")
 
     p_write = sub.add_parser("write-sigma", help="write-trip failure sigma")
     common(p_write)
@@ -80,6 +100,13 @@ def build_parser() -> argparse.ArgumentParser:
     group.add_argument("--spec-ps", type=float, help="trip-time spec [ps]")
     group.add_argument("--target-sigma", type=float,
                        help="calibrate the spec to this sigma first")
+
+    p_sa = sub.add_parser(
+        "sa-sigma", help="sense-amp offset failure sigma (compiled latch)"
+    )
+    common(p_sa)
+    p_sa.add_argument("--spec-mv", type=float, required=True,
+                      help="input-referred offset spec [mV]")
 
     p_snm = sub.add_parser("snm", help="static noise margins (butterfly)")
     p_snm.add_argument("--vdd", type=float, default=1.0)
@@ -113,30 +140,75 @@ def _run_sigma(args, kind: str) -> int:
         calibrate_read_spec,
         calibrate_write_spec,
         make_read_limitstate,
+        make_system_read_limitstate,
         make_write_limitstate,
     )
     from repro.highsigma.gis import GradientImportanceSampling
 
     calibrate = calibrate_read_spec if kind == "read" else calibrate_write_spec
-    make = make_read_limitstate if kind == "read" else make_write_limitstate
+    system = kind == "read" and getattr(args, "system", False)
 
     if args.spec_ps is not None:
         spec = args.spec_ps * 1e-12
         note = ""
     else:
+        if system:
+            print("error: --system needs an explicit --spec-ps "
+                  "(calibration runs on the single-cell workload)")
+            return 2
         print(f"calibrating {kind} spec for {args.target_sigma:g} sigma ...")
         spec = calibrate(
             args.target_sigma, n_steps=args.n_steps, vdd=args.vdd, kernel=args.kernel
         )
         note = f"  (calibrated for {args.target_sigma:g} sigma)"
 
-    ls = make(spec, vdd=args.vdd, n_steps=args.n_steps, kernel=args.kernel)
+    if system:
+        ls = make_system_read_limitstate(
+            spec, vdd=args.vdd, n_steps=args.n_steps, kernel=args.kernel,
+            sa_model=args.sa_model,
+        )
+        note += f"  (system-level, sa={args.sa_model})"
+    else:
+        make = make_read_limitstate if kind == "read" else make_write_limitstate
+        ls = make(spec, vdd=args.vdd, n_steps=args.n_steps, kernel=args.kernel)
     gis = GradientImportanceSampling(
         ls, n_max=args.budget, target_rel_err=args.rel_err,
-        workers=args.workers, n_shards=args.shards,
+        n_starts=args.starts, workers=args.workers, n_shards=args.shards,
     )
     result = gis.run(np.random.default_rng(args.seed))
     _report(result, spec, note)
+    return 0
+
+
+def _run_sa_sigma(args) -> int:
+    from repro.experiments.workloads import make_senseamp_offset_limitstate
+    from repro.highsigma.gis import GradientImportanceSampling
+    from repro.highsigma.mpfp import MpfpOptions
+    from repro.highsigma.sigma import array_yield
+
+    spec = args.spec_mv * 1e-3
+    # The latch keeps its own grid density (--n-steps targets the 6T
+    # engine's much longer window).  The bisection-extracted offset is
+    # quantised at ~dv_max / 2^n_bisect, so the search tolerances are
+    # matched to that resolution instead of the simulator-noise defaults.
+    ls = make_senseamp_offset_limitstate(spec, vdd=args.vdd, kernel=args.kernel)
+    gis = GradientImportanceSampling(
+        ls, n_max=args.budget, target_rel_err=args.rel_err,
+        n_starts=args.starts, workers=args.workers, n_shards=args.shards,
+        mpfp_options=MpfpOptions(max_iterations=25, tol_g=1e-2, tol_align=2e-2),
+    )
+    result = gis.run(np.random.default_rng(args.seed))
+    lo, hi = result.ci()
+    print(f"offset spec       : {args.spec_mv:.1f} mV")
+    print(f"p_fail            : {result.p_fail:.4e}  (CI95 [{lo:.3e}, {hi:.3e}])")
+    print(f"sigma             : {result.sigma_level:.3f}")
+    print(f"simulations       : {result.n_evals} "
+          f"(search {result.diagnostics.get('search_evals', '?')}, "
+          f"sampling {result.diagnostics.get('n_sampling', '?')})")
+    print(f"converged         : {result.converged}")
+    if 0 < result.p_fail < 1:
+        y = array_yield(result.p_fail, 1 << 20)
+        print(f"1 Mb zero-repair  : {100*y:.2f} % yield")
     return 0
 
 
@@ -193,6 +265,8 @@ def main(argv: Optional[list] = None) -> int:
         return _run_sigma(args, "read")
     if args.command == "write-sigma":
         return _run_sigma(args, "write")
+    if args.command == "sa-sigma":
+        return _run_sa_sigma(args)
     if args.command == "snm":
         return _run_snm(args)
     if args.command == "compare":

@@ -13,16 +13,24 @@ Mechanics:
   do not depend on the worker count;
 * the budget splits with :func:`split_budget` (largest shards first, a
   fixed deterministic rule);
-* :class:`ShardedRunner` executes shard tasks either in-process
-  (``workers=1`` or when ``fork`` is unavailable) or on a fork-based
-  process pool.  Fork matters: limit states built around closures over
+* :class:`ShardedRunner` executes shard tasks in-process (``workers=1``),
+  on a fork-based process pool, or — on platforms without ``fork`` — on a
+  ``spawn`` pool.  Fork matters: limit states built around closures over
   vectorised simulators are not picklable, but a forked child inherits
   them — only the *results* (plain dataclasses of floats) cross process
-  boundaries.  With ``persistent=True`` the runner keeps the pool alive
-  across ``run_shards`` calls that execute an *equivalent* task (same
-  shard function, same limit state), amortising the fork cost over many
-  small runs; a different task transparently respawns the pool, because
-  forked children can only ever run the task snapshot they inherited;
+  boundaries.  The spawn path instead *ships the task itself* through the
+  pickle pipe (one copy per shard job), so it requires a picklable task
+  payload — the analytic limit states qualify, closure-built simulator
+  stacks do not; an unpicklable task on a spawn-only platform falls back
+  to in-process execution with an explicit ``RuntimeWarning`` instead of
+  silently (``last_mode`` records what actually ran).  With
+  ``persistent=True`` the runner keeps the fork pool alive across
+  ``run_shards`` calls that execute an *equivalent* task (same shard
+  function, same limit state), amortising the fork cost over many small
+  runs; a different task transparently respawns the pool, because forked
+  children can only ever run the task snapshot they inherited (a
+  persistent spawn pool is reused unconditionally — its tasks travel with
+  every job);
 * each task reports the limit-state evaluations its shard consumed, and
   the runner credits them back to the parent's
   :attr:`~repro.highsigma.limitstate.LimitState.n_evals` after a pooled
@@ -34,7 +42,9 @@ from __future__ import annotations
 
 import itertools
 import multiprocessing
+import pickle
 import threading
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
@@ -45,9 +55,11 @@ from repro.errors import EstimationError
 __all__ = [
     "ShardResult",
     "ShardedRunner",
+    "fork_available",
     "resolve_shards",
     "run_sharded",
     "scale_shard_target",
+    "spawn_available",
     "spawn_generators",
     "split_budget",
 ]
@@ -155,9 +167,21 @@ def _invoke_shard(args) -> ShardResult:
     return _POOL_TASKS[key](index, rng, budget)
 
 
+def _invoke_spawned_shard(args) -> ShardResult:
+    # Spawn-path worker entry: the task itself arrived through the pickle
+    # pipe as part of the job, so there is no registry to consult.
+    task, index, rng, budget = args
+    return task(index, rng, budget)
+
+
 def fork_available() -> bool:
     """Whether fork-based pooling is supported on this platform."""
     return "fork" in multiprocessing.get_all_start_methods()
+
+
+def spawn_available() -> bool:
+    """Whether spawn-based pooling is supported on this platform."""
+    return "spawn" in multiprocessing.get_all_start_methods()
 
 
 class _MeasuredShardTask:
@@ -193,32 +217,53 @@ class _MeasuredShardTask:
 
 
 class ShardedRunner:
-    """Execute shard tasks serially or on a fork pool, results in order.
+    """Execute shard tasks serially or on a process pool, results in order.
 
     Parameters
     ----------
     workers:
-        Process count.  ``1`` (or an unavailable ``fork`` start method)
-        runs every shard in the calling process — same computation, same
-        results, no pool overhead.
+        Process count.  ``1`` runs every shard in the calling process —
+        same computation, same results, no pool overhead.
     persistent:
-        Keep the fork pool alive across ``run_shards`` calls.  The pool
-        is (re)forked whenever the submitted task is not equivalent to
-        the one the live pool inherited — fork children can only run
-        their inherited snapshot — so persistence is a pure speed knob:
-        results are identical either way, and the fork is only saved for
-        repeated runs of the same task (e.g. the estimation stage of one
-        estimator run many times, or a budget top-up round).  Callers own
-        the lifecycle: use the runner as a context manager or call
-        :meth:`close`.  Mutating the task's captured state (estimator
-        configuration, limit-state ``fn``) between runs of an equivalent
-        task is not supported while a pool is live — ``close()`` first.
+        Keep the pool alive across ``run_shards`` calls.  A fork pool is
+        (re)forked whenever the submitted task is not equivalent to the
+        one the live pool inherited — fork children can only run their
+        inherited snapshot; a spawn pool is reused unconditionally (its
+        task travels with every job).  Persistence is a pure speed knob:
+        results are identical either way.  Callers own the lifecycle:
+        use the runner as a context manager or call :meth:`close`.
+        Mutating the task's captured state (estimator configuration,
+        limit-state ``fn``) between runs of an equivalent task is not
+        supported while a fork pool is live — ``close()`` first.
+    start_method:
+        ``None`` (default) picks ``fork`` when available, else ``spawn``;
+        or force ``"fork"`` / ``"spawn"`` explicitly (forcing an
+        unavailable method raises).  The spawn path ships the task
+        through the pickle pipe, so it needs a picklable task; an
+        unpicklable task falls back to in-process execution with a
+        ``RuntimeWarning`` — loud, never silent.
+
+    After every :meth:`run_shards` call, :attr:`last_mode` records which
+    execution path actually ran: ``"in-process"``, ``"fork"`` or
+    ``"spawn"``.
     """
 
-    def __init__(self, workers: int = 1, persistent: bool = False):
+    def __init__(
+        self,
+        workers: int = 1,
+        persistent: bool = False,
+        start_method: Optional[str] = None,
+    ):
+        if start_method not in (None, "fork", "spawn"):
+            raise EstimationError(
+                f"start_method must be None, 'fork' or 'spawn', got {start_method!r}"
+            )
         self.workers = max(1, int(workers))
         self.persistent = bool(persistent)
+        self.start_method = start_method
+        self.last_mode: Optional[str] = None
         self._pool = None
+        self._pool_method: Optional[str] = None
         self._pool_task: Optional[_MeasuredShardTask] = None
         self._pool_key: Optional[int] = None
 
@@ -230,6 +275,7 @@ class ShardedRunner:
             self._pool.terminate()
             self._pool.join()
             self._pool = None
+            self._pool_method = None
             self._pool_task = None
             with _POOL_LOCK:
                 _POOL_TASKS.pop(self._pool_key, None)
@@ -288,45 +334,106 @@ class ShardedRunner:
         """
         if len(rngs) != len(budgets):
             raise EstimationError("one RNG stream per shard budget is required")
-        if (
-            self.workers == 1
-            or len(rngs) == 1
-            or not fork_available()
-            or _IN_POOL_WORKER
-            # Nested sharding (a shard trying to shard again) would fork
-            # from inside a pool worker; run inner plans in-process.
-        ):
+        method = self._resolve_method(len(rngs), task)
+        if method is None:
+            self.last_mode = "in-process"
             return [task(i, rng, int(b)) for i, (rng, b) in enumerate(zip(rngs, budgets))]
 
+        if method == "spawn":
+            results = self._run_spawn(task, rngs, budgets)
+        else:
+            results = self._run_fork(task, rngs, budgets)
+        self.last_mode = method
+        results.sort(key=lambda r: r.index)
+        if limit_state is not None:
+            limit_state.n_evals += sum(r.n_evals for r in results)
+        return results
+
+    def _resolve_method(self, n_jobs: int, task) -> Optional[str]:
+        """Pick the execution path for this call (None = in-process)."""
+        if self.workers == 1 or n_jobs == 1 or _IN_POOL_WORKER:
+            # Nested sharding (a shard trying to shard again) would fork
+            # from inside a pool worker; run inner plans in-process.
+            return None
+        method = self.start_method
+        if method is None:
+            if fork_available():
+                method = "fork"
+            elif spawn_available():
+                method = "spawn"
+            else:
+                return None
+        elif method == "fork" and not fork_available():
+            raise EstimationError("start_method='fork' is unavailable on this platform")
+        elif method == "spawn" and not spawn_available():
+            raise EstimationError("start_method='spawn' is unavailable on this platform")
+        if method == "spawn":
+            try:
+                pickle.dumps(task)
+            except Exception as exc:
+                warnings.warn(
+                    "ShardedRunner: task is not picklable "
+                    f"({type(exc).__name__}: {exc}); running "
+                    f"{n_jobs} shards in-process instead of on a spawn pool",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                return None
+        return method
+
+    def _run_fork(self, task, rngs, budgets) -> List[ShardResult]:
         if self.persistent:
-            if self._pool is None or not (
-                task is self._pool_task or task == self._pool_task
+            if (
+                self._pool is None
+                or self._pool_method != "fork"
+                or not (task is self._pool_task or task == self._pool_task)
             ):
                 self.close()
                 self._pool, self._pool_key = self._fork_pool(task, len(rngs))
+                self._pool_method = "fork"
                 self._pool_task = task
             jobs = [
                 (self._pool_key, i, rng, int(b))
                 for i, (rng, b) in enumerate(zip(rngs, budgets))
             ]
-            results = self._pool.map(_invoke_shard, jobs)
-        else:
-            pool, key = self._fork_pool(task, len(rngs))
-            jobs = [
-                (key, i, rng, int(b))
-                for i, (rng, b) in enumerate(zip(rngs, budgets))
-            ]
-            try:
-                results = pool.map(_invoke_shard, jobs)
-            finally:
-                pool.terminate()
-                pool.join()
-                with _POOL_LOCK:
-                    _POOL_TASKS.pop(key, None)
-        results.sort(key=lambda r: r.index)
-        if limit_state is not None:
-            limit_state.n_evals += sum(r.n_evals for r in results)
-        return results
+            return self._pool.map(_invoke_shard, jobs)
+        pool, key = self._fork_pool(task, len(rngs))
+        jobs = [
+            (key, i, rng, int(b))
+            for i, (rng, b) in enumerate(zip(rngs, budgets))
+        ]
+        try:
+            return pool.map(_invoke_shard, jobs)
+        finally:
+            pool.terminate()
+            pool.join()
+            with _POOL_LOCK:
+                _POOL_TASKS.pop(key, None)
+
+    def _run_spawn(self, task, rngs, budgets) -> List[ShardResult]:
+        jobs = [
+            (task, i, rng, int(b))
+            for i, (rng, b) in enumerate(zip(rngs, budgets))
+        ]
+        ctx = multiprocessing.get_context("spawn")
+        if self.persistent:
+            if self._pool is None or self._pool_method != "spawn":
+                self.close()
+                self._pool = ctx.Pool(
+                    processes=min(self.workers, len(rngs)),
+                    initializer=_mark_pool_worker,
+                )
+                self._pool_method = "spawn"
+            return self._pool.map(_invoke_spawned_shard, jobs)
+        pool = ctx.Pool(
+            processes=min(self.workers, len(rngs)),
+            initializer=_mark_pool_worker,
+        )
+        try:
+            return pool.map(_invoke_spawned_shard, jobs)
+        finally:
+            pool.terminate()
+            pool.join()
 
 
 def run_sharded(

@@ -22,6 +22,7 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+from repro.errors import SimulationError
 from repro.highsigma.analytic import (
     LinearLimitState,
     QuadraticLimitState,
@@ -43,6 +44,7 @@ __all__ = [
     "make_read_limitstate",
     "make_write_limitstate",
     "make_disturb_limitstate",
+    "make_senseamp_offset_limitstate",
     "make_system_read_limitstate",
     "calibrate_read_spec",
     "calibrate_write_spec",
@@ -154,9 +156,10 @@ def _engine_limitstate(
     # stencil-sized batches (MPFP gradients) share one bounded cache, so
     # a line search revisiting a stencil point costs nothing; bulk
     # sampling batches bypass the cache machinery entirely (see
-    # LimitState.g_batch).
+    # LimitState.g_batch).  fn=None: scalar calls route through the
+    # batched engine as one-row batches.
     return LimitState(
-        fn=lambda u: float(batch_fn(np.asarray(u)[None, :])[0]),
+        fn=None,
         batch_fn=batch_fn,
         spec=spec,
         dim=space.dim,
@@ -241,6 +244,46 @@ def make_disturb_limitstate(
     )
 
 
+def make_senseamp_offset_limitstate(
+    spec: float,
+    sa_design: Optional[SenseAmpDesign] = None,
+    vdd: float = 1.0,
+    dv_max: float = 0.45,
+    n_bisect: int = 12,
+    n_steps: int = 260,
+    kernel: str = "fast",
+) -> LimitState:
+    """Sense-amp offset limit state on the compiled latch.
+
+    Four u-axes (the latch's variation-relevant devices in
+    :data:`~repro.sram.senseamp.SA_DEVICE_ORDER`); the metric is the
+    input-referred offset extracted by *simultaneous* batched bisection
+    on the compiled latch — every bisection level is one compiled
+    transient over the whole sample block, versus tens of scalar
+    transients per sample on the reference path.  Failure is the offset
+    reaching ``spec`` volts (the differential budget the column design
+    allocates to the latch).
+    """
+    sense = SenseAmp(sa_design, vdd=vdd)
+    sigmas = sense.design.vth_sigmas()
+
+    def batch_fn(u_batch: np.ndarray) -> np.ndarray:
+        u_batch = np.atleast_2d(u_batch)
+        return sense.offset_batch(
+            u_batch * sigmas, dv_max=dv_max, n_bisect=n_bisect,
+            n_steps=n_steps, kernel=kernel,
+        )
+
+    return LimitState(
+        fn=None,
+        batch_fn=batch_fn,
+        spec=spec,
+        dim=len(sigmas),
+        direction="upper",
+        name=f"sram-sa-offset(spec={spec*1e3:.1f}mV, vdd={vdd:g}V)",
+    )
+
+
 def make_system_read_limitstate(
     spec: float,
     design: Optional[CellDesign] = None,
@@ -252,6 +295,10 @@ def make_system_read_limitstate(
     n_steps: int = 400,
     timing: Optional[OperationTiming] = None,
     kernel: str = "fast",
+    sa_model: str = "linear",
+    sa_n_steps: int = 260,
+    sa_dv_max: float = 0.45,
+    sa_n_bisect: int = 12,
 ) -> LimitState:
     """System-level read limit state: cell *and* sense-amp variation.
 
@@ -262,10 +309,23 @@ def make_system_read_limitstate(
     offset), fed per-sample into the batched read engine.  Failure is
     the access time to *that* differential exceeding ``spec``.
 
+    ``sa_model`` selects the offset extractor: ``"linear"`` — the
+    validated first-order model (one dot product per sample);
+    ``"latch"`` — batched bisection on the *compiled* latch transient,
+    which keeps the full nonlinearity of the regeneration at a dozen
+    compiled transients per block.  ``sa_dv_max`` / ``sa_n_bisect``
+    bound the latch bisection — a sample whose offset exceeds
+    ``sa_dv_max`` aborts the whole batch, so widen it when sampling
+    deeper tails than the default ~18-sigma-per-device headroom covers.
+
     This is the workload where the single-cell view underestimates the
     failure rate: a moderately slow cell meeting a moderately deaf sense
     amp fails reads that neither would alone.
     """
+    if sa_model not in ("linear", "latch"):
+        raise SimulationError(
+            f"sa_model must be 'linear' or 'latch', got {sa_model!r}"
+        )
     design = design or CellDesign()
     sense = SenseAmp(sa_design, vdd=vdd)
     engine = Batched6T(
@@ -273,21 +333,29 @@ def make_system_read_limitstate(
         timing=timing, kernel=kernel,
     )
     cell_space = cell_variation_space(design)
+    sa_sigmas = sense.design.vth_sigmas()
 
     def batch_fn(u_batch: np.ndarray) -> np.ndarray:
         u_batch = np.atleast_2d(u_batch)
         u_cell, u_sa = u_batch[:, :6], u_batch[:, 6:]
         dvth = cell_space.vth_matrix(u_cell, CELL_DEVICE_ORDER)
-        dv_req = np.maximum(dv_base + sense.offset_linear(u_sa), dv_floor)
+        if sa_model == "linear":
+            offset = sense.offset_linear(u_sa)
+        else:
+            offset = sense.offset_batch(
+                u_sa * sa_sigmas, dv_max=sa_dv_max, n_bisect=sa_n_bisect,
+                n_steps=sa_n_steps, kernel=kernel,
+            )
+        dv_req = np.maximum(dv_base + offset, dv_floor)
         return engine.read(dvth, dv_spec=dv_req).metric
 
     return LimitState(
-        fn=lambda u: float(batch_fn(np.asarray(u)[None, :])[0]),
+        fn=None,
         batch_fn=batch_fn,
         spec=spec,
         dim=10,
         direction="upper",
-        name=f"sram-system-read(spec={spec:.3e}s, vdd={vdd:g}V)",
+        name=f"sram-system-read(spec={spec:.3e}s, vdd={vdd:g}V, sa={sa_model})",
     )
 
 

@@ -71,15 +71,23 @@ class LinearLimitState(LimitState):
             if a.size != dim:
                 raise EstimationError("direction length does not match dim")
         self.a = a
+        # Bound methods (not closures) keep the limit state picklable, so
+        # it can cross a spawn pool's pickle pipe.
         super().__init__(
-            fn=lambda u: float(self.a @ u),
-            batch_fn=lambda ub: ub @ self.a,
+            fn=self._metric,
+            batch_fn=self._metric_batch,
             spec=self.beta,
             dim=dim,
             direction="upper",
             name=f"linear(beta={beta:g}, d={dim})",
             cache=False,
         )
+
+    def _metric(self, u):
+        return float(self.a @ u)
+
+    def _metric_batch(self, ub):
+        return ub @ self.a
 
     def exact_pfail(self) -> float:
         """Closed-form failure probability."""
@@ -98,14 +106,20 @@ class HypersphereLimitState(LimitState):
             raise EstimationError(f"radius must be positive, got {radius!r}")
         self.radius = float(radius)
         super().__init__(
-            fn=lambda u: float(np.linalg.norm(u)),
-            batch_fn=lambda ub: np.linalg.norm(ub, axis=1),
+            fn=self._metric,
+            batch_fn=self._metric_batch,
             spec=self.radius,
             dim=dim,
             direction="upper",
             name=f"sphere(R={radius:g}, d={dim})",
             cache=False,
         )
+
+    def _metric(self, u):
+        return float(np.linalg.norm(u))
+
+    def _metric_batch(self, ub):
+        return np.linalg.norm(ub, axis=1)
 
     def exact_pfail(self) -> float:
         """``P(chi^2_d > R^2)`` — exact for any dimension."""
@@ -134,21 +148,21 @@ class UnionLimitState(LimitState):
         # Normals are the first k coordinate axes: orthonormal by construction.
         self.normals = np.eye(dim)[:k]
 
-        def margin(u):
-            return float(np.min(self.betas - self.normals @ u))
-
-        def margin_batch(ub):
-            return np.min(self.betas[None, :] - ub @ self.normals.T, axis=1)
-
         super().__init__(
-            fn=margin,
-            batch_fn=margin_batch,
+            fn=self._margin_metric,
+            batch_fn=self._margin_metric_batch,
             spec=0.0,
             dim=dim,
             direction="lower",
             name=f"union(betas={list(map(float, betas))}, d={dim})",
             cache=False,
         )
+
+    def _margin_metric(self, u):
+        return float(np.min(self.betas - self.normals @ u))
+
+    def _margin_metric_batch(self, ub):
+        return np.min(self.betas[None, :] - ub @ self.normals.T, axis=1)
 
     def exact_pfail(self) -> float:
         """Inclusion–exclusion over independent half-spaces."""
@@ -181,21 +195,21 @@ class QuadraticLimitState(LimitState):
         self.beta = float(beta)
         self.kappa = float(kappa)
 
-        def metric(u):
-            return float(u[0] - 0.5 * self.kappa * np.sum(u[1:] ** 2))
-
-        def metric_batch(ub):
-            return ub[:, 0] - 0.5 * self.kappa * np.sum(ub[:, 1:] ** 2, axis=1)
-
         super().__init__(
-            fn=metric,
-            batch_fn=metric_batch,
+            fn=self._metric,
+            batch_fn=self._metric_batch,
             spec=self.beta,
             dim=dim,
             direction="upper",
             name=f"quadratic(beta={beta:g}, kappa={kappa:g}, d={dim})",
             cache=False,
         )
+
+    def _metric(self, u):
+        return float(u[0] - 0.5 * self.kappa * np.sum(u[1:] ** 2))
+
+    def _metric_batch(self, ub):
+        return ub[:, 0] - 0.5 * self.kappa * np.sum(ub[:, 1:] ** 2, axis=1)
 
     def exact_pfail(self) -> float:
         """Quadrature of ``Phi(-(beta + kappa/2 q))`` against chi^2_{d-1}."""
@@ -253,25 +267,25 @@ class SramSurrogateLimitState(LimitState):
         if self.b < 0 or self.c < 0:
             raise EstimationError("surrogate curvature coefficients must be >= 0")
 
-        def metric(u):
-            s = float(self.w @ u)
-            perp2 = float(u @ u) - s * s
-            return self.t0 + self.a * s + self.b * s * s + self.c * perp2
-
-        def metric_batch(ub):
-            s = ub @ self.w
-            perp2 = np.sum(ub * ub, axis=1) - s * s
-            return self.t0 + self.a * s + self.b * s * s + self.c * perp2
-
         super().__init__(
-            fn=metric,
-            batch_fn=metric_batch,
+            fn=self._metric,
+            batch_fn=self._metric_batch,
             spec=float(spec),
             dim=dim,
             direction="upper",
             name=f"sram-surrogate(spec={spec:.3e}, d={dim})",
             cache=False,
         )
+
+    def _metric(self, u):
+        s = float(self.w @ u)
+        perp2 = float(u @ u) - s * s
+        return self.t0 + self.a * s + self.b * s * s + self.c * perp2
+
+    def _metric_batch(self, ub):
+        s = ub @ self.w
+        perp2 = np.sum(ub * ub, axis=1) - s * s
+        return self.t0 + self.a * s + self.b * s * s + self.c * perp2
 
     def exact_pfail(self) -> float:
         """Quadrature over the perpendicular chi-square radius."""

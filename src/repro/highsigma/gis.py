@@ -28,6 +28,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.engine.sharding import ShardedRunner, ShardResult, spawn_generators
 from repro.errors import SearchError
 from repro.highsigma.estimators import MeanShiftISCore
 from repro.highsigma.limitstate import LimitState
@@ -35,6 +36,33 @@ from repro.highsigma.mpfp import MpfpOptions, MpfpResult, MpfpSearch
 from repro.highsigma.results import EstimateResult
 
 __all__ = ["GradientImportanceSampling"]
+
+
+class _MpfpStartTask:
+    """Shard task wrapper for one multi-start gradient search.
+
+    Comparable so a persistent runner can recognise repeat submissions;
+    measures the limit-state evaluations its start consumed so pooled
+    searches reconcile into the parent counter exactly like sampling
+    shards do.
+    """
+
+    __slots__ = ("gis",)
+
+    def __init__(self, gis: "GradientImportanceSampling"):
+        self.gis = gis
+
+    def __call__(self, i: int, rng: np.random.Generator, budget: int) -> ShardResult:
+        before = self.gis.ls.n_evals
+        res = self.gis._run_one_start(i, rng)
+        return ShardResult(
+            index=i, n_evals=self.gis.ls.n_evals - before, payload=res
+        )
+
+    def __eq__(self, other):
+        return type(other) is _MpfpStartTask and other.gis is self.gis
+
+    __hash__ = None  # identity/equality only; never used as a dict key
 
 
 class GradientImportanceSampling:
@@ -74,10 +102,12 @@ class GradientImportanceSampling:
         regions contribute negligibly).
     workers / n_shards / runner:
         Stage-2 sampling parallelism, forwarded to
-        :class:`~repro.highsigma.estimators.MeanShiftISCore` (the search
-        stage stays serial — it is a tiny fraction of the budget).
-        ``runner`` may be a persistent
-        :class:`~repro.engine.sharding.ShardedRunner` shared across runs.
+        :class:`~repro.highsigma.estimators.MeanShiftISCore`.  With
+        ``n_starts > 1`` the stage-1 searches also fan out over
+        ``workers`` (one start per shard, deterministic selection in
+        start order — see :meth:`search_mpfps`).  ``runner`` may be a
+        persistent :class:`~repro.engine.sharding.ShardedRunner` shared
+        across runs; it is used for the sampling stage only.
     """
 
     method_name = "gis"
@@ -120,18 +150,51 @@ class GradientImportanceSampling:
 
     # ------------------------------------------------------------------
 
-    def search_mpfps(self, rng: np.random.Generator) -> List[MpfpResult]:
-        """Stage 1: run the gradient searches and dedupe the results."""
+    def _run_one_start(self, start: int, rng: np.random.Generator) -> MpfpResult:
+        """One gradient search: start 0 from the origin, the rest from a
+        random direction at radius 2 drawn from the start's own stream."""
         search = MpfpSearch(self.ls, options=self.mpfp_options, grad_fn=self.grad_fn)
+        if start == 0:
+            u0 = None
+        else:
+            direction = rng.standard_normal(self.ls.dim)
+            direction /= np.linalg.norm(direction)
+            u0 = 2.0 * direction
+        return search.run(u0=u0, rng=rng)
+
+    def search_mpfps(self, rng: np.random.Generator) -> List[MpfpResult]:
+        """Stage 1: run the gradient searches and dedupe the results.
+
+        Multi-start runs shard one search per start over a
+        :class:`~repro.engine.sharding.ShardedRunner` (the ROADMAP's
+        "search stages are still serial" item).  Determinism contract:
+        each start draws from its own ``SeedSequence``-spawned stream and
+        the dedup/beta-window selection runs in fixed start order, so the
+        kept MPFPs depend only on ``n_starts`` — never on ``workers``.
+        (Evaluation *counts* can differ slightly across worker counts:
+        pooled starts cannot share the in-process point cache.)  The
+        single-start default keeps the classic single-stream RNG
+        consumption.
+        """
+        if self.n_starts == 1:
+            results_all = [self._run_one_start(0, rng)]
+        else:
+            rngs = spawn_generators(rng, self.n_starts)
+            # A transient runner, deliberately not self.runner: the search
+            # task differs from the sampling task, and submitting it to a
+            # shared persistent pool would evict the (far more reused)
+            # sampling snapshot.
+            with ShardedRunner(min(self.workers, self.n_starts)) as runner:
+                shard_results = runner.run_shards(
+                    _MpfpStartTask(self),
+                    rngs,
+                    [0] * self.n_starts,
+                    limit_state=self.ls,
+                )
+            results_all = [r.payload for r in shard_results]
+
         results: List[MpfpResult] = []
-        for start in range(self.n_starts):
-            if start == 0:
-                u0 = None
-            else:
-                direction = rng.standard_normal(self.ls.dim)
-                direction /= np.linalg.norm(direction)
-                u0 = 2.0 * direction
-            res = search.run(u0=u0, rng=rng)
+        for res in results_all:
             if res.beta <= 1e-9 or not res.near_boundary():
                 # Search never left the origin, or never got anywhere near
                 # the failure boundary (flat metric, unreachable failure):

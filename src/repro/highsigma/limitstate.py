@@ -33,7 +33,11 @@ class LimitState:
     Parameters
     ----------
     fn:
-        Scalar metric over u-space, ``fn(u) -> float``.
+        Scalar metric over u-space, ``fn(u) -> float``.  May be ``None``
+        when ``batch_fn`` is given: scalar evaluations then route through
+        the batched evaluator as one-row batches — the natural shape for
+        compiled batched simulators, which have no scalar path of their
+        own.
     spec:
         Specification the metric is compared against.
     direction:
@@ -66,7 +70,7 @@ class LimitState:
 
     def __init__(
         self,
-        fn: Callable[[np.ndarray], float],
+        fn: Optional[Callable[[np.ndarray], float]],
         spec: float,
         dim: int,
         direction: str = "upper",
@@ -80,6 +84,8 @@ class LimitState:
             raise EstimationError(f"direction must be 'upper' or 'lower', got {direction!r}")
         if dim < 1:
             raise EstimationError(f"dim must be >= 1, got {dim!r}")
+        if fn is None and batch_fn is None:
+            raise EstimationError("a limit state needs fn, batch_fn or both")
         self._fn = fn
         self._batch_fn = batch_fn
         self.spec = float(spec)
@@ -121,7 +127,10 @@ class LimitState:
             key = self._cache_key(u)
             if key in self._cache:
                 return self._cache[key]
-        value = float(self._fn(u))
+        if self._fn is not None:
+            value = float(self._fn(u))
+        else:
+            value = float(np.asarray(self._batch_fn(u[None, :]), dtype=float)[0])
         self.n_evals += 1
         if self._cache is not None:
             self._cache_store(key, value)

@@ -1,0 +1,1209 @@
+"""Batched circuit compiler: a :class:`~repro.spice.netlist.Circuit` in,
+a fused batched transient kernel out.
+
+PR 2 hand-wired one circuit (the 6T cell) into a fused integrator; this
+module makes "batched fused integration" a property of the SPICE layer.
+:class:`CompiledTransient` analyses a netlist once and emits everything
+the fused inner loop needs, so scenario diversity becomes a *compile
+step* instead of a per-circuit rewrite:
+
+* **Node partitioning.**  Nodes pinned by a grounded voltage source
+  become *rails* — known, possibly time-varying voltages; the remaining
+  nodes are the unknowns the Newton iteration solves for.
+* **Terminal-gather index maps.**  Every MOSFET terminal resolves to a
+  row of an extended state matrix ``(n_unknown + n_rails + 1, n)``
+  (unknowns, rails, ground), so gathering all device voltages is one
+  ``np.take`` per terminal per iteration regardless of device count.
+* **One stacked device evaluation.**  All devices evaluate in a single
+  pass over ``(n_devices, n_samples)`` arrays — a faithful transcription
+  of :meth:`repro.spice.mosfet.MosfetModel.ids` (same smooth clamps,
+  same epsilons) with the model-card scalars broadcast as per-device
+  columns.  ``kernel="reference"`` instead calls ``MosfetModel.ids``
+  device by device inside the *same* step loop: the transparent
+  cross-check, pinned against the fused path by the test suite.
+* **Incidence-matmul assembly.**  Residual and Jacobian contributions
+  are assembled by two precomputed incidence matrices (``F += S @ ids``,
+  ``J += (M @ G_stack).reshape(nu, nu, -1)``), not per-device Python.
+* **``solveN``.**  Batched dense solves over ``(nu, nu, n)`` stacks:
+  fully unrolled closed-form elimination for ``nu <= 4`` (PR 2's
+  ``solve4`` generalised down to 1) and blocked in-place elimination
+  above, both with a per-pivot magnitude guard that re-solves degenerate
+  samples through the row-pivoted ``np.linalg.solve`` — pathological
+  matrices lose speed, never accuracy.
+* **Linear elements.**  Capacitors (explicit and the MOSFETs' lumped
+  terminal caps) build the constant ``C`` matrix; couplings to moving
+  rails inject ``C * dV_rail/dt`` per step.  Resistors build a constant
+  conductance matrix; resistors to rails contribute a per-step drive
+  term (this is how write drivers compile).  Controlled sources and
+  current sources are rejected — the compiler targets the fixed-topology
+  statistical workloads, and refusing loudly beats integrating wrongly.
+* **Observation probes.**  Metric extraction compiles too:
+  :class:`CrossProbe` records first rising zero crossings of linear node
+  combinations (with optional per-sample offsets — e.g. a per-sample
+  sense threshold), :class:`PeakProbe` tracks running maxima past a
+  start time, :class:`ValueProbe` snapshots a combination at a grid
+  time.  :class:`RetirePolicy` generalises PR 2's sample retirement:
+  once a designated probe has recorded its crossing and the retirement
+  time has passed, samples are scattered to the output arrays and the
+  working set is compacted.
+
+The integration scheme is the one the batched 6T engine established:
+backward Euler on a fixed grid, damped active-set Newton with linear
+extrapolation warm starts, clamped to the physically reachable band.
+Invariants the compiler must keep (see ROADMAP.md): the fused device
+math stays a faithful ``MosfetModel.ids`` transcription, the reference
+kernel stays available, and retirement never changes metrics — only
+aux tails after the retirement point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import SimpleNamespace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.spice.elements import Mosfet, Resistor, VoltageSource
+from repro.spice.mosfet import THERMAL_VOLTAGE
+from repro.spice.netlist import GROUND_INDEX, Circuit
+from repro.spice.sources import DcShape
+
+__all__ = [
+    "CompiledTransient",
+    "CrossProbe",
+    "PeakProbe",
+    "ValueProbe",
+    "RetirePolicy",
+    "transient_grid",
+    "solveN",
+    "solve4",
+]
+
+# Smoothing epsilons — must match MosfetModel.ids exactly.
+_EPS_RELU = 1e-3
+_EPS_ABS = 5e-3
+
+
+# ----------------------------------------------------------------------
+# Batched dense solvers
+# ----------------------------------------------------------------------
+
+def _lapack_rescue(a: np.ndarray, b: np.ndarray, x: np.ndarray, bad: np.ndarray) -> None:
+    """Re-solve the ``bad`` samples of ``a x = b`` through ``np.linalg.solve``.
+
+    ``a`` is the *original* ``(nu, nu, m)`` stack (the elimination works on
+    copies), ``b`` the original right-hand sides; results overwrite the
+    corresponding columns of ``x`` in place.
+    """
+    idx = np.flatnonzero(bad)
+    sub_a = np.ascontiguousarray(a[:, :, idx].transpose(2, 0, 1))
+    sub_b = np.ascontiguousarray(b[:, idx].T)[..., None]
+    x[:, idx] = np.linalg.solve(sub_a, sub_b)[..., 0].T
+
+
+def solve1(a: np.ndarray, b: np.ndarray, min_pivot: float = 1e-18) -> np.ndarray:
+    """Trivial 1x1 stack solve with the same pivot guard as its siblings."""
+    a00 = a[0, 0]
+    bad = np.abs(a00) < min_pivot
+    if bad.any():
+        a00 = np.where(bad, 1.0, a00)
+    x = (b[0] / a00)[None, :].copy()
+    if bad.any():
+        _lapack_rescue(a, b, x, bad)
+    return x
+
+
+def solve2(a: np.ndarray, b: np.ndarray, min_pivot: float = 1e-18) -> np.ndarray:
+    """Unrolled 2x2 stack solve (see :func:`solve4` for the contract)."""
+    a00, a01 = a[0]
+    a10, a11 = a[1]
+    b0, b1 = b
+
+    bad = np.abs(a00) < min_pivot
+    if bad.any():
+        a00 = np.where(bad, 1.0, a00)
+    p0 = 1.0 / a00
+    f1 = a10 * p0
+    a11 = a11 - f1 * a01
+    b1 = b1 - f1 * b0
+    bad1 = np.abs(a11) < min_pivot
+    if bad1.any():
+        a11 = np.where(bad1, 1.0, a11)
+        bad |= bad1
+    x1 = b1 / a11
+    x0 = (b0 - a01 * x1) * p0
+    x = np.stack([x0, x1])
+    if bad.any():
+        _lapack_rescue(a, b, x, bad)
+    return x
+
+
+def solve3(a: np.ndarray, b: np.ndarray, min_pivot: float = 1e-18) -> np.ndarray:
+    """Unrolled 3x3 stack solve (see :func:`solve4` for the contract)."""
+    a00, a01, a02 = a[0]
+    a10, a11, a12 = a[1]
+    a20, a21, a22 = a[2]
+    b0, b1, b2 = b
+
+    bad = np.abs(a00) < min_pivot
+    if bad.any():
+        a00 = np.where(bad, 1.0, a00)
+    p0 = 1.0 / a00
+    f1 = a10 * p0
+    f2 = a20 * p0
+    a11 = a11 - f1 * a01
+    a12 = a12 - f1 * a02
+    b1 = b1 - f1 * b0
+    a21 = a21 - f2 * a01
+    a22 = a22 - f2 * a02
+    b2 = b2 - f2 * b0
+
+    bad1 = np.abs(a11) < min_pivot
+    if bad1.any():
+        a11 = np.where(bad1, 1.0, a11)
+        bad |= bad1
+    p1 = 1.0 / a11
+    f2 = a21 * p1
+    a22 = a22 - f2 * a12
+    b2 = b2 - f2 * b1
+
+    bad2 = np.abs(a22) < min_pivot
+    if bad2.any():
+        a22 = np.where(bad2, 1.0, a22)
+        bad |= bad2
+    x2 = b2 / a22
+    x1 = (b1 - a12 * x2) * p1
+    x0 = (b0 - a01 * x1 - a02 * x2) * p0
+    x = np.stack([x0, x1, x2])
+    if bad.any():
+        _lapack_rescue(a, b, x, bad)
+    return x
+
+
+def solve4(a: np.ndarray, b: np.ndarray, min_pivot: float = 1e-18) -> np.ndarray:
+    """Solve ``a[:, :, i] @ x[:, i] = b[:, i]`` for a stack of 4x4 systems.
+
+    ``a`` has shape ``(4, 4, n)`` and ``b`` shape ``(4, n)``; returns ``x``
+    of shape ``(4, n)``.  Inputs are not modified.
+
+    The elimination is fully unrolled (closed-form) and runs in natural
+    pivot order, which for the diagonally dominant Newton Jacobians
+    ``C/h + G`` is exactly what partial pivoting would choose.  Samples
+    whose pivot magnitude drops below ``min_pivot`` (cancellation-level
+    for conductance-scale entries) are re-solved through the row-pivoted
+    ``np.linalg.solve``, so pathological matrices lose speed, never
+    accuracy.
+    """
+    a00, a01, a02, a03 = a[0]
+    a10, a11, a12, a13 = a[1]
+    a20, a21, a22, a23 = a[2]
+    a30, a31, a32, a33 = a[3]
+    b0, b1, b2, b3 = b
+
+    bad = np.abs(a00) < min_pivot
+    if bad.any():
+        # Keep the guarded samples finite through the closed-form pass
+        # (they are re-solved below); avoids divide-by-zero noise.
+        a00 = np.where(bad, 1.0, a00)
+    p0 = 1.0 / a00
+    f1 = a10 * p0
+    f2 = a20 * p0
+    f3 = a30 * p0
+    a11 = a11 - f1 * a01
+    a12 = a12 - f1 * a02
+    a13 = a13 - f1 * a03
+    b1 = b1 - f1 * b0
+    a21 = a21 - f2 * a01
+    a22 = a22 - f2 * a02
+    a23 = a23 - f2 * a03
+    b2 = b2 - f2 * b0
+    a31 = a31 - f3 * a01
+    a32 = a32 - f3 * a02
+    a33 = a33 - f3 * a03
+    b3 = b3 - f3 * b0
+
+    bad1 = np.abs(a11) < min_pivot
+    if bad1.any():
+        a11 = np.where(bad1, 1.0, a11)
+        bad |= bad1
+    p1 = 1.0 / a11
+    f2 = a21 * p1
+    f3 = a31 * p1
+    a22 = a22 - f2 * a12
+    a23 = a23 - f2 * a13
+    b2 = b2 - f2 * b1
+    a32 = a32 - f3 * a12
+    a33 = a33 - f3 * a13
+    b3 = b3 - f3 * b1
+
+    bad2 = np.abs(a22) < min_pivot
+    if bad2.any():
+        a22 = np.where(bad2, 1.0, a22)
+        bad |= bad2
+    p2 = 1.0 / a22
+    f3 = a32 * p2
+    a33 = a33 - f3 * a23
+    b3 = b3 - f3 * b2
+    bad3 = np.abs(a33) < min_pivot
+    if bad3.any():
+        a33 = np.where(bad3, 1.0, a33)
+        bad |= bad3
+
+    x3 = b3 / a33
+    x2 = (b2 - a23 * x3) * p2
+    x1 = (b1 - a12 * x2 - a13 * x3) * p1
+    x0 = (b0 - a01 * x1 - a02 * x2 - a03 * x3) * p0
+    x = np.stack([x0, x1, x2, x3])
+
+    if bad.any():
+        _lapack_rescue(a, b, x, bad)
+    return x
+
+
+def _solve_blocked(a: np.ndarray, b: np.ndarray, min_pivot: float) -> np.ndarray:
+    """Blocked in-place Gaussian elimination for ``(n, n, m)`` stacks, n > 4.
+
+    One vectorised rank-1 update per pivot (O(n) numpy calls total, every
+    call elementwise over the full sample axis), natural pivot order with
+    the shared pivot guard.
+    """
+    n = a.shape[0]
+    aw = a.copy()
+    bw = b.copy()
+    bad = np.zeros(a.shape[2], dtype=bool)
+    for k in range(n):
+        piv = aw[k, k]
+        bk = np.abs(piv) < min_pivot
+        if bk.any():
+            piv = np.where(bk, 1.0, piv)
+            aw[k, k] = piv
+            bad |= bk
+        if k + 1 < n:
+            f = aw[k + 1:, k] / piv
+            aw[k + 1:, k + 1:] -= f[:, None, :] * aw[k, k + 1:][None, :, :]
+            bw[k + 1:] -= f * bw[k]
+    x = np.empty_like(bw)
+    for k in range(n - 1, -1, -1):
+        acc = bw[k]
+        if k + 1 < n:
+            acc = acc - (aw[k, k + 1:] * x[k + 1:]).sum(axis=0)
+        x[k] = acc / aw[k, k]
+    if bad.any():
+        _lapack_rescue(a, b, x, bad)
+    return x
+
+
+_UNROLLED_SOLVERS = {1: solve1, 2: solve2, 3: solve3, 4: solve4}
+
+
+def solveN(a: np.ndarray, b: np.ndarray, min_pivot: float = 1e-18) -> np.ndarray:
+    """Batched dense solve of ``a[:, :, i] @ x[:, i] = b[:, i]``.
+
+    ``a`` is ``(n, n, m)``, ``b`` is ``(n, m)``; returns ``(n, m)``.
+    Dispatches to the fully unrolled closed-form eliminations for
+    ``n <= 4`` and to blocked elimination above; every path carries the
+    per-pivot guard with the ``np.linalg.solve`` rescue.
+    """
+    n = a.shape[0]
+    if a.shape[1] != n or b.shape[0] != n:
+        raise SimulationError(
+            f"solveN: shape mismatch a={a.shape}, b={b.shape}"
+        )
+    solver = _UNROLLED_SOLVERS.get(n)
+    if solver is not None:
+        return solver(a, b, min_pivot)
+    return _solve_blocked(a, b, min_pivot)
+
+
+# ----------------------------------------------------------------------
+# Observation probes and retirement policy
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CrossProbe:
+    """First rising zero crossing of ``sum_k coeffs[k] * v_k + offset``.
+
+    ``coeffs`` maps unknown-node names to coefficients; ``offset`` is the
+    default additive constant (a per-sample array can be supplied at run
+    time through ``probe_offsets``).  The crossing time uses the same
+    linear interpolation inside the step as the batched 6T engine; a
+    sample that never crosses reports ``nan``.
+    """
+
+    name: str
+    coeffs: Mapping[str, float]
+    offset: float = 0.0
+
+
+@dataclass(frozen=True)
+class PeakProbe:
+    """Running maximum of one unknown node for ``t >= t_from``."""
+
+    name: str
+    node: str
+    t_from: float = 0.0
+
+
+@dataclass(frozen=True)
+class ValueProbe:
+    """Snapshot of ``sum_k coeffs[k] * v_k + offset`` at the first grid
+    point with ``t >= t``.  Incompatible with retirement (a retired
+    sample has no state to snapshot); the run rejects the combination."""
+
+    name: str
+    coeffs: Mapping[str, float]
+    t: float
+    offset: float = 0.0
+
+
+@dataclass(frozen=True)
+class RetirePolicy:
+    """When and how samples leave the working set.
+
+    A sample retires once the :class:`CrossProbe` named ``probe`` has
+    recorded its crossing and the grid time has passed ``after``;
+    compaction triggers only when at least ``max(min_count,
+    m // frac_divisor)`` samples are retireable, so the bookkeeping cost
+    never exceeds its savings.  Retired samples keep the peak/final
+    values they had at retirement — callers must only retire once those
+    are provably settled (the 6T read retires after the wordline has
+    fully fallen).
+    """
+
+    probe: str
+    after: float
+    min_count: int = 16
+    frac_divisor: int = 8
+
+
+def transient_grid(
+    t_stop: float,
+    breakpoints: Sequence[float] = (),
+    n_steps: int = 400,
+) -> np.ndarray:
+    """Fixed integration grid over ``[0, t_stop]`` landing on breakpoints.
+
+    Segment point counts blend the segment's share of the total span with
+    an equal share per segment, so sharp source corners (short segments)
+    keep enough density to resolve their transients while long flat
+    tails do not starve.  Deterministic for a given breakpoint set.
+    """
+    if t_stop <= 0:
+        raise SimulationError(f"t_stop must be positive, got {t_stop!r}")
+    edges = sorted({0.0, float(t_stop)}
+                   | {float(b) for b in breakpoints if 0.0 < float(b) < t_stop})
+    segs = list(zip(edges, edges[1:]))
+    pieces = []
+    for a, b in segs:
+        w = 0.5 * ((b - a) / t_stop) + 0.5 / len(segs)
+        k = max(8, int(round(n_steps * w)))
+        pieces.append(np.linspace(a, b, k, endpoint=False))
+    pieces.append(np.array([t_stop]))
+    return np.unique(np.concatenate(pieces))
+
+
+# ----------------------------------------------------------------------
+# The compiler
+# ----------------------------------------------------------------------
+
+class CompiledTransient:
+    """A circuit compiled into a batched fixed-grid transient kernel.
+
+    Parameters
+    ----------
+    circuit:
+        The netlist.  Supported elements: MOSFETs, capacitors, resistors
+        and grounded voltage sources (which define the rails).  Anything
+        else raises :class:`~repro.errors.SimulationError`.
+    grid:
+        Integration grid (monotonic, starting at the initial time).  Use
+        :func:`transient_grid` to build one from the source breakpoints,
+        or pass an engine's own grid for bit-compatible integration.
+    probes:
+        Observation probes evaluated inside the step loop.
+    kernel:
+        ``"fast"`` — the fused stacked device evaluation with
+        :func:`solveN`; ``"reference"`` — per-device
+        :meth:`MosfetModel.ids` calls and ``np.linalg.solve`` inside the
+        same step loop (slower, maximally transparent).
+    newton_max_iter / newton_tol / max_step / min_pivot:
+        Damped-Newton controls (defaults match the batched 6T engine).
+    clip:
+        ``(lo, hi)`` clamp band for Newton updates; ``None`` derives it
+        from the rail voltage range over the grid (±0.4 V), matching the
+        6T engine's physically-reachable-band clamp.  Warm-start
+        extrapolations are clipped to the band widened by 0.1 V.
+
+    Construction snapshots the circuit; mutating element attributes
+    afterwards (e.g. ``delta_vth``) does not affect compiled runs — the
+    varied parameters are per-run inputs instead.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        grid: np.ndarray,
+        probes: Sequence[object] = (),
+        kernel: str = "fast",
+        newton_max_iter: int = 40,
+        newton_tol: float = 5e-8,
+        max_step: float = 0.4,
+        min_pivot: float = 1e-18,
+        clip: Optional[Tuple[float, float]] = None,
+    ):
+        if kernel not in ("fast", "reference"):
+            raise SimulationError(
+                f"kernel must be 'fast' or 'reference', got {kernel!r}"
+            )
+        self.circuit = circuit
+        self.kernel = kernel
+        self.newton_max_iter = int(newton_max_iter)
+        self.newton_tol = float(newton_tol)
+        self.max_step = float(max_step)
+        self.min_pivot = float(min_pivot)
+        self.grid = np.asarray(grid, dtype=float)
+        if self.grid.ndim != 1 or self.grid.size < 2 or np.any(np.diff(self.grid) <= 0):
+            raise SimulationError("grid must be a strictly increasing 1-D array")
+
+        self._partition_nodes()
+        self._build_linear_tables()
+        self._build_device_tables()
+        self._build_plan()
+        if clip is None:
+            lo = min(0.0, float(self._rail_vals.min())) - 0.4
+            hi = max(0.0, float(self._rail_vals.max())) + 0.4
+        else:
+            lo, hi = float(clip[0]), float(clip[1])
+        self.clip = (lo, hi)
+        self._extrap_clip = (lo - 0.1, hi + 0.1)
+        self._compile_probes(probes)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _partition_nodes(self) -> None:
+        """Split circuit nodes into rails (source-driven) and unknowns."""
+        c = self.circuit
+        rail_shape: Dict[int, object] = {}
+        for elem in c.elements:
+            if isinstance(elem, VoltageSource):
+                np_, nm = elem.nodes
+                if nm != GROUND_INDEX:
+                    raise SimulationError(
+                        f"compile: voltage source {elem.name!r} must be "
+                        "grounded (floating sources are not supported)"
+                    )
+                if np_ == GROUND_INDEX:
+                    raise SimulationError(
+                        f"compile: voltage source {elem.name!r} drives ground"
+                    )
+                if np_ in rail_shape:
+                    raise SimulationError(
+                        f"compile: node {c.node_name(np_)!r} driven by more "
+                        "than one voltage source"
+                    )
+                rail_shape[np_] = elem.shape
+            elif isinstance(elem, (Mosfet, Resistor)) or elem.caps():
+                # MOSFETs, resistors and anything purely capacitive.
+                continue
+            else:
+                raise SimulationError(
+                    f"compile: unsupported element {type(elem).__name__} "
+                    f"({elem.name!r}); the batched compiler handles MOSFETs, "
+                    "capacitors, resistors and grounded voltage sources"
+                )
+
+        self._rail_nodes = sorted(rail_shape)           # circuit node indices
+        self._rail_shapes = [rail_shape[i] for i in self._rail_nodes]
+        self.rail_names = [c.node_name(i) for i in self._rail_nodes]
+        self.node_names: List[str] = [
+            c.node_name(i) for i in range(c.num_nodes) if i not in rail_shape
+        ]
+        self.n_unknowns = len(self.node_names)
+        if self.n_unknowns == 0:
+            raise SimulationError("compile: circuit has no unknown nodes")
+
+        # circuit node index -> extended-state row.
+        nu, nr = self.n_unknowns, len(self._rail_nodes)
+        self._ground_row = nu + nr
+        self._n_ext = nu + nr + 1
+        row: Dict[int, int] = {GROUND_INDEX: self._ground_row}
+        u = 0
+        for i in range(c.num_nodes):
+            if i in rail_shape:
+                row[i] = nu + self._rail_nodes.index(i)
+            else:
+                row[i] = u
+                u += 1
+        self._row_of_node = row
+        self._unknown_index = {
+            name: k for k, name in enumerate(self.node_names)
+        }
+
+    def _build_linear_tables(self) -> None:
+        """Constant C and G matrices plus rail-coupling vectors."""
+        nu = self.n_unknowns
+        nr = len(self._rail_nodes)
+        row = self._row_of_node
+        cmat = np.zeros((nu, nu))
+        cap_rail = np.zeros((nu, nr))       # C coupling to each rail
+        gmat = np.zeros((nu, nu))
+        g_rail = np.zeros((nu, nr))         # conductance into each rail
+
+        def is_unknown(r: int) -> bool:
+            return r < nu
+
+        def rail_col(r: int) -> Optional[int]:
+            if nu <= r < nu + nr:
+                return r - nu
+            return None                     # ground
+
+        for elem in self.circuit.elements:
+            for na, nb, c in elem.caps():
+                ra, rb = row[na], row[nb]
+                au, bu = is_unknown(ra), is_unknown(rb)
+                if au and bu:
+                    cmat[ra, ra] += c
+                    cmat[rb, rb] += c
+                    cmat[ra, rb] -= c
+                    cmat[rb, ra] -= c
+                elif au:
+                    cmat[ra, ra] += c
+                    k = rail_col(rb)
+                    if k is not None:
+                        cap_rail[ra, k] += c
+                elif bu:
+                    cmat[rb, rb] += c
+                    k = rail_col(ra)
+                    if k is not None:
+                        cap_rail[rb, k] += c
+            if isinstance(elem, Resistor):
+                g = 1.0 / elem.resistance
+                ra, rb = row[elem.nodes[0]], row[elem.nodes[1]]
+                au, bu = is_unknown(ra), is_unknown(rb)
+                if au and bu:
+                    gmat[ra, ra] += g
+                    gmat[rb, rb] += g
+                    gmat[ra, rb] -= g
+                    gmat[rb, ra] -= g
+                elif au:
+                    gmat[ra, ra] += g
+                    k = rail_col(rb)
+                    if k is not None:
+                        g_rail[ra, k] += g
+                elif bu:
+                    gmat[rb, rb] += g
+                    k = rail_col(ra)
+                    if k is not None:
+                        g_rail[rb, k] += g
+
+        self.cmat = cmat
+        self._cap_rail = cap_rail
+        self._gmat = gmat
+        self._g_rail = g_rail
+        self._has_g = bool(np.any(gmat != 0.0) or np.any(g_rail != 0.0))
+        # Diagonal-conductance fast path: every conductance sits on the
+        # diagonal (resistors to rails/ground only) — the common testbench
+        # case, and the one the hand-written 6T write path used.
+        self._g_is_diag = self._has_g and not np.any(
+            gmat[~np.eye(nu, dtype=bool)] != 0.0
+        )
+
+    def _build_device_tables(self) -> None:
+        """Per-device parameter columns and wiring index/incidence maps."""
+        mosfets = self.circuit.mosfets()
+        self.device_names = [m.name for m in mosfets]
+        self._device_index = {n: k for k, n in enumerate(self.device_names)}
+        n_dev = len(mosfets)
+        self.n_devices = n_dev
+        if n_dev == 0:
+            raise SimulationError("compile: circuit has no MOSFETs")
+        nu = self.n_unknowns
+        row = self._row_of_node
+
+        def col(values):
+            return np.asarray(values, dtype=float)[:, None]  # (n_dev, 1)
+
+        self._device_cards = [(m.model, m.w, m.l) for m in mosfets]
+        self._p = col([float(m.model.polarity) for m in mosfets])
+        self._vto = col([m.model.vto for m in mosfets])
+        self._gamma = col([m.model.gamma for m in mosfets])
+        self._n_slope = col([m.model.n_slope for m in mosfets])
+        self._lam = col([m.model.lambda_clm for m in mosfets])
+        self._beta0 = col([m.model.kp * (m.w / m.l) for m in mosfets])
+        phi = np.asarray([m.model.phi for m in mosfets])
+        gamma = np.asarray([m.model.gamma for m in mosfets])
+        k_half = np.sqrt(phi) + 0.5 * gamma
+        self._k_half = col(k_half)
+        self._k_half_sq = self._k_half * self._k_half
+        ut = THERMAL_VOLTAGE
+        self._inv_2nut = 1.0 / (2.0 * self._n_slope * ut)
+        self._inv_nut = 1.0 / (self._n_slope * ut)
+        self._ispec_coeff = 2.0 * self._n_slope * ut * ut  # times beta -> i_spec
+
+        d_idx, g_idx, s_idx, b_idx = [], [], [], []
+        for m in mosfets:
+            nd, ng, ns, nb = m.nodes
+            d_idx.append(row[nd])
+            g_idx.append(row[ng])
+            s_idx.append(row[ns])
+            b_idx.append(row[nb])
+        self._d_idx = np.asarray(d_idx)
+        self._g_idx = np.asarray(g_idx)
+        self._s_idx = np.asarray(s_idx)
+        self._b_idx = np.asarray(b_idx)
+
+        # Current incidence: F_dev = S @ ids, S[node, dev] in {+1, -1, 0}.
+        s_mat = np.zeros((nu, n_dev))
+        # Jacobian assembly: J.reshape(nu*nu, m) += M @ G_stack where
+        # G_stack rows are [gm(n_dev), gds(n_dev), gms(n_dev), gmb(n_dev)].
+        m_mat = np.zeros((nu * nu, 4 * n_dev))
+        for k, m in enumerate(mosfets):
+            rd, rg, rs, rb = (row[n] for n in m.nodes)
+            if rd < nu:
+                s_mat[rd, k] += 1.0
+            if rs < nu:
+                s_mat[rs, k] -= 1.0
+            for g_kind, rt in enumerate((rg, rd, rs, rb)):  # gm, gds, gms, gmb
+                if rt >= nu:
+                    continue                # rail/ground: fixed voltage
+                if rd < nu:
+                    m_mat[rd * nu + rt, g_kind * n_dev + k] += 1.0
+                if rs < nu:
+                    m_mat[rs * nu + rt, g_kind * n_dev + k] -= 1.0
+        self._s_mat = s_mat
+        self._m_mat = m_mat
+
+    def _build_plan(self) -> None:
+        """Per-step constant tables over the fixed grid."""
+        grid = self.grid
+        nu = self.n_unknowns
+        nr = len(self._rail_nodes)
+        hs = np.diff(grid)
+        n_steps = hs.size
+
+        rail_vals = np.empty((grid.size, nr))
+        varying = []
+        for j, shape in enumerate(self._rail_shapes):
+            if isinstance(shape, DcShape):
+                rail_vals[:, j] = shape.level
+            else:
+                rail_vals[:, j] = [shape.value(float(t)) for t in grid]
+                varying.append(j)
+        self._rail_vals = rail_vals
+        self._varying_rails = varying
+
+        # Extrapolation ratio h_k / h_{k-1} for the Newton warm start
+        # (0 for the first step, where no history exists).
+        extrap = np.zeros_like(hs)
+        extrap[1:] = hs[1:] / hs[:-1]
+
+        cmat_h = self.cmat[None, :, :] / hs[:, None, None]
+        base_jac = cmat_h + self._gmat[None, :, :]
+
+        # Capacitive rail coupling: inject C * dV_rail/dt per step.
+        drail_dt = np.diff(rail_vals, axis=0) / hs[:, None]       # (n_steps, nr)
+        cap_inj = drail_dt @ self._cap_rail.T                     # (n_steps, nu)
+
+        # Resistive rail drive.  On the diagonal fast path this is kept in
+        # the hand-written engine's g * (y - v_eff) form (bit-compatible
+        # with PR 2's write driver); the general path subtracts G_rail @ v.
+        # Rail resistors already contributed to the gmat diagonal; here
+        # only the drive side (g * v_rail) is assembled.
+        g_diag = np.diag(self._gmat).copy()
+        g_rhs = rail_vals[1:] @ self._g_rail.T                    # (n_steps, nu)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            v_eff = np.where(g_diag > 0.0, g_rhs / np.where(g_diag > 0, g_diag, 1.0), 0.0)
+
+        self._plan = SimpleNamespace(
+            hs=hs,
+            t_prev=grid[:-1],
+            t_now=grid[1:],
+            extrap=extrap,
+            cmat_h=cmat_h,
+            base_jac=base_jac,
+            cap_inj=cap_inj,
+            g_diag=g_diag,
+            v_eff=v_eff,
+            g_rhs=g_rhs,
+            n_steps=n_steps,
+        )
+
+    def _compile_probes(self, probes: Sequence[object]) -> None:
+        cross: List[CrossProbe] = []
+        peak: List[PeakProbe] = []
+        value: List[ValueProbe] = []
+        names = set()
+        for p in probes:
+            if p.name in names:
+                raise SimulationError(f"compile: duplicate probe name {p.name!r}")
+            names.add(p.name)
+            if isinstance(p, CrossProbe):
+                cross.append(p)
+            elif isinstance(p, PeakProbe):
+                peak.append(p)
+            elif isinstance(p, ValueProbe):
+                value.append(p)
+            else:
+                raise SimulationError(f"compile: unknown probe type {type(p).__name__}")
+
+        def coeff_row(coeffs: Mapping[str, float]) -> np.ndarray:
+            rowv = np.zeros(self.n_unknowns)
+            for node, c in coeffs.items():
+                if node not in self._unknown_index:
+                    raise SimulationError(
+                        f"compile: probe references {node!r}, which is not an "
+                        f"unknown node (unknowns: {self.node_names})"
+                    )
+                rowv[self._unknown_index[node]] = float(c)
+            return rowv
+
+        self._cross_probes = cross
+        self._cross_mat = (
+            np.stack([coeff_row(p.coeffs) for p in cross]) if cross else None
+        )
+        for p in peak:
+            if p.node not in self._unknown_index:
+                raise SimulationError(
+                    f"compile: peak probe node {p.node!r} is not an unknown "
+                    f"node (unknowns: {self.node_names})"
+                )
+        self._peak_probes = peak
+        self._peak_rows = np.array(
+            [self._unknown_index[p.node] for p in peak], dtype=int
+        ) if peak else None
+        t_now = self._plan.t_now
+        self._peak_track = (
+            np.stack([t_now >= p.t_from for p in peak]) if peak else None
+        )
+        self._value_probes = value
+        self._value_mat = (
+            np.stack([coeff_row(p.coeffs) for p in value]) if value else None
+        )
+        self._value_steps = np.array(
+            [int(np.searchsorted(t_now, p.t, side="left")) for p in value],
+            dtype=int,
+        )
+        for p, s in zip(value, self._value_steps):
+            if s >= self._plan.n_steps:
+                raise SimulationError(
+                    f"compile: value probe {p.name!r} at t={p.t:g} falls "
+                    "beyond the grid"
+                )
+
+    # ------------------------------------------------------------------
+    # Device evaluation
+    # ------------------------------------------------------------------
+
+    def _device_eval_fused(self, y_ext: np.ndarray, vto_eff: np.ndarray,
+                           i_spec: np.ndarray):
+        """Currents and conductances of all devices in one stacked pass.
+
+        ``y_ext`` is the ``(n_ext, m)`` extended state; ``vto_eff`` and
+        ``i_spec`` are per-chunk ``(n_dev, m)`` precomputations.  Returns
+        ``(ids (n_dev, m), g_stack (4*n_dev, m))`` with ``g_stack`` rows
+        ordered ``[gm, gds, gms, gmb]`` blockwise, ready for the assembly
+        matmul.  The formulas transcribe :meth:`MosfetModel.ids` with the
+        scalar card parameters broadcast as ``(n_dev, 1)`` columns.
+        """
+        p = self._p
+        vg = np.take(y_ext, self._g_idx, axis=0)
+        vd = np.take(y_ext, self._d_idx, axis=0)
+        vs = np.take(y_ext, self._s_idx, axis=0)
+        vb = np.take(y_ext, self._b_idx, axis=0)
+        vgb = p * (vg - vb)
+        vdb = p * (vd - vb)
+        vsb = p * (vs - vb)
+
+        # Pinch-off voltage with the smoothly clamped body-effect term.
+        vgb_t = vgb - vto_eff
+        arg = vgb_t + self._k_half_sq
+        root = np.sqrt(arg * arg + _EPS_RELU * _EPS_RELU)
+        q = 0.5 * (arg + root)            # smooth_relu(arg)
+        dq = 0.5 + 0.5 * (arg / root)     # smooth_relu_grad(arg)
+        sqrt_q = np.sqrt(q)
+        vp = vgb_t - self._gamma * (sqrt_q - self._k_half)
+        dvp_dvgb = 1.0 - self._gamma * dq / (2.0 * sqrt_q)
+
+        # Forward / reverse normalised currents (squared softplus).
+        xf = (vp - vsb) * self._inv_2nut
+        xr = (vp - vdb) * self._inv_2nut
+        sf = np.maximum(xf, 0.0) + np.log1p(np.exp(-np.abs(xf)))
+        sr = np.maximum(xr, 0.0) + np.log1p(np.exp(-np.abs(xr)))
+        i_f = sf * sf
+        i_r = sr * sr
+        # sigmoid(x) via tanh — overflow-safe without boolean masking.
+        dif = sf * (0.5 + 0.5 * np.tanh(0.5 * xf)) * self._inv_nut
+        dir_ = sr * (0.5 + 0.5 * np.tanh(0.5 * xr)) * self._inv_nut
+
+        vds = vdb - vsb
+        root_ds = np.sqrt(vds * vds + _EPS_ABS * _EPS_ABS)
+        clm = 1.0 + self._lam * (root_ds - _EPS_ABS)
+        dclm_dvds = self._lam * (vds / root_ds)
+
+        core = i_spec * (i_f - i_r)
+        ids = p * (core * clm)
+
+        n_dev = self.n_devices
+        m = y_ext.shape[1]
+        g_stack = np.empty((4 * n_dev, m))
+        core_dclm = core * dclm_dvds
+        gm = g_stack[0:n_dev]
+        gds = g_stack[n_dev:2 * n_dev]
+        gms = g_stack[2 * n_dev:3 * n_dev]
+        np.multiply(i_spec * (dif - dir_) * dvp_dvgb, clm, out=gm)
+        np.add(i_spec * dir_ * clm, core_dclm, out=gds)
+        np.negative(i_spec * dif * clm + core_dclm, out=gms)
+        np.negative(gm + gds + gms, out=g_stack[3 * n_dev:])
+        return ids, g_stack
+
+    def _device_eval_reference(self, y_ext: np.ndarray, dvth_t: np.ndarray,
+                               bmult_t: np.ndarray):
+        """Per-device :meth:`MosfetModel.ids` calls (transparent path)."""
+        n_dev = self.n_devices
+        m = y_ext.shape[1]
+        ids = np.empty((n_dev, m))
+        g_stack = np.empty((4 * n_dev, m))
+        for k, (model, w, l) in enumerate(self._device_cards):
+            i_k, gm, gds, gms, gmb = model.ids(
+                y_ext[self._g_idx[k]],
+                y_ext[self._d_idx[k]],
+                y_ext[self._s_idx[k]],
+                y_ext[self._b_idx[k]],
+                delta_vth=dvth_t[k],
+                beta_mult=bmult_t[k],
+                w=w,
+                l=l,
+            )
+            ids[k] = i_k
+            g_stack[k] = gm
+            g_stack[n_dev + k] = gds
+            g_stack[2 * n_dev + k] = gms
+            g_stack[3 * n_dev + k] = gmb
+        return ids, g_stack
+
+    # ------------------------------------------------------------------
+    # Run-time input plumbing
+    # ------------------------------------------------------------------
+
+    def _param_matrix(self, spec, n: int, default: float, what: str) -> np.ndarray:
+        """Normalise a per-device parameter spec into ``(n_dev, n)``."""
+        out = np.full((self.n_devices, n), float(default))
+        if spec is None:
+            return out
+        if isinstance(spec, Mapping):
+            for name, val in spec.items():
+                if name not in self._device_index:
+                    raise SimulationError(
+                        f"run: {what} names unknown device {name!r} "
+                        f"(devices: {self.device_names})"
+                    )
+                out[self._device_index[name]] = np.broadcast_to(
+                    np.asarray(val, dtype=float), (n,)
+                )
+            return out
+        arr = np.atleast_2d(np.asarray(spec, dtype=float))
+        if arr.shape != (n, self.n_devices):
+            raise SimulationError(
+                f"run: {what} matrix shape {arr.shape} != ({n}, {self.n_devices}) "
+                "(columns follow compiled device order "
+                f"{self.device_names})"
+            )
+        out[:] = arr.T
+        return out
+
+    def _initial_state(self, ic, n: int) -> np.ndarray:
+        ic = dict(ic or {})
+        missing = [name for name in self.node_names if name not in ic]
+        if missing:
+            raise SimulationError(
+                f"run: initial conditions missing for unknown nodes {missing}"
+            )
+        y = np.empty((self.n_unknowns, n))
+        for name, val in ic.items():
+            if name not in self._unknown_index:
+                raise SimulationError(
+                    f"run: initial condition for {name!r}, which is not an "
+                    f"unknown node (unknowns: {self.node_names})"
+                )
+            y[self._unknown_index[name]] = np.broadcast_to(
+                np.asarray(val, dtype=float), (n,)
+            )
+        return y
+
+    # ------------------------------------------------------------------
+    # The batched integrator
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        ic: Mapping[str, Union[float, np.ndarray]],
+        n: Optional[int] = None,
+        delta_vth=None,
+        beta_mult=None,
+        probe_offsets: Optional[Mapping[str, np.ndarray]] = None,
+        retire: Optional[RetirePolicy] = None,
+    ) -> SimpleNamespace:
+        """Integrate a batch; returns per-sample outputs and diagnostics.
+
+        ``delta_vth`` / ``beta_mult`` are per-device, per-sample
+        variations: either a dict mapping device names to scalars or
+        ``(n,)`` arrays (unnamed devices stay nominal), or a full
+        ``(n, n_devices)`` matrix in compiled device order.
+        ``probe_offsets`` overrides a :class:`CrossProbe`'s constant
+        offset with a per-sample array.  ``retire`` enables sample
+        retirement (see :class:`RetirePolicy`).
+
+        Returns a namespace with ``final`` (dict node -> (n,) values at
+        ``t_stop`` — or at retirement for retired samples), ``cross`` /
+        ``peak`` / ``value`` (dicts keyed by probe name), ``converged``
+        (per-sample Newton health) and ``n_sample_steps`` (total
+        sample-step integrations, the throughput accounting unit).
+        """
+        if n is None:
+            raise SimulationError("run: batch size n is required")
+        n = int(n)
+        if n < 1:
+            raise SimulationError(f"run: batch size must be >= 1, got {n}")
+        if retire is not None and self._value_probes:
+            raise SimulationError(
+                "run: retirement and value probes cannot be combined (a "
+                "retired sample has no state left to snapshot)"
+            )
+
+        plan = self._plan
+        nu = self.n_unknowns
+        fused = self.kernel == "fast"
+        dvth_t = self._param_matrix(delta_vth, n, 0.0, "delta_vth")
+        bmult_t = self._param_matrix(beta_mult, n, 1.0, "beta_mult")
+        if fused:
+            # Per-chunk device precomputations, (n_dev, n).
+            p1 = self._vto + dvth_t
+            p2 = self._ispec_coeff * (self._beta0 * bmult_t)
+            eval_fn = self._device_eval_fused
+        else:
+            p1, p2 = dvth_t, bmult_t
+            eval_fn = self._device_eval_reference
+
+        y = self._initial_state(ic, n)
+
+        n_cross = len(self._cross_probes)
+        offsets = np.zeros((n_cross, n))
+        for j, probe in enumerate(self._cross_probes):
+            offsets[j] = probe.offset
+        if probe_offsets:
+            for name, val in probe_offsets.items():
+                for j, probe in enumerate(self._cross_probes):
+                    if probe.name == name:
+                        offsets[j] = np.broadcast_to(
+                            np.asarray(val, dtype=float), (n,)
+                        )
+                        break
+                else:
+                    raise SimulationError(
+                        f"run: probe_offsets names unknown cross probe {name!r}"
+                    )
+
+        retire_from = plan.n_steps
+        retire_probe = -1
+        if retire is not None:
+            for j, probe in enumerate(self._cross_probes):
+                if probe.name == retire.probe:
+                    retire_probe = j
+                    break
+            else:
+                raise SimulationError(
+                    f"run: retire policy names unknown cross probe {retire.probe!r}"
+                )
+            past = np.flatnonzero(plan.t_now >= retire.after)
+            retire_from = int(past[0]) if past.size else plan.n_steps
+
+        cross_mat = self._cross_mat
+        if cross_mat is not None:
+            prev_sig = cross_mat @ y + offsets
+        else:
+            prev_sig = None
+        cross_time = np.full((n_cross, n), np.nan)
+        n_peak = len(self._peak_probes)
+        peaks = np.zeros((n_peak, n))
+        peak_rows = self._peak_rows
+        peak_track = self._peak_track
+        converged = np.ones(n, dtype=bool)
+        orig = np.arange(n)
+
+        # Full-width outputs, scattered to as samples retire.
+        cross_out = np.full((n_cross, n), np.nan)
+        peak_out = np.zeros((n_peak, n))
+        final_out = np.empty((nu, n))
+        conv_out = np.ones(n, dtype=bool)
+        value_out = np.zeros((len(self._value_probes), n))
+
+        y_prev2: Optional[np.ndarray] = None
+        y_ext = np.empty((self._n_ext, n))
+        for j in range(len(self._rail_nodes)):
+            if j not in self._varying_rails:
+                y_ext[nu + j] = self._rail_vals[0, j]
+        y_ext[self._ground_row] = 0.0
+
+        max_iter = self.newton_max_iter
+        newton_tol = self.newton_tol
+        max_step = self.max_step
+        min_pivot = self.min_pivot
+        clip_lo, clip_hi = self.clip
+        ex_lo, ex_hi = self._extrap_clip
+        has_g = self._has_g
+        g_is_diag = self._g_is_diag
+        if has_g and g_is_diag:
+            g_diag_col = plan.g_diag[:, None]
+        gmat = self._gmat
+        s_mat = self._s_mat
+        m_mat = self._m_mat
+        n_sample_steps = 0
+
+        for step in range(plan.n_steps):
+            m = y.shape[1]
+            n_sample_steps += m
+            h = plan.hs[step]
+            cmat_h = plan.cmat_h[step]
+            base_jac = plan.base_jac[step][:, :, None]
+            inj_col = plan.cap_inj[step][:, None]
+            if has_g:
+                if g_is_diag:
+                    v_eff_col = plan.v_eff[step][:, None]
+                else:
+                    g_rhs_col = plan.g_rhs[step][:, None]
+
+            y_prev = y
+            if y_prev2 is not None:
+                y_new = y_prev + (y_prev - y_prev2) * plan.extrap[step]
+                np.clip(y_new, ex_lo, ex_hi, out=y_new)
+            else:
+                y_new = y_prev.copy()
+
+            for j in self._varying_rails:
+                y_ext[nu + j, :m] = self._rail_vals[step + 1, j]
+
+            idx: Optional[np.ndarray] = None  # None == all samples active
+            for _ in range(max_iter):
+                if idx is None:
+                    y_sub = y_new
+                    y_prev_sub = y_prev
+                    p1_sub = p1
+                    p2_sub = p2
+                    ext = y_ext[:, :m]
+                else:
+                    y_sub = y_new[:, idx]
+                    y_prev_sub = y_prev[:, idx]
+                    p1_sub = p1[:, idx]
+                    p2_sub = p2[:, idx]
+                    ext = y_ext[:, : idx.size]
+                ext[:nu] = y_sub
+                ids, g_stack = eval_fn(ext, p1_sub, p2_sub)
+                f = s_mat @ ids
+                f += cmat_h @ (y_sub - y_prev_sub)
+                f -= inj_col
+                if has_g:
+                    if g_is_diag:
+                        f += g_diag_col * (y_sub - v_eff_col)
+                    else:
+                        f += gmat @ y_sub
+                        f -= g_rhs_col
+                jac = (m_mat @ g_stack).reshape(nu, nu, -1)
+                jac += base_jac
+                if fused:
+                    delta = solveN(jac, -f, min_pivot)
+                else:
+                    delta = np.linalg.solve(
+                        np.ascontiguousarray(jac.transpose(2, 0, 1)),
+                        np.ascontiguousarray((-f).T)[..., None],
+                    )[..., 0].T
+                step_max = np.abs(delta).max(axis=0)
+                scale = np.minimum(1.0, max_step / np.maximum(step_max, 1e-30))
+                y_upd = np.clip(y_sub + delta * scale, clip_lo, clip_hi)
+                if idx is None:
+                    y_new = y_upd
+                else:
+                    y_new[:, idx] = y_upd
+                still = step_max > newton_tol
+                if not still.any():
+                    idx = None if idx is None else idx[:0]
+                    break
+                idx = np.flatnonzero(still) if idx is None else idx[still]
+            if idx is not None and idx.size:
+                converged[idx] = False
+            y_prev2 = y_prev
+            y = y_new
+
+            # Event tracking (linear interpolation inside the step).
+            if cross_mat is not None:
+                sig = cross_mat @ y + offsets
+                crossing = (prev_sig < 0.0) & (sig >= 0.0) & np.isnan(cross_time)
+                if crossing.any():
+                    ps = prev_sig[crossing]
+                    frac = ps / (ps - sig[crossing])
+                    cross_time[crossing] = plan.t_prev[step] + frac * h
+                prev_sig = sig
+            for j in range(n_peak):
+                if peak_track[j, step]:
+                    np.maximum(peaks[j], y[peak_rows[j]], out=peaks[j])
+            for j, vstep in enumerate(self._value_steps):
+                if vstep == step:
+                    value_out[j, orig] = (
+                        self._value_mat[j] @ y + self._value_probes[j].offset
+                    )
+
+            # Retirement: scatter settled samples and compact the rest.
+            if (
+                retire_probe >= 0
+                and step >= retire_from
+                and step + 1 < plan.n_steps
+            ):
+                done = ~np.isnan(cross_time[retire_probe])
+                n_done = int(np.count_nonzero(done))
+                if n_done and n_done >= max(
+                    retire.min_count, m // retire.frac_divisor
+                ):
+                    o = orig[done]
+                    cross_out[:, o] = cross_time[:, done]
+                    peak_out[:, o] = peaks[:, done]
+                    final_out[:, o] = y[:, done]
+                    conv_out[o] = converged[done]
+                    keep = ~done
+                    y = y[:, keep]
+                    y_prev2 = y_prev2[:, keep]
+                    p1 = p1[:, keep]
+                    p2 = p2[:, keep]
+                    offsets = offsets[:, keep]
+                    prev_sig = prev_sig[:, keep]
+                    cross_time = cross_time[:, keep]
+                    peaks = peaks[:, keep]
+                    converged = converged[keep]
+                    orig = orig[keep]
+                    if orig.size == 0:
+                        break
+
+        # Scatter the still-active remainder.
+        cross_out[:, orig] = cross_time
+        peak_out[:, orig] = peaks
+        final_out[:, orig] = y
+        conv_out[orig] = converged
+
+        return SimpleNamespace(
+            final={name: final_out[k] for k, name in enumerate(self.node_names)},
+            cross={p.name: cross_out[j] for j, p in enumerate(self._cross_probes)},
+            peak={p.name: peak_out[j] for j, p in enumerate(self._peak_probes)},
+            value={p.name: value_out[j] for j, p in enumerate(self._value_probes)},
+            converged=conv_out,
+            n=n,
+            n_sample_steps=n_sample_steps,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledTransient({self.circuit.title!r}, kernel={self.kernel!r}, "
+            f"unknowns={self.n_unknowns}, devices={self.n_devices}, "
+            f"rails={self.rail_names}, steps={self._plan.n_steps})"
+        )

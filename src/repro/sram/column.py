@@ -25,6 +25,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+import numpy as np
+
+from repro.spice.compile import (
+    CompiledTransient,
+    CrossProbe,
+    ValueProbe,
+    transient_grid,
+)
 from repro.spice.elements import Capacitor, VoltageSource
 from repro.spice.netlist import Circuit
 from repro.spice.sources import dc, pulse
@@ -89,6 +97,7 @@ class ReadColumn:
         self.tran_options = tran_options or TransientOptions()
         self.circuit = self._build()
         self.n_simulations = 0
+        self._compiled: Dict[tuple, CompiledTransient] = {}
 
     # ------------------------------------------------------------------
 
@@ -167,6 +176,86 @@ class ReadColumn:
             res.waveform("bl"), res.waveform("blb"), res.waveform("wl"),
             dv_spec=self.dv_spec, vdd=self.config.vdd,
         )
+
+    # ------------------------------------------------------------------
+    # Compiled batched path
+    # ------------------------------------------------------------------
+
+    def _t_wl_fall(self) -> float:
+        t = self.timing
+        return t.wl_delay + t.wl_rise + t.wl_width + t.wl_fall
+
+    def compiled(self, n_steps: int = 400, kernel: str = "fast") -> CompiledTransient:
+        """The whole column compiled into one batched kernel (cached).
+
+        Every cell — accessed and leakers — integrates as unknowns
+        (``4 + 2 * n_leakers`` nodes), so the compiled path sees exactly
+        the leakage topology the scalar column simulates; the solves run
+        through the blocked elimination branch of
+        :func:`~repro.spice.compile.solveN`.  Note the per-iteration
+        Jacobian assembly is dense in the node count: columns beyond a
+        few dozen leakers want a sparse assembly pass (ROADMAP item)
+        before this becomes the bulk-sampling path.
+        """
+        key = (int(n_steps), kernel)
+        ct = self._compiled.get(key)
+        if ct is None:
+            t_fall = self._t_wl_fall()
+            ct = CompiledTransient(
+                self.circuit,
+                grid=transient_grid(
+                    self.timing.t_stop,
+                    breakpoints=self.circuit["v_wl"].shape.breakpoints(),
+                    n_steps=n_steps,
+                ),
+                probes=(
+                    CrossProbe("access", {"blb": 1.0, "bl": -1.0},
+                               offset=-self.dv_spec),
+                    ValueProbe("diff_at_wl_fall", {"blb": 1.0, "bl": -1.0},
+                               t=t_fall),
+                ),
+                kernel=kernel,
+            )
+            self._compiled[key] = ct
+        return ct
+
+    def _accessed_vth_dict(self, delta_vth, n: int):
+        """Accept a dict of device names or an ``(n, 6)`` matrix over the
+        accessed cell's devices in canonical order."""
+        if delta_vth is None or isinstance(delta_vth, dict):
+            return delta_vth
+        arr = np.atleast_2d(np.asarray(delta_vth, dtype=float))
+        names = self.accessed_device_names()
+        if arr.shape != (n, len(names)):
+            raise ValueError(
+                f"column delta_vth matrix shape {arr.shape} != ({n}, {len(names)}) "
+                f"over {names}"
+            )
+        return {name: arr[:, j] for j, name in enumerate(names)}
+
+    def differential_at_wl_fall_batch(
+        self,
+        delta_vth,
+        n_steps: int = 400,
+        kernel: str = "fast",
+    ) -> np.ndarray:
+        """Batched :meth:`differential_at_wl_fall` on the compiled column.
+
+        ``delta_vth`` is a dict of device names to per-sample arrays or
+        an ``(n, 6)`` matrix over :meth:`accessed_device_names`.
+        """
+        if isinstance(delta_vth, dict):
+            n = max(np.atleast_1d(np.asarray(v)).size for v in delta_vth.values())
+        else:
+            n = np.atleast_2d(np.asarray(delta_vth, dtype=float)).shape[0]
+        ct = self.compiled(n_steps=n_steps, kernel=kernel)
+        res = ct.run(
+            ic=self._initial_conditions(),
+            n=n,
+            delta_vth=self._accessed_vth_dict(delta_vth, n),
+        )
+        self.n_simulations += n
+        return res.value["diff_at_wl_fall"]
 
     def differential_at_wl_fall(self, delta_vth=None) -> float:
         """BLB-BL differential at the moment the wordline closes (volts).

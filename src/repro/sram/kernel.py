@@ -1,375 +1,130 @@
 """Fused fast kernel for the batched 6T transient engine.
 
 This module is the performance core behind :class:`repro.sram.batched.Batched6T`
-when it is constructed with ``kernel="fast"`` (the default).  It integrates
-the same backward-Euler / damped-Newton scheme as the reference
-``_run_chunk`` path, but restructures the inner loop so that almost no
-per-device or per-step Python executes:
+when it is constructed with ``kernel="fast"`` (the default).  Since PR 3 it
+is a *thin instantiation* of the batched circuit compiler in
+:mod:`repro.spice.compile`: the 6T read and write testbenches are built as
+ordinary netlists (cell + wordline/supply sources + bitline caps + write
+drivers) and handed to :class:`~repro.spice.compile.CompiledTransient`,
+which emits the fused integrator — one stacked EKV evaluation over
+``(6, n)`` arrays per Newton iteration through precomputed gather maps,
+incidence-matmul assembly, closed-form batched 4x4 solves
+(:func:`~repro.spice.compile.solve4`, re-exported here), hoisted per-step
+constants, and read-mode sample retirement via a
+:class:`~repro.spice.compile.RetirePolicy`.
 
-* **Fused device evaluation.**  The reference path calls
-  :meth:`repro.spice.mosfet.MosfetModel.ids` once per transistor per Newton
-  iteration — six small-array calls whose numpy dispatch overhead dominates
-  at typical chunk widths.  Here the six devices are evaluated in *one*
-  stacked pass over ``(6, n)`` arrays: terminal voltages are gathered from
-  an extended state matrix (four unknown nodes + the three rails) through
-  precomputed wiring index maps, and the EKV current/conductance formulas
-  run once with per-device parameter columns.  The math is a faithful
-  transcription of ``MosfetModel.ids`` (same smooth clamps, same epsilons),
-  so the two paths agree to float round-off; the cross-validation tests in
-  ``tests/sram/test_kernel.py`` pin the budget.
+The hand-written fused kernel this replaces was pinned against the
+reference ``Batched6T._run_chunk`` path at ~1e-9 relative in
+``tests/sram/test_kernel.py``; those same tests are the compiler's
+regression anchor — the compiled 6T must meet the identical budget:
 
-* **Closed-form batched 4x4 solves.**  :func:`solve4` replaces
-  ``np.linalg.solve`` on ``(n, 4, 4)`` stacks with unrolled Gaussian
-  elimination over ``(4, 4, n)`` stacks.  Elimination runs in natural pivot
-  order — the 6T Newton Jacobian ``C/h + G`` has a dominant positive
-  diagonal, and instrumented runs show partial pivoting never selects an
-  off-diagonal row — with a per-pivot magnitude guard: any sample whose
-  pivot falls below ``min_pivot`` is re-solved through the fully pivoted
-  ``np.linalg.solve``, so robustness matches LAPACK while the common path
-  costs a fixed set of elementwise operations.
-
-* **Hoisted step constants and reused buffers.**  The integration grid is
-  fixed per engine, so everything that depends only on the step — ``h``,
-  the wordline voltage and its slope, ``C/h``, ``C/h + diag(g_drv)``, the
-  warm-start extrapolation ratio — is precomputed once per (mode, grid)
-  plan instead of being rebuilt inside the time loop.
-
-* **Sample retirement.**  In read mode, a sample whose threshold crossing
-  has been recorded contributes nothing more to its metric, and once the
-  wordline has fully fallen its disturb accumulators are settled too (the
-  low node only decays after the access transistors shut off).  Such
-  samples are *retired*: their outputs are scattered to the result arrays
-  and the working set is compacted, so the per-step cost of the tail of
-  the transient scales with the samples still undecided, not with the
-  chunk size.  Retired samples keep the aux values (``q_final``,
-  ``qb_final``, ``diff_final``, ``qb_peak``) they had at retirement — the
-  metric and ``q_peak`` are provably settled by then, the remaining aux
-  drift in the hold tail is diagnostic only.  ``Batched6T(retire=False)``
-  disables retirement for bit-faithful aux comparisons.
+* the integration grid is the engine's own (passed to the compiler
+  verbatim), so the discretisation is bit-identical;
+* the compiled capacitance matrix is assembled from the same
+  ``MosfetModel.capacitances`` values in the same element order as
+  ``Batched6T._capacitance_structure``;
+* Newton controls (damping, clamp band, tolerance, iteration cap) are
+  forwarded unchanged;
+* retirement semantics are unchanged: a read sample retires only after
+  the wordline has fully fallen and its crossing is recorded, keeping
+  the aux values it had at retirement (``retire=False`` for bit-faithful
+  aux tails).
 """
 
 from __future__ import annotations
 
-from types import SimpleNamespace
 from typing import Dict, Optional
 
 import numpy as np
 
-from repro.spice.mosfet import THERMAL_VOLTAGE
+from repro.errors import SimulationError
+from repro.spice.compile import (
+    CompiledTransient,
+    CrossProbe,
+    PeakProbe,
+    RetirePolicy,
+    solve4,
+    solveN,
+)
+from repro.spice.elements import Capacitor, Resistor, VoltageSource
+from repro.spice.netlist import Circuit
+from repro.spice.sources import dc
+from repro.sram.cell import CELL_DEVICE_ORDER, build_cell
 
-__all__ = ["FusedTransientKernel", "solve4"]
-
-# Unknown-node indices (must match repro.sram.batched).
-_Q, _QB, _BL, _BLB = 0, 1, 2, 3
-# Extended-state rows appended below the four unknown nodes.
-_ROW_VDD, _ROW_GND, _ROW_WL = 4, 5, 6
-_N_EXT = 7
-
-# Smoothing epsilons — must match MosfetModel.ids exactly.
-_EPS_RELU = 1e-3
-_EPS_ABS = 5e-3
-
-
-def solve4(a: np.ndarray, b: np.ndarray, min_pivot: float = 1e-18) -> np.ndarray:
-    """Solve ``a[:, :, i] @ x[:, i] = b[:, i]`` for a stack of 4x4 systems.
-
-    ``a`` has shape ``(4, 4, n)`` and ``b`` shape ``(4, n)``; returns ``x``
-    of shape ``(4, n)``.  Inputs are not modified.
-
-    The elimination is fully unrolled (closed-form) and runs in natural
-    pivot order, which for the diagonally dominant 6T Newton Jacobians is
-    exactly what partial pivoting would choose.  Samples whose pivot
-    magnitude drops below ``min_pivot`` (cancellation-level for
-    conductance-scale entries) are re-solved through the row-pivoted
-    ``np.linalg.solve``, so pathological matrices lose speed, never
-    accuracy.
-    """
-    a00, a01, a02, a03 = a[0]
-    a10, a11, a12, a13 = a[1]
-    a20, a21, a22, a23 = a[2]
-    a30, a31, a32, a33 = a[3]
-    b0, b1, b2, b3 = b
-
-    bad = np.abs(a00) < min_pivot
-    if bad.any():
-        # Keep the guarded samples finite through the closed-form pass
-        # (they are re-solved below); avoids divide-by-zero noise.
-        a00 = np.where(bad, 1.0, a00)
-    p0 = 1.0 / a00
-    f1 = a10 * p0
-    f2 = a20 * p0
-    f3 = a30 * p0
-    a11 = a11 - f1 * a01
-    a12 = a12 - f1 * a02
-    a13 = a13 - f1 * a03
-    b1 = b1 - f1 * b0
-    a21 = a21 - f2 * a01
-    a22 = a22 - f2 * a02
-    a23 = a23 - f2 * a03
-    b2 = b2 - f2 * b0
-    a31 = a31 - f3 * a01
-    a32 = a32 - f3 * a02
-    a33 = a33 - f3 * a03
-    b3 = b3 - f3 * b0
-
-    bad1 = np.abs(a11) < min_pivot
-    if bad1.any():
-        a11 = np.where(bad1, 1.0, a11)
-        bad |= bad1
-    p1 = 1.0 / a11
-    f2 = a21 * p1
-    f3 = a31 * p1
-    a22 = a22 - f2 * a12
-    a23 = a23 - f2 * a13
-    b2 = b2 - f2 * b1
-    a32 = a32 - f3 * a12
-    a33 = a33 - f3 * a13
-    b3 = b3 - f3 * b1
-
-    bad2 = np.abs(a22) < min_pivot
-    if bad2.any():
-        a22 = np.where(bad2, 1.0, a22)
-        bad |= bad2
-    p2 = 1.0 / a22
-    f3 = a32 * p2
-    a33 = a33 - f3 * a23
-    b3 = b3 - f3 * b2
-    bad3 = np.abs(a33) < min_pivot
-    if bad3.any():
-        a33 = np.where(bad3, 1.0, a33)
-        bad |= bad3
-
-    x3 = b3 / a33
-    x2 = (b2 - a23 * x3) * p2
-    x1 = (b1 - a12 * x2 - a13 * x3) * p1
-    x0 = (b0 - a01 * x1 - a02 * x2 - a03 * x3) * p0
-    x = np.stack([x0, x1, x2, x3])
-
-    if bad.any():
-        idx = np.flatnonzero(bad)
-        sub_a = np.ascontiguousarray(a[:, :, idx].transpose(2, 0, 1))
-        sub_b = np.ascontiguousarray(b[:, idx].T)[..., None]
-        x[:, idx] = np.linalg.solve(sub_a, sub_b)[..., 0].T
-    return x
+__all__ = ["FusedTransientKernel", "solve4", "solveN"]
 
 
 class FusedTransientKernel:
-    """Preplanned fused integrator for one :class:`Batched6T` configuration.
+    """Compiled fused integrator for one :class:`Batched6T` configuration.
 
-    Construction snapshots the engine's geometry, capacitance structure,
-    grid and timing into flat arrays; per-``(mode)`` step plans are built
-    lazily and cached.  Mutating the owning engine's configuration after
-    construction is not supported (build a new engine instead) — the same
-    restriction the reference path has in practice, since its capacitance
-    matrix and grid are also precomputed.
+    Construction is lazy per operation mode: the read and write circuits
+    are netlisted and compiled on first use and cached.  Mutating the
+    owning engine's configuration after construction is not supported
+    (build a new engine instead) — the same restriction the reference
+    path has in practice, since its capacitance matrix and grid are also
+    precomputed.
     """
 
     def __init__(self, engine):
         self.engine = engine
-        self._plans: Dict[str, SimpleNamespace] = {}
-        self._build_device_tables()
+        self._compiled: Dict[str, CompiledTransient] = {}
+        t = engine.timing
+        self._t_wl_mid = t.wl_delay + 0.5 * t.wl_rise
 
     # ------------------------------------------------------------------
-    # Construction
+    # Compilation
     # ------------------------------------------------------------------
 
-    def _build_device_tables(self) -> None:
-        """Per-device parameter columns and wiring index/incidence maps."""
-        from repro.sram.batched import _WIRING
-        from repro.sram.cell import CELL_DEVICE_ORDER
-
+    def _build_circuit(self, mode: str) -> Circuit:
+        """The engine's operation as a netlist (mirrors the testbenches)."""
         eng = self.engine
-        n_dev = len(CELL_DEVICE_ORDER)
-
-        def col(values):
-            return np.asarray(values, dtype=float)[:, None]  # (6, 1)
-
-        models = []
-        polarity, vto, gamma, phi, n_slope, lam, beta0 = [], [], [], [], [], [], []
-        for name in CELL_DEVICE_ORDER:
-            model, w, l = eng._geometry[name]
-            models.append(model)
-            polarity.append(float(model.polarity))
-            vto.append(model.vto)
-            gamma.append(model.gamma)
-            phi.append(model.phi)
-            n_slope.append(model.n_slope)
-            lam.append(model.lambda_clm)
-            beta0.append(model.kp * (w / l))
-        self._p = col(polarity)
-        self._vto = col(vto)
-        self._gamma = col(gamma)
-        self._n_slope = col(n_slope)
-        self._lam = col(lam)
-        self._beta0 = col(beta0)
-        k_half = np.sqrt(np.asarray(phi)) + 0.5 * np.asarray(gamma)
-        self._k_half = col(k_half)
-        self._k_half_sq = self._k_half * self._k_half
-        ut = THERMAL_VOLTAGE
-        self._inv_2nut = 1.0 / (2.0 * self._n_slope * ut)
-        self._inv_nut = 1.0 / (self._n_slope * ut)
-        self._ispec_coeff = 2.0 * self._n_slope * ut * ut  # times beta -> i_spec
-
-        # Terminal gather maps into the (7, n) extended state.
-        rail_row = {"vdd": _ROW_VDD, "gnd": _ROW_GND, "wl": _ROW_WL}
-
-        def row_of(token):
-            return token if isinstance(token, int) else rail_row[token]
-
-        d_idx, g_idx, s_idx, b_idx = [], [], [], []
-        for name in CELL_DEVICE_ORDER:
-            nd, ng, ns, nb = _WIRING[name]
-            d_idx.append(row_of(nd))
-            g_idx.append(row_of(ng))
-            s_idx.append(row_of(ns))
-            b_idx.append(row_of(nb))
-        self._d_idx = np.asarray(d_idx)
-        self._g_idx = np.asarray(g_idx)
-        self._s_idx = np.asarray(s_idx)
-        self._b_idx = np.asarray(b_idx)
-
-        # Current incidence: F_dev = S @ ids, S[node, dev] in {+1, -1, 0}.
-        s_mat = np.zeros((4, n_dev))
-        # Jacobian assembly: J_dev.reshape(16, n) = M @ G_stack.reshape(24, n)
-        # where G_stack rows are [gm(6), gds(6), gms(6), gmb(6)].
-        m_mat = np.zeros((16, 4 * n_dev))
-        for k, name in enumerate(CELL_DEVICE_ORDER):
-            nd, ng, ns, nb = _WIRING[name]
-            if isinstance(nd, int):
-                s_mat[nd, k] += 1.0
-            if isinstance(ns, int):
-                s_mat[ns, k] -= 1.0
-            for g_kind, token in enumerate((ng, nd, ns, nb)):  # gm, gds, gms, gmb
-                if not isinstance(token, int):
-                    continue
-                if isinstance(nd, int):
-                    m_mat[nd * 4 + token, g_kind * n_dev + k] += 1.0
-                if isinstance(ns, int):
-                    m_mat[ns * 4 + token, g_kind * n_dev + k] -= 1.0
-        self._s_mat = s_mat
-        self._m_mat = m_mat
-
-    def _plan(self, mode: str) -> SimpleNamespace:
-        """Step-constant tables for one operation mode (cached)."""
-        plan = self._plans.get(mode)
-        if plan is not None:
-            return plan
-        eng = self.engine
-        grid = eng._grid
-        t = eng.timing
-        wl_of = eng._wl_shape.value
-
-        hs = np.diff(grid)
-        vwl = np.array([wl_of(float(tt)) for tt in grid])
-        dwl_dt = np.diff(vwl) / hs
-        # Extrapolation ratio h_k / h_{k-1} for the Newton warm start
-        # (0 for the first step, where no history exists).
-        extrap = np.zeros_like(hs)
-        extrap[1:] = hs[1:] / hs[:-1]
-
-        g_drv = np.zeros(4)
-        v_drv = np.zeros(4)
+        c = Circuit(f"batched6t_{mode}")
+        c.add(VoltageSource("v_vdd", "vdd", "0", dc(eng.vdd)))
+        c.add(VoltageSource("v_wl", "wl", "0", eng._wl_shape))
+        build_cell(eng.design, c)
+        c.add(Capacitor("c_bl", "bl", "0", eng.cbl))
+        c.add(Capacitor("c_blb", "blb", "0", eng.cbl))
         if mode == "write":
-            g_drv[_BL] = 1.0 / eng.rdrv
-            g_drv[_BLB] = 1.0 / eng.rdrv
-            v_drv[_BL] = 0.0
-            v_drv[_BLB] = eng.vdd
+            c.add(VoltageSource("v_bl_drv", "bl_drv", "0", dc(0.0)))
+            c.add(Resistor("r_bl_drv", "bl_drv", "bl", eng.rdrv))
+            c.add(VoltageSource("v_blb_drv", "blb_drv", "0", dc(eng.vdd)))
+            c.add(Resistor("r_blb_drv", "blb_drv", "blb", eng.rdrv))
+        return c
 
-        # (n_steps, 4, 4) hoisted matrices: C/h and C/h + diag(g_drv).
-        cmat_h = eng._cmat[None, :, :] / hs[:, None, None]
-        base_jac = cmat_h + np.diag(g_drv)[None, :, :]
-        # Wordline-coupling injection C_wl * dV_wl/dt, per step, (n_steps, 4).
-        dwl_vec = eng._wl_coupling[None, :] * dwl_dt[:, None]
-
-        t_wl_mid = t.wl_delay + 0.5 * t.wl_rise
-        t_wl_off = t.wl_delay + t.wl_rise + t.wl_width + t.wl_fall
-        t_now = grid[1:]
-        track_peak = t_now >= t_wl_mid
-        # First step index at which read-mode retirement may trigger.
-        past_off = np.flatnonzero(t_now >= t_wl_off)
-        retire_from = int(past_off[0]) if past_off.size else len(t_now)
-
-        plan = SimpleNamespace(
-            hs=hs,
-            t_prev=grid[:-1],
-            vwl=vwl[1:],
-            extrap=extrap,
-            cmat_h=cmat_h,
-            base_jac=base_jac,
-            dwl_vec=dwl_vec,
-            g_drv=g_drv if mode == "write" else None,
-            v_drv=v_drv,
-            track_peak=track_peak,
-            t_wl_mid=t_wl_mid,
-            retire_from=retire_from,
-            n_steps=len(hs),
+    def _compiled_for(self, mode: str) -> CompiledTransient:
+        ct = self._compiled.get(mode)
+        if ct is not None:
+            return ct
+        eng = self.engine
+        if mode == "read":
+            cross = CrossProbe(
+                "cross", {"blb": 1.0, "bl": -1.0}, offset=-eng.dv_spec
+            )
+        else:
+            cross = CrossProbe("cross", {"qb": 1.0}, offset=-0.5 * eng.vdd)
+        probes = (
+            cross,
+            PeakProbe("q_peak", "q", t_from=self._t_wl_mid),
+            PeakProbe("qb_peak", "qb", t_from=self._t_wl_mid),
         )
-        self._plans[mode] = plan
-        return plan
-
-    # ------------------------------------------------------------------
-    # Fused device evaluation
-    # ------------------------------------------------------------------
-
-    def _device_eval(self, y_ext: np.ndarray, vto_eff: np.ndarray, i_spec: np.ndarray):
-        """Currents and conductances of all six devices in one pass.
-
-        ``y_ext`` is the ``(7, m)`` extended state; ``vto_eff`` and
-        ``i_spec`` are per-chunk ``(6, m)`` precomputations.  Returns
-        ``(ids (6, m), g_stack (24, m))`` with ``g_stack`` rows ordered
-        ``[gm, gds, gms, gmb]`` blockwise, ready for the assembly matmul.
-        The formulas transcribe :meth:`MosfetModel.ids` with the scalar
-        card parameters broadcast as ``(6, 1)`` columns.
-        """
-        p = self._p
-        vg = np.take(y_ext, self._g_idx, axis=0)
-        vd = np.take(y_ext, self._d_idx, axis=0)
-        vs = np.take(y_ext, self._s_idx, axis=0)
-        vb = np.take(y_ext, self._b_idx, axis=0)
-        vgb = p * (vg - vb)
-        vdb = p * (vd - vb)
-        vsb = p * (vs - vb)
-
-        # Pinch-off voltage with the smoothly clamped body-effect term.
-        vgb_t = vgb - vto_eff
-        arg = vgb_t + self._k_half_sq
-        root = np.sqrt(arg * arg + _EPS_RELU * _EPS_RELU)
-        q = 0.5 * (arg + root)            # smooth_relu(arg)
-        dq = 0.5 + 0.5 * (arg / root)     # smooth_relu_grad(arg)
-        sqrt_q = np.sqrt(q)
-        vp = vgb_t - self._gamma * (sqrt_q - self._k_half)
-        dvp_dvgb = 1.0 - self._gamma * dq / (2.0 * sqrt_q)
-
-        # Forward / reverse normalised currents (squared softplus).
-        xf = (vp - vsb) * self._inv_2nut
-        xr = (vp - vdb) * self._inv_2nut
-        sf = np.maximum(xf, 0.0) + np.log1p(np.exp(-np.abs(xf)))
-        sr = np.maximum(xr, 0.0) + np.log1p(np.exp(-np.abs(xr)))
-        i_f = sf * sf
-        i_r = sr * sr
-        # sigmoid(x) via tanh — overflow-safe without boolean masking.
-        dif = sf * (0.5 + 0.5 * np.tanh(0.5 * xf)) * self._inv_nut
-        dir_ = sr * (0.5 + 0.5 * np.tanh(0.5 * xr)) * self._inv_nut
-
-        vds = vdb - vsb
-        root_ds = np.sqrt(vds * vds + _EPS_ABS * _EPS_ABS)
-        clm = 1.0 + self._lam * (root_ds - _EPS_ABS)
-        dclm_dvds = self._lam * (vds / root_ds)
-
-        core = i_spec * (i_f - i_r)
-        ids = p * (core * clm)
-
-        m = y_ext.shape[1]
-        g_stack = np.empty((24, m))
-        core_dclm = core * dclm_dvds
-        gm = g_stack[0:6]
-        gds = g_stack[6:12]
-        gms = g_stack[12:18]
-        np.multiply(i_spec * (dif - dir_) * dvp_dvgb, clm, out=gm)
-        np.add(i_spec * dir_ * clm, core_dclm, out=gds)
-        np.negative(i_spec * dif * clm + core_dclm, out=gms)
-        np.negative(gm + gds + gms, out=g_stack[18:24])
-        return ids, g_stack
+        ct = CompiledTransient(
+            self._build_circuit(mode),
+            grid=eng._grid,
+            probes=probes,
+            kernel="fast",
+            newton_max_iter=eng.newton_max_iter,
+            clip=(-0.4, eng.vdd + 0.4),
+        )
+        # The variation matrices arrive in canonical cell-device order;
+        # the compiled order must match or every sample would be wired to
+        # the wrong transistor.
+        if tuple(ct.device_names) != CELL_DEVICE_ORDER:
+            raise SimulationError(
+                f"compiled 6T device order {ct.device_names} does not match "
+                f"the canonical cell order {CELL_DEVICE_ORDER}"
+            )
+        self._compiled[mode] = ct
+        return ct
 
     # ------------------------------------------------------------------
     # Chunk integration
@@ -385,184 +140,47 @@ class FusedTransientKernel:
         """Integrate one chunk; returns the same raw accumulators as the
         reference ``Batched6T._run_chunk``."""
         eng = self.engine
-        plan = self._plan(mode)
+        ct = self._compiled_for(mode)
+        t = eng.timing
         n = dvth.shape[0]
         dv_req_full = np.full(n, eng.dv_spec) if dv_spec is None else dv_spec
-        retire = bool(eng.retire) and mode == "read"
         vdd = eng.vdd
 
-        # Per-chunk device precomputations, (6, n).
-        vto_eff = self._vto + dvth.T
-        i_spec = self._ispec_coeff * (self._beta0 * bmult.T)
-
-        # Working state, (4, n) node-major.
-        y = np.empty((4, n))
         if mode == "read":
-            y[_Q] = 0.0
-            y[_QB] = vdd
-            y[_BL] = vdd
-            y[_BLB] = vdd
+            ic = {"q": 0.0, "qb": vdd, "bl": vdd, "blb": vdd}
+            probe_offsets = {"cross": -dv_req_full}
+            retire = None
+            if eng.retire:
+                t_wl_off = t.wl_delay + t.wl_rise + t.wl_width + t.wl_fall
+                retire = RetirePolicy("cross", after=t_wl_off)
         else:
-            y[_Q] = vdd
-            y[_QB] = 0.0
-            y[_BL] = 0.0
-            y[_BLB] = vdd
+            ic = {"q": vdd, "qb": 0.0, "bl": 0.0, "blb": vdd}
+            probe_offsets = None
+            retire = None
 
-        dv_req = dv_req_full
-        if mode == "read":
-            prev_signal = y[_BLB] - y[_BL] - dv_req
-        else:
-            prev_signal = y[_QB] - 0.5 * vdd
-
-        cross_time = np.full(n, np.nan)
-        q_peak = np.zeros(n)
-        qb_peak = np.zeros(n)
-        converged = np.ones(n, dtype=bool)
-        orig = np.arange(n)
-
-        # Full-width outputs, scattered to as samples retire.
-        cross_out = np.full(n, np.nan)
-        q_peak_out = np.zeros(n)
-        qb_peak_out = np.zeros(n)
-        diff_out = np.zeros(n)
-        q_final_out = np.zeros(n)
-        qb_final_out = np.zeros(n)
-        conv_out = np.ones(n, dtype=bool)
-
-        y_prev2: Optional[np.ndarray] = None
-        y_ext = np.empty((_N_EXT, n))
-        y_ext[_ROW_VDD] = vdd
-        y_ext[_ROW_GND] = 0.0
-
-        max_iter = eng.newton_max_iter
-        newton_tol = 5e-8
-        has_drv = plan.g_drv is not None
-        if has_drv:
-            g_drv_col = plan.g_drv[:, None]
-            v_drv_col = plan.v_drv[:, None]
-
-        for step in range(plan.n_steps):
-            m = y.shape[1]
-            eng.n_sample_steps += m
-            h = plan.hs[step]
-            vwl = plan.vwl[step]
-            cmat_h = plan.cmat_h[step]
-            base_jac = plan.base_jac[step][:, :, None]
-            dwl_col = plan.dwl_vec[step][:, None]
-
-            y_prev = y
-            if y_prev2 is not None:
-                y_new = y_prev + (y_prev - y_prev2) * plan.extrap[step]
-                np.clip(y_new, -0.5, vdd + 0.5, out=y_new)
-            else:
-                y_new = y_prev.copy()
-
-            y_ext[_ROW_WL, :m] = vwl
-            idx: Optional[np.ndarray] = None  # None == all samples active
-            for _ in range(max_iter):
-                if idx is None:
-                    y_sub = y_new
-                    y_prev_sub = y_prev
-                    vto_sub = vto_eff
-                    ispec_sub = i_spec
-                    ext = y_ext[:, :m]
-                else:
-                    y_sub = y_new[:, idx]
-                    y_prev_sub = y_prev[:, idx]
-                    vto_sub = vto_eff[:, idx]
-                    ispec_sub = i_spec[:, idx]
-                    ext = y_ext[:, : idx.size]
-                ext[:4] = y_sub
-                ids, g_stack = self._device_eval(ext, vto_sub, ispec_sub)
-                f = self._s_mat @ ids
-                f += cmat_h @ (y_sub - y_prev_sub)
-                f -= dwl_col
-                if has_drv:
-                    f += g_drv_col * (y_sub - v_drv_col)
-                jac = (self._m_mat @ g_stack).reshape(4, 4, -1)
-                jac += base_jac
-                delta = solve4(jac, -f)
-                step_max = np.abs(delta).max(axis=0)
-                scale = np.minimum(1.0, 0.4 / np.maximum(step_max, 1e-30))
-                y_upd = np.clip(y_sub + delta * scale, -0.4, vdd + 0.4)
-                if idx is None:
-                    y_new = y_upd
-                else:
-                    y_new[:, idx] = y_upd
-                still = step_max > newton_tol
-                if not still.any():
-                    idx = None if idx is None else idx[:0]
-                    break
-                idx = np.flatnonzero(still) if idx is None else idx[still]
-            if idx is not None and idx.size:
-                converged[idx] = False
-            y_prev2 = y_prev
-            y = y_new
-
-            # Event tracking (linear interpolation inside the step).
-            if mode == "read":
-                signal = y[_BLB] - y[_BL] - dv_req
-            else:
-                signal = y[_QB] - 0.5 * vdd
-            crossing = (prev_signal < 0.0) & (signal >= 0.0) & np.isnan(cross_time)
-            if crossing.any():
-                frac = prev_signal[crossing] / (prev_signal[crossing] - signal[crossing])
-                cross_time[crossing] = plan.t_prev[step] + frac * h
-            prev_signal = signal
-            if plan.track_peak[step]:
-                np.maximum(q_peak, y[_Q], out=q_peak)
-                np.maximum(qb_peak, y[_QB], out=qb_peak)
-
-            # Retirement: after the wordline has fully fallen, samples with
-            # a recorded crossing are settled — scatter and compact.
-            if retire and step >= plan.retire_from and step + 1 < plan.n_steps:
-                done = ~np.isnan(cross_time)
-                n_done = int(np.count_nonzero(done))
-                if n_done and n_done >= max(16, m // 8):
-                    o = orig[done]
-                    cross_out[o] = cross_time[done]
-                    q_peak_out[o] = q_peak[done]
-                    qb_peak_out[o] = qb_peak[done]
-                    diff_out[o] = y[_BLB, done] - y[_BL, done]
-                    q_final_out[o] = y[_Q, done]
-                    qb_final_out[o] = y[_QB, done]
-                    conv_out[o] = converged[done]
-                    keep = ~done
-                    y = y[:, keep]
-                    y_prev2 = y_prev2[:, keep]
-                    vto_eff = vto_eff[:, keep]
-                    i_spec = i_spec[:, keep]
-                    dv_req = dv_req[keep]
-                    prev_signal = prev_signal[keep]
-                    cross_time = cross_time[keep]
-                    q_peak = q_peak[keep]
-                    qb_peak = qb_peak[keep]
-                    converged = converged[keep]
-                    orig = orig[keep]
-                    if orig.size == 0:
-                        break
-
-        # Scatter the still-active remainder.
-        cross_out[orig] = cross_time
-        q_peak_out[orig] = q_peak
-        qb_peak_out[orig] = qb_peak
-        q_final_out[orig] = y[_Q]
-        qb_final_out[orig] = y[_QB]
-        conv_out[orig] = converged
-        if mode == "read":
-            diff_out[orig] = y[_BLB] - y[_BL]
-        else:
-            diff_out = qb_peak_out.copy()
-
+        res = ct.run(
+            ic=ic,
+            n=n,
+            delta_vth=dvth,
+            beta_mult=bmult,
+            probe_offsets=probe_offsets,
+            retire=retire,
+        )
+        eng.n_sample_steps += res.n_sample_steps
         eng.n_simulations += n
+
+        if mode == "read":
+            diff_final = res.final["blb"] - res.final["bl"]
+        else:
+            diff_final = res.peak["qb_peak"].copy()
         return {
             "dv_req": dv_req_full,
-            "cross_time": cross_out,
-            "q_peak": q_peak_out,
-            "qb_peak": qb_peak_out,
-            "diff_final": diff_out,
-            "q_final": q_final_out,
-            "qb_final": qb_final_out,
-            "converged": conv_out,
-            "t_wl_mid": np.full(n, plan.t_wl_mid),
+            "cross_time": res.cross["cross"],
+            "q_peak": res.peak["q_peak"],
+            "qb_peak": res.peak["qb_peak"],
+            "diff_final": diff_final,
+            "q_final": res.final["q"],
+            "qb_final": res.final["qb"],
+            "converged": res.converged,
+            "t_wl_mid": np.full(n, self._t_wl_mid),
         }

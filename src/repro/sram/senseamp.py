@@ -34,6 +34,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.errors import MeasurementError
+from repro.spice.compile import CompiledTransient, CrossProbe, transient_grid
 from repro.spice.elements import Capacitor, Mosfet, VoltageSource
 from repro.spice.mosfet import MosfetModel, nmos_45nm, pmos_45nm
 from repro.spice.netlist import Circuit
@@ -85,6 +86,7 @@ class SenseAmp:
         self.tran_options = tran_options or TransientOptions()
         self.circuit = self._build()
         self.n_simulations = 0
+        self._compiled: Dict[Tuple[int, str], CompiledTransient] = {}
 
     def _build(self) -> Circuit:
         d = self.design
@@ -165,6 +167,144 @@ class SenseAmp:
         except MeasurementError:
             t_res = float("inf")
         return correct, t_res
+
+    # ------------------------------------------------------------------
+    # Compiled batched path
+    # ------------------------------------------------------------------
+
+    def compiled(self, n_steps: int = 260, kernel: str = "fast") -> CompiledTransient:
+        """The latch compiled into a batched fixed-grid kernel (cached).
+
+        The latch has three unknowns (``sout``, ``soutb``, ``tail``), so
+        the fused path runs on unrolled 3x3 solves.  Two crossing probes
+        record the regeneration instant for each possible winner:
+        ``win_correct`` fires when ``soutb - sout`` passes ``vdd/2``
+        (the pre-set side wins), ``win_wrong`` for the opposite
+        decision; :meth:`resolve_batch` picks per sample.
+        """
+        key = (int(n_steps), kernel)
+        ct = self._compiled.get(key)
+        if ct is None:
+            half = 0.5 * self.vdd
+            ct = CompiledTransient(
+                self.circuit,
+                grid=transient_grid(
+                    self.sae_delay + self.t_resolve,
+                    breakpoints=self.circuit["v_sae"].shape.breakpoints(),
+                    n_steps=n_steps,
+                ),
+                probes=(
+                    CrossProbe("win_correct", {"soutb": 1.0, "sout": -1.0},
+                               offset=-half),
+                    CrossProbe("win_wrong", {"sout": 1.0, "soutb": -1.0},
+                               offset=-half),
+                ),
+                kernel=kernel,
+            )
+            self._compiled[key] = ct
+        return ct
+
+    def _sa_vth_dict(self, delta_vth, n: int) -> Optional[Dict[str, np.ndarray]]:
+        """Normalise latch threshold shifts into a device-name dict.
+
+        Accepts ``None``, a dict of device names to scalars/arrays, or an
+        ``(n, 4)`` matrix with columns in :data:`SA_DEVICE_ORDER` (the
+        tail transistor carries no variation axis).
+        """
+        if delta_vth is None:
+            return None
+        if isinstance(delta_vth, dict):
+            return delta_vth
+        arr = np.atleast_2d(np.asarray(delta_vth, dtype=float))
+        if arr.shape != (n, len(SA_DEVICE_ORDER)):
+            raise MeasurementError(
+                f"sense-amp delta_vth matrix shape {arr.shape} != "
+                f"({n}, {len(SA_DEVICE_ORDER)}) in SA_DEVICE_ORDER"
+            )
+        return {name: arr[:, j] for j, name in enumerate(SA_DEVICE_ORDER)}
+
+    def resolve_batch(
+        self,
+        dv: np.ndarray,
+        delta_vth=None,
+        n_steps: int = 260,
+        kernel: str = "fast",
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`resolve`: one compiled transient for all samples.
+
+        ``dv`` is the per-sample pre-set differential (``|dv|`` must stay
+        below ``vdd/2`` — beyond that the latch starts past the decision
+        threshold and "resolution" is meaningless); ``delta_vth`` is a
+        dict or an ``(n, 4)`` matrix in :data:`SA_DEVICE_ORDER`.  Returns
+        ``(correct, t_res)`` with ``t_res = inf`` where the outputs never
+        separated past ``vdd/2`` in-window.
+        """
+        dv = np.atleast_1d(np.asarray(dv, dtype=float))
+        n = dv.size
+        ct = self.compiled(n_steps=n_steps, kernel=kernel)
+        ic = {
+            "sout": self.vdd - np.maximum(dv, 0.0),
+            "soutb": self.vdd + np.minimum(dv, 0.0),
+            "tail": 0.0,
+        }
+        res = ct.run(ic=ic, n=n, delta_vth=self._sa_vth_dict(delta_vth, n))
+        self.n_simulations += n
+
+        half = 0.5 * self.vdd
+        correct = (res.final["sout"] < half) & (half < res.final["soutb"])
+        # SAE half-swing: the pulse is linear in its rise, so the scalar
+        # waveform measurement and this closed form agree exactly.
+        sae = self.circuit["v_sae"].shape
+        t_sae = sae.delay + 0.5 * sae.rise
+        t_dec = np.where(correct, res.cross["win_correct"], res.cross["win_wrong"])
+        t_res = np.where(np.isnan(t_dec), np.inf, t_dec - t_sae)
+        return correct, t_res
+
+    def offset_batch(
+        self,
+        delta_vth,
+        dv_max: float = 0.3,
+        n_bisect: int = 10,
+        n_steps: int = 260,
+        kernel: str = "fast",
+    ) -> np.ndarray:
+        """Batched :meth:`offset`: all samples bisect simultaneously.
+
+        Runs ``n_bisect + 2`` compiled transients total (versus that many
+        scalar transients *per sample* on the reference path).  Mirrors
+        the scalar bisection exactly: samples that cannot resolve even
+        ``dv_max`` raise, samples that resolve ``-dv_max`` report the
+        bracket edge.
+        """
+        delta_vth = self._sa_vth_dict(
+            delta_vth, np.atleast_2d(np.asarray(delta_vth)).shape[0]
+        ) if not isinstance(delta_vth, dict) else delta_vth
+        n = None
+        for v in (delta_vth or {}).values():
+            v = np.atleast_1d(np.asarray(v))
+            n = v.size if n is None else max(n, v.size)
+        if n is None:
+            raise MeasurementError("offset_batch needs per-sample threshold shifts")
+
+        hi = np.full(n, float(dv_max))
+        lo = -hi.copy()
+        correct_hi, _ = self.resolve_batch(hi, delta_vth, n_steps, kernel)
+        if not correct_hi.all():
+            bad = int((~correct_hi).sum())
+            raise MeasurementError(
+                f"{bad} of {n} samples cannot resolve even dv={dv_max} V; "
+                "offset beyond range"
+            )
+        correct_lo, _ = self.resolve_batch(lo, delta_vth, n_steps, kernel)
+        at_edge = correct_lo
+        for _ in range(n_bisect):
+            mid = 0.5 * (lo + hi)
+            correct, _ = self.resolve_batch(mid, delta_vth, n_steps, kernel)
+            hi = np.where(correct, mid, hi)
+            lo = np.where(correct, lo, mid)
+        out = 0.5 * (lo + hi)
+        out[at_edge] = -float(dv_max)
+        return out
 
     def offset(
         self,

@@ -9,6 +9,8 @@ from repro.experiments.workloads import (
     cell_variation_space,
     make_disturb_limitstate,
     make_read_limitstate,
+    make_senseamp_offset_limitstate,
+    make_system_read_limitstate,
     make_write_limitstate,
     surrogate_workload,
 )
@@ -84,6 +86,46 @@ class TestSramLimitStates:
         ls = make_read_limitstate(spec=50e-12, n_steps=250, include_beta=True)
         assert ls.dim == 12
         assert np.isfinite(ls.g(np.zeros(12)))
+
+
+class TestCompiledWorkloads:
+    def test_senseamp_offset_nominal_passes(self):
+        ls = make_senseamp_offset_limitstate(spec=0.08)
+        assert ls.dim == 4
+        assert ls.g(np.zeros(4)) > 0
+
+    def test_senseamp_offset_scalar_routes_through_batch(self):
+        # fn=None: scalar metric() runs the batched evaluator as a
+        # one-row batch and bills exactly one evaluation.
+        ls = make_senseamp_offset_limitstate(spec=0.08)
+        before = ls.n_evals
+        value = ls.metric(np.array([2.0, 0.0, -2.0, 0.0]))
+        assert ls.n_evals == before + 1
+        assert value > 0  # weak left NMOS + strong right one hurts the read
+
+    def test_senseamp_offset_fails_at_mismatch_corner(self):
+        ls = make_senseamp_offset_limitstate(spec=0.08)
+        u = np.array([4.0, -2.0, -4.0, 2.0])  # all axes push the offset up
+        assert ls.g(u) < 0
+
+    def test_system_read_latch_model_tracks_linear(self):
+        spec = 60e-12
+        rng = np.random.default_rng(0)
+        u = rng.normal(0.0, 1.0, size=(6, 10))
+        lin = make_system_read_limitstate(spec, n_steps=250, sa_model="linear")
+        lat = make_system_read_limitstate(spec, n_steps=250, sa_model="latch")
+        g_lin = lin.g_batch(u)
+        g_lat = lat.g_batch(u)
+        # The latch offset quantisation and regeneration nonlinearity
+        # shift the required differential by millivolts at most, which
+        # moves the access margin only slightly.
+        np.testing.assert_allclose(g_lat, g_lin, rtol=0.15, atol=2e-12)
+
+    def test_system_read_bad_sa_model_rejected(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            make_system_read_limitstate(60e-12, sa_model="cubic")
 
 
 class TestCalibration:

@@ -79,6 +79,41 @@ class TestMultiStart:
         mpfps = gis.search_mpfps(np.random.default_rng(8))
         assert len(mpfps) == 1  # all starts converge to the same point
 
+    def test_parallel_multistart_matches_serial(self):
+        """The sharded search stage's determinism contract: the kept
+        MPFPs depend only on n_starts, never on workers."""
+        from repro.engine.sharding import fork_available
+
+        def search(workers):
+            ls = UnionLimitState([4.0, 4.2], dim=8)
+            gis = GradientImportanceSampling(
+                ls, n_starts=6, n_max=2000, workers=workers
+            )
+            return gis.search_mpfps(np.random.default_rng(21))
+
+        serial = search(1)
+        if not fork_available():
+            pytest.skip("fork start method unavailable")
+        pooled = search(4)
+        assert len(serial) == len(pooled) == 2
+        for a, b in zip(serial, pooled):
+            np.testing.assert_array_equal(a.u_star, b.u_star)
+            assert a.beta == b.beta
+
+    def test_parallel_multistart_bills_search_evals(self):
+        from repro.engine.sharding import fork_available
+
+        if not fork_available():
+            pytest.skip("fork start method unavailable")
+        ls = UnionLimitState([4.0, 4.2], dim=8)
+        gis = GradientImportanceSampling(
+            ls, n_starts=4, n_max=1024, target_rel_err=None, workers=4
+        )
+        res = gis.run(np.random.default_rng(22))
+        # Pooled searches reconcile their eval counts into the parent.
+        assert res.diagnostics["search_evals"] > 0
+        assert ls.n_evals == res.n_evals
+
 
 class TestDiagnosticsAndAccounting:
     def test_search_cost_in_n_evals(self):

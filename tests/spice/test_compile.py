@@ -1,0 +1,229 @@
+"""Batched circuit compiler: solveN, compilation analysis, kernel parity.
+
+The compiler's regression anchor is the 6T engine: ``tests/sram/test_kernel.py``
+pins the compiled fast path against ``Batched6T``'s reference integrator at
+~1e-9.  This module covers the compiler-specific surface: the batched
+solver family against LAPACK, the netlist analysis (rails, C/G assembly,
+rejection of unsupported elements), probe plumbing, and the compiled
+reference kernel as the in-family cross-check on a non-6T circuit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.spice.compile import (
+    CompiledTransient,
+    CrossProbe,
+    PeakProbe,
+    RetirePolicy,
+    ValueProbe,
+    solveN,
+    transient_grid,
+)
+from repro.spice.elements import Capacitor, CurrentSource, Resistor, VoltageSource
+from repro.spice.netlist import Circuit
+from repro.spice.sources import dc, pulse
+from repro.sram.batched import Batched6T
+
+
+class TestSolveN:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 6, 7, 8])
+    def test_matches_lapack(self, n):
+        """The satellite's acceptance sweep: n_nodes 2-8 (plus 1)."""
+        rng = np.random.default_rng(n)
+        a = rng.normal(size=(200, n, n)) + (n + 2.0) * np.eye(n)
+        b = rng.normal(size=(200, n))
+        ref = np.linalg.solve(a, b[..., None])[..., 0]
+        x = solveN(
+            np.ascontiguousarray(a.transpose(1, 2, 0)),
+            np.ascontiguousarray(b.T),
+        )
+        np.testing.assert_allclose(x.T, ref, rtol=1e-9, atol=1e-12)
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 6])
+    def test_pivot_guard_falls_back_to_lapack(self, n):
+        # Vanishing (0, 0) pivot: natural-order elimination is invalid and
+        # the guard must reroute those samples through the pivoted solver.
+        a = np.eye(n)
+        a[0, 0] = 0.0
+        a[0, 1] = 1.0
+        a[1, 0] = 1.0
+        a[1, 1] = 0.0
+        b = np.arange(1.0, n + 1.0)
+        stack_a = np.repeat(a[:, :, None], 3, axis=2)
+        stack_b = np.repeat(b[:, None], 3, axis=1)
+        x = solveN(stack_a, stack_b)
+        ref = np.linalg.solve(a, b)
+        np.testing.assert_allclose(x[:, 1], ref, rtol=1e-12)
+
+    @pytest.mark.parametrize("n", [2, 3, 6])
+    def test_inputs_not_mutated(self, n):
+        rng = np.random.default_rng(42)
+        a = rng.normal(size=(n, n, 8)) + 4.0 * np.eye(n)[:, :, None]
+        b = rng.normal(size=(n, 8))
+        a0, b0 = a.copy(), b.copy()
+        solveN(a, b)
+        np.testing.assert_array_equal(a, a0)
+        np.testing.assert_array_equal(b, b0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(SimulationError):
+            solveN(np.zeros((3, 2, 4)), np.zeros((3, 4)))
+
+
+class TestTransientGrid:
+    def test_lands_on_breakpoints(self):
+        grid = transient_grid(1e-9, breakpoints=(0.2e-9, 0.5e-9), n_steps=100)
+        for b in (0.0, 0.2e-9, 0.5e-9, 1e-9):
+            assert np.min(np.abs(grid - b)) == 0.0
+
+    def test_monotone_and_bounded(self):
+        grid = transient_grid(2e-9, breakpoints=(1e-9, 3e-9, -1e-9), n_steps=64)
+        assert grid[0] == 0.0 and grid[-1] == 2e-9
+        assert np.all(np.diff(grid) > 0)
+
+    def test_invalid_stop_rejected(self):
+        with pytest.raises(SimulationError):
+            transient_grid(0.0)
+
+
+def _rc_circuit():
+    """Minimal supported circuit: one MOSFET, resistor drive, cap load."""
+    from repro.spice.mosfet import nmos_45nm
+
+    from repro.spice.elements import Mosfet
+
+    c = Circuit("rc_test")
+    c.add(VoltageSource("v_vdd", "vdd", "0", dc(1.0)))
+    c.add(VoltageSource("v_in", "in", "0", pulse(0.0, 1.0, delay=0.1e-9,
+                                                 rise=20e-12, width=1e-9)))
+    c.add(Mosfet("m1", "out", "in", "0", "0", nmos_45nm(), w=200e-9, l=50e-9))
+    c.add(Resistor("r_load", "vdd", "out", 20e3))
+    c.add(Capacitor("c_load", "out", "0", 5e-15))
+    return c
+
+
+class TestCompilationAnalysis:
+    def test_rails_and_unknowns_partitioned(self):
+        ct = CompiledTransient(_rc_circuit(), grid=transient_grid(1.5e-9, n_steps=64))
+        assert set(ct.rail_names) == {"vdd", "in"}
+        assert ct.node_names == ["out"]
+        assert ct.device_names == ["m1"]
+
+    def test_compiled_cmat_matches_engine_assembly(self):
+        """The compiled 6T capacitance matrix must equal the hand-built
+        one in Batched6T — same values from the same model caps."""
+        eng = Batched6T(n_steps=120)
+        ct = eng._fast_kernel._compiled_for("read")
+        np.testing.assert_array_equal(ct.cmat, eng._cmat)
+        # WL coupling column agrees too.
+        wl_col = ct.rail_names.index("wl")
+        np.testing.assert_array_equal(ct._cap_rail[:, wl_col], eng._wl_coupling)
+
+    def test_unsupported_element_rejected(self):
+        c = _rc_circuit()
+        c.add(CurrentSource("i_leak", "out", "0", dc(1e-9)))
+        with pytest.raises(SimulationError, match="unsupported"):
+            CompiledTransient(c, grid=transient_grid(1e-9, n_steps=32))
+
+    def test_floating_voltage_source_rejected(self):
+        c = Circuit("floating")
+        c.add(VoltageSource("v_f", "a", "b", dc(1.0)))
+        with pytest.raises(SimulationError, match="grounded"):
+            CompiledTransient(c, grid=transient_grid(1e-9, n_steps=32))
+
+    def test_duplicate_probe_rejected(self):
+        with pytest.raises(SimulationError, match="duplicate probe"):
+            CompiledTransient(
+                _rc_circuit(),
+                grid=transient_grid(1e-9, n_steps=32),
+                probes=(PeakProbe("p", "out"), PeakProbe("p", "out")),
+            )
+
+    def test_probe_on_rail_rejected(self):
+        with pytest.raises(SimulationError, match="not an unknown"):
+            CompiledTransient(
+                _rc_circuit(),
+                grid=transient_grid(1e-9, n_steps=32),
+                probes=(CrossProbe("x", {"vdd": 1.0}),),
+            )
+
+    def test_bad_kernel_rejected(self):
+        with pytest.raises(SimulationError):
+            CompiledTransient(_rc_circuit(), grid=transient_grid(1e-9, n_steps=32),
+                              kernel="turbo")
+
+
+class TestRunValidation:
+    @pytest.fixture(scope="class")
+    def ct(self):
+        return CompiledTransient(_rc_circuit(), grid=transient_grid(1.5e-9, n_steps=64))
+
+    def test_missing_ic_rejected(self, ct):
+        with pytest.raises(SimulationError, match="initial conditions missing"):
+            ct.run(ic={}, n=4)
+
+    def test_unknown_device_rejected(self, ct):
+        with pytest.raises(SimulationError, match="unknown device"):
+            ct.run(ic={"out": 1.0}, n=4, delta_vth={"m_nope": 0.1})
+
+    def test_bad_matrix_shape_rejected(self, ct):
+        with pytest.raises(SimulationError, match="matrix shape"):
+            ct.run(ic={"out": 1.0}, n=4, delta_vth=np.zeros((4, 3)))
+
+    def test_retire_with_value_probe_rejected(self):
+        ct = CompiledTransient(
+            _rc_circuit(),
+            grid=transient_grid(1.5e-9, n_steps=64),
+            probes=(CrossProbe("c", {"out": 1.0}, offset=-0.5),
+                    ValueProbe("v", {"out": 1.0}, t=1e-9)),
+        )
+        with pytest.raises(SimulationError, match="retirement and value probes"):
+            ct.run(ic={"out": 1.0}, n=4, retire=RetirePolicy("c", after=0.5e-9))
+
+    def test_unknown_retire_probe_rejected(self):
+        ct = CompiledTransient(
+            _rc_circuit(),
+            grid=transient_grid(1.5e-9, n_steps=64),
+            probes=(CrossProbe("c", {"out": 1.0}, offset=-0.5),),
+        )
+        with pytest.raises(SimulationError, match="unknown cross probe"):
+            ct.run(ic={"out": 1.0}, n=4, retire=RetirePolicy("zzz", after=0.5e-9))
+
+
+class TestFusedVsReferenceOnGenericCircuit:
+    """The in-family cross-check on a circuit that is *not* the 6T cell:
+    the fused transcription + solveN against per-device MosfetModel.ids
+    + LAPACK inside the same step loop, at the PR 2 tolerance ladder."""
+
+    def test_discharge_waveform_agreement(self):
+        grid = transient_grid(1.5e-9, breakpoints=(0.1e-9, 0.12e-9), n_steps=120)
+        probes = (
+            CrossProbe("halfway", {"out": 1.0}, offset=-0.5),
+            PeakProbe("peak", "out"),
+        )
+        rng = np.random.default_rng(3)
+        dvth = rng.normal(0.0, 0.05, size=(32, 1))
+        bmult = 1.0 + rng.normal(0.0, 0.05, size=(32, 1))
+        results = {}
+        for kernel in ("fast", "reference"):
+            ct = CompiledTransient(_rc_circuit(), grid=grid, probes=probes,
+                                   kernel=kernel)
+            results[kernel] = ct.run(
+                ic={"out": 1.0}, n=32, delta_vth=dvth, beta_mult=bmult
+            )
+        f, r = results["fast"], results["reference"]
+        np.testing.assert_array_equal(f.converged, r.converged)
+        np.testing.assert_allclose(f.final["out"], r.final["out"],
+                                   rtol=1e-9, atol=1e-12)
+        np.testing.assert_allclose(f.peak["peak"], r.peak["peak"],
+                                   rtol=1e-9, atol=1e-12)
+        # Crossing times: nan pattern identical, values at 1e-9.
+        np.testing.assert_array_equal(
+            np.isnan(f.cross["halfway"]), np.isnan(r.cross["halfway"])
+        )
+        ok = ~np.isnan(f.cross["halfway"])
+        np.testing.assert_allclose(
+            f.cross["halfway"][ok], r.cross["halfway"][ok], rtol=1e-9
+        )

@@ -27,11 +27,19 @@ class TestParser:
         parser = build_parser()
         for argv in (
             ["read-sigma", "--spec-ps", "50"],
+            ["read-sigma", "--spec-ps", "60", "--system", "--sa-model", "latch"],
             ["write-sigma", "--target-sigma", "4"],
+            ["sa-sigma", "--spec-mv", "80"],
             ["snm", "--vdd", "0.8"],
             ["compare", "--target-sigma", "3.5"],
         ):
             assert parser.parse_args(argv) is not None
+
+    def test_system_requires_explicit_spec(self, capsys):
+        from repro.cli import main
+
+        assert main(["read-sigma", "--target-sigma", "4", "--system"]) == 2
+        assert "--spec-ps" in capsys.readouterr().out
 
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):

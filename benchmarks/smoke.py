@@ -104,11 +104,52 @@ def workload_system_read_batched() -> None:
         )
 
 
+def workload_column_read_batched() -> None:
+    """Bulk sampling on the 34-node read column (96 variation axes).
+
+    Times one bulk block through the sparse-assembly compiled column
+    and through the dense-assembly cross-check at the same sample
+    count.  Asserts the sparse pass's acceptance floor: >= 2x faster
+    per sample than dense assembly, and bit-equal to it (min of two
+    timed runs per path, so timer noise on a loaded runner cannot trip
+    the gate spuriously).  The bit-equality leg pins the stamp-
+    determinism invariant for *this* BLAS build (the scatter rounds
+    replay dgemm's ascending-k reduction; see the `_SPARSE_MIN_BATCH`
+    note in repro.spice.compile) — a numpy linked against a BLAS with a
+    different reduction order would fail here by design, flagging that
+    the invariant needs re-validating rather than hiding it.
+    """
+    from repro.experiments.workloads import make_column_read_limitstate
+
+    n = 128
+    rng = np.random.default_rng(4)
+    u = rng.normal(0.0, 1.0, size=(n, 96))
+    times, vals = {}, {}
+    for asm in ("sparse", "dense"):
+        ls = make_column_read_limitstate(6e-11, n_steps=300, assembly=asm)
+        ls.g_batch(u[:4])  # compile outside the timed region
+        best = float("inf")
+        for _ in range(2):
+            t0 = time.perf_counter()
+            vals[asm] = ls.g_batch(u)
+            best = min(best, time.perf_counter() - t0)
+        times[asm] = best
+    np.testing.assert_array_equal(vals["sparse"], vals["dense"])
+    speedup = times["dense"] / times["sparse"]
+    print(f"  [column-read] sparse vs dense assembly: {speedup:.1f}x")
+    if speedup < 2.0:
+        raise RuntimeError(
+            f"sparse-assembly column read only {speedup:.2f}x faster than "
+            "the dense-assembly path (acceptance floor: 2x)"
+        )
+
+
 WORKLOADS = [
     ("streaming-core", workload_streaming_core),
     ("gis-6t-engine", workload_gis_engine),
     ("sharded-plan", workload_sharded_plan),
     ("system-read-batched", workload_system_read_batched),
+    ("column-read-batched", workload_column_read_batched),
 ]
 
 

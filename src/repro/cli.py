@@ -11,6 +11,9 @@ run the extractions without writing Python:
 * ``write-sigma`` — same for the write-trip failure;
 * ``sa-sigma``    — sense-amplifier offset failure sigma on the compiled
   latch (batched bisection);
+* ``column-sigma``— read failure sigma of a *full column* (accessed cell
+  plus leakers, one variation axis per transistor) on the compiled
+  column with sparse assembly and structured solves;
 * ``snm``         — static noise margins of the cell;
 * ``compare``     — the full method-comparison table on one workload.
 
@@ -20,6 +23,7 @@ Examples::
     python -m repro.cli read-sigma --spec-ps 60 --system --sa-model latch
     python -m repro.cli write-sigma --target-sigma 5 --vdd 0.9
     python -m repro.cli sa-sigma --spec-mv 80
+    python -m repro.cli column-sigma --spec-ps 60 --leakers 15
     python -m repro.cli snm --vdd 0.8
     python -m repro.cli compare --target-sigma 4 --budget 4000
     python -m repro.cli read-sigma --spec-ps 55 --workers 4 --starts 4
@@ -107,6 +111,25 @@ def build_parser() -> argparse.ArgumentParser:
     common(p_sa)
     p_sa.add_argument("--spec-mv", type=float, required=True,
                       help="input-referred offset spec [mV]")
+
+    p_col = sub.add_parser(
+        "column-sigma",
+        help="column-level read failure sigma (accessed cell + leakers)",
+    )
+    common(p_col)
+    p_col.add_argument("--spec-ps", type=float, required=True,
+                       help="access-time spec [ps]")
+    p_col.add_argument("--leakers", type=int, default=15,
+                       help="unaccessed cells on the column (u-space has "
+                            "6 * (leakers + 1) axes)")
+    p_col.add_argument("--leaker-data", choices=("adversarial", "friendly"),
+                       default="adversarial",
+                       help="stored pattern of the unaccessed cells")
+    p_col.add_argument("--assembly", choices=("auto", "dense", "sparse"),
+                       default="auto",
+                       help="compiler assembly pass: sparse scatter stamps "
+                            "(auto above the node-count threshold) or the "
+                            "dense incidence matmuls (cross-check)")
 
     p_snm = sub.add_parser("snm", help="static noise margins (butterfly)")
     p_snm.add_argument("--vdd", type=float, default=1.0)
@@ -212,6 +235,30 @@ def _run_sa_sigma(args) -> int:
     return 0
 
 
+def _run_column_sigma(args) -> int:
+    from repro.experiments.workloads import make_column_read_limitstate
+    from repro.highsigma.gis import GradientImportanceSampling
+
+    spec = args.spec_ps * 1e-12
+    ls = make_column_read_limitstate(
+        spec, n_leakers=args.leakers, leaker_data=args.leaker_data,
+        vdd=args.vdd, n_steps=args.n_steps, kernel=args.kernel,
+        assembly=args.assembly,
+    )
+    # Central-difference gradients: a full 2 * 6 * (leakers + 1) point
+    # stencil is a couple of bulk batches on the compiled column, so
+    # even the 96-axis default column prices a gradient like a handful
+    # of scalar simulations.
+    gis = GradientImportanceSampling(
+        ls, n_max=args.budget, target_rel_err=args.rel_err,
+        n_starts=args.starts, workers=args.workers, n_shards=args.shards,
+    )
+    result = gis.run(np.random.default_rng(args.seed))
+    _report(result, spec, f"  (column, {args.leakers} leakers, "
+                          f"dim {ls.dim})")
+    return 0
+
+
 def _run_snm(args) -> int:
     from repro.sram.statics import butterfly_snm
 
@@ -267,6 +314,8 @@ def main(argv: Optional[list] = None) -> int:
         return _run_sigma(args, "write")
     if args.command == "sa-sigma":
         return _run_sa_sigma(args)
+    if args.command == "column-sigma":
+        return _run_column_sigma(args)
     if args.command == "snm":
         return _run_snm(args)
     if args.command == "compare":

@@ -32,6 +32,7 @@ from repro.highsigma.limitstate import LimitState
 from repro.highsigma.mpfp import MpfpOptions, MpfpSearch
 from repro.sram.batched import Batched6T
 from repro.sram.cell import CELL_DEVICE_ORDER, CellDesign
+from repro.sram.column import ColumnConfig, ReadColumn
 from repro.sram.senseamp import SenseAmp, SenseAmpDesign
 from repro.sram.testbench import OperationTiming
 from repro.variation.pelgrom import beta_mismatch_sigma, vth_mismatch_sigma
@@ -41,11 +42,13 @@ __all__ = [
     "Workload",
     "analytic_grid_workloads",
     "cell_variation_space",
+    "column_variation_space",
     "make_read_limitstate",
     "make_write_limitstate",
     "make_disturb_limitstate",
     "make_senseamp_offset_limitstate",
     "make_system_read_limitstate",
+    "make_column_read_limitstate",
     "calibrate_read_spec",
     "calibrate_write_spec",
     "surrogate_workload",
@@ -118,14 +121,7 @@ def cell_variation_space(
 ) -> VariationSpace:
     """Pelgrom u-space over the six cell transistors (canonical order)."""
     design = design or CellDesign()
-    geometry = {
-        "m_pu_l": (design.pmos, design.w_pu),
-        "m_pd_l": (design.nmos, design.w_pd),
-        "m_pg_l": (design.nmos, design.w_pg),
-        "m_pu_r": (design.pmos, design.w_pu),
-        "m_pd_r": (design.nmos, design.w_pd),
-        "m_pg_r": (design.nmos, design.w_pg),
-    }
+    geometry = _cell_geometry(design)
     axes = []
     for name in CELL_DEVICE_ORDER:
         model, w = geometry[name]
@@ -134,6 +130,43 @@ def cell_variation_space(
         for name in CELL_DEVICE_ORDER:
             model, w = geometry[name]
             axes.append(DeviceAxis(name, "beta", beta_mismatch_sigma(model, w, design.l)))
+    return VariationSpace(axes)
+
+
+def _cell_geometry(design: CellDesign):
+    return {
+        "m_pu_l": (design.pmos, design.w_pu),
+        "m_pd_l": (design.nmos, design.w_pd),
+        "m_pg_l": (design.nmos, design.w_pg),
+        "m_pu_r": (design.pmos, design.w_pu),
+        "m_pd_r": (design.nmos, design.w_pd),
+        "m_pg_r": (design.nmos, design.w_pg),
+    }
+
+
+def column_variation_space(
+    design: Optional[CellDesign] = None, n_leakers: int = 15
+) -> VariationSpace:
+    """Pelgrom u-space over a whole read column.
+
+    One vth axis per transistor of every cell on the column — the
+    accessed cell first (canonical order), then each leaker — so the
+    dimension is ``6 * (n_leakers + 1)``.  This is the dimension-scaling
+    scenario: the u-space grows linearly with the column height while
+    the failure region stays dominated by a handful of axes, exactly the
+    regime where blind search degrades and gradient importance sampling
+    earns its keep.
+    """
+    design = design or CellDesign()
+    geometry = _cell_geometry(design)
+    axes = []
+    for suffix in ["_a"] + [f"_l{k}" for k in range(n_leakers)]:
+        for name in CELL_DEVICE_ORDER:
+            model, w = geometry[name]
+            axes.append(
+                DeviceAxis(f"{name}{suffix}", "vth",
+                           vth_mismatch_sigma(model, w, design.l))
+            )
     return VariationSpace(axes)
 
 
@@ -299,6 +332,7 @@ def make_system_read_limitstate(
     sa_n_steps: int = 260,
     sa_dv_max: float = 0.45,
     sa_n_bisect: int = 12,
+    sa_on_unresolvable: str = "saturate",
 ) -> LimitState:
     """System-level read limit state: cell *and* sense-amp variation.
 
@@ -314,9 +348,14 @@ def make_system_read_limitstate(
     ``"latch"`` — batched bisection on the *compiled* latch transient,
     which keeps the full nonlinearity of the regeneration at a dozen
     compiled transients per block.  ``sa_dv_max`` / ``sa_n_bisect``
-    bound the latch bisection — a sample whose offset exceeds
-    ``sa_dv_max`` aborts the whole batch, so widen it when sampling
-    deeper tails than the default ~18-sigma-per-device headroom covers.
+    bound the latch bisection.  A deep-tail sample whose offset exceeds
+    ``sa_dv_max`` saturates to ``offset = +inf`` by default
+    (``sa_on_unresolvable="saturate"``): its required differential
+    becomes unreachable, the read counts as a failure, and the rest of
+    the batch completes normally — which is exactly what a high-sigma
+    sampler needs from the tails it deliberately explores.  Pass
+    ``sa_on_unresolvable="raise"`` to restore the strict behaviour that
+    treats such samples as a setup error.
 
     This is the workload where the single-cell view underestimates the
     failure rate: a moderately slow cell meeting a moderately deaf sense
@@ -345,6 +384,7 @@ def make_system_read_limitstate(
             offset = sense.offset_batch(
                 u_sa * sa_sigmas, dv_max=sa_dv_max, n_bisect=sa_n_bisect,
                 n_steps=sa_n_steps, kernel=kernel,
+                on_unresolvable=sa_on_unresolvable,
             )
         dv_req = np.maximum(dv_base + offset, dv_floor)
         return engine.read(dvth, dv_spec=dv_req).metric
@@ -356,6 +396,64 @@ def make_system_read_limitstate(
         dim=10,
         direction="upper",
         name=f"sram-system-read(spec={spec:.3e}s, vdd={vdd:g}V, sa={sa_model})",
+    )
+
+
+def make_column_read_limitstate(
+    spec: float,
+    design: Optional[CellDesign] = None,
+    n_leakers: int = 15,
+    leaker_data: str = "adversarial",
+    vdd: float = 1.0,
+    cbl: Optional[float] = None,
+    dv_spec: float = 0.12,
+    n_steps: int = 400,
+    timing: Optional[OperationTiming] = None,
+    kernel: str = "fast",
+    assembly: str = "auto",
+) -> LimitState:
+    """Column-level read limit state: the full column is the device under test.
+
+    ``6 * (n_leakers + 1)`` u-axes — every transistor of the accessed
+    cell *and* of every leaker carries its own Pelgrom threshold axis —
+    evaluated in bulk on the compiled column (sparse Jacobian assembly
+    plus the structured Schur solves above the compiler's node-count
+    threshold; ``assembly="dense"`` keeps the cross-check path).
+    Failure is the access time to ``dv_spec`` exceeding ``spec``, with
+    leakage from the unaccessed cells eroding the differential exactly
+    as the scalar column testbench simulates it.  This is the
+    dimension-scaling workload: the default 15 adversarial leakers make
+    a 34-node circuit and a 96-dimensional u-space.
+    """
+    design = design or CellDesign()
+    column = ReadColumn(
+        design=design,
+        config=ColumnConfig(
+            n_leakers=n_leakers, leaker_data=leaker_data, cbl=cbl, vdd=vdd
+        ),
+        dv_spec=dv_spec,
+        timing=timing,
+    )
+    space = column_variation_space(design, n_leakers=n_leakers)
+    order = column.all_device_names()
+
+    def batch_fn(u_batch: np.ndarray) -> np.ndarray:
+        u_batch = np.atleast_2d(u_batch)
+        dvth = space.vth_matrix(u_batch, order)
+        return column.access_times_batch(
+            dvth, n_steps=n_steps, kernel=kernel, assembly=assembly
+        )
+
+    return LimitState(
+        fn=None,
+        batch_fn=batch_fn,
+        spec=spec,
+        dim=space.dim,
+        direction="upper",
+        name=(
+            f"sram-column-read(spec={spec:.3e}s, vdd={vdd:g}V, "
+            f"leakers={n_leakers})"
+        ),
     )
 
 

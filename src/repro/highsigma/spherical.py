@@ -79,18 +79,22 @@ class SphericalSearchIS:
         d = self.ls.dim
         n_dirs = self.n_directions
         r_max = self.r_max
-        for _escalation in range(self.max_escalations + 1):
+        for escalation in range(self.max_escalations + 1):
             directions = rng.standard_normal((n_dirs, d))
             directions /= np.linalg.norm(directions, axis=1, keepdims=True)
             r_prev = 0.0
             r = self.r_start
             while r <= r_max + 1e-12:
-                fails = self.ls.fails_batch(directions * r)
-                if fails.any():
-                    failing_dirs = directions[fails]
+                g_vals = self.ls.g_batch(directions * r)
+                if (g_vals <= 0.0).any():
                     # Bisect along the failing direction of smallest g —
-                    # break ties by taking the first.
-                    direction = failing_dirs[0]
+                    # the deepest probe into the failure region this
+                    # shell found (the most-negative margin is failing
+                    # whenever anything is; NaN margins from diverged
+                    # samples are masked so argmin cannot land on one;
+                    # ties break to the first, as before).
+                    g_sel = np.where(np.isnan(g_vals), np.inf, g_vals)
+                    direction = directions[np.argmin(g_sel)]
                     lo, hi = r_prev, r
                     for _ in range(self.n_bisect):
                         mid = 0.5 * (lo + hi)
@@ -102,15 +106,21 @@ class SphericalSearchIS:
                     return direction * radius, radius
                 r_prev = r
                 r += self.r_step
+            if escalation == self.max_escalations:
+                # Report the direction count and ceiling the failed
+                # attempt actually used, not the next escalation's
+                # widened values.
+                raise SearchError(
+                    f"{self.ls.name}: no failing direction within radius "
+                    f"{r_max:.1f} using {n_dirs} directions after "
+                    f"{self.max_escalations} escalations"
+                )
             # No hit: widen the direction set and the radius ceiling —
             # this is exactly how the cost of blind search explodes with
             # dimension (experiment F5 quantifies it).
             n_dirs *= 4
             r_max *= 1.5
-        raise SearchError(
-            f"{self.ls.name}: no failing direction within radius {r_max:.1f} "
-            f"using {n_dirs} directions after {self.max_escalations} escalations"
-        )
+        raise AssertionError("unreachable")
 
     def run(self, rng: Optional[np.random.Generator] = None) -> EstimateResult:
         """Full two-stage estimation."""

@@ -21,9 +21,31 @@ step* instead of a per-circuit rewrite:
   columns.  ``kernel="reference"`` instead calls ``MosfetModel.ids``
   device by device inside the *same* step loop: the transparent
   cross-check, pinned against the fused path by the test suite.
-* **Incidence-matmul assembly.**  Residual and Jacobian contributions
-  are assembled by two precomputed incidence matrices (``F += S @ ids``,
-  ``J += (M @ G_stack).reshape(nu, nu, -1)``), not per-device Python.
+* **Precomputed assembly, dense or sparse.**  Residual and Jacobian
+  contributions are assembled by two precomputed incidence matrices
+  (``F += S @ ids``, ``J += (M @ G_stack).reshape(nu, nu, -1)``), not
+  per-device Python.  The Jacobian matmul is *quadratic* in the node
+  count (``nu²`` rows for a linear number of device stamps) — fine to a
+  few dozen unknowns, pure waste beyond.  The ``assembly="sparse"``
+  pass (auto-selected above :data:`SPARSE_ASSEMBLY_THRESHOLD` unknowns)
+  instead scatters the COO-style device stamps through precomputed
+  index *rounds* — each round touches every Jacobian entry at most
+  once, so a plain fancy ``out[rows] += src[cols]`` accumulates without
+  collisions, and the per-entry accumulation order reproduces the dense
+  inner products bit-for-bit (the stamp values are exact ±1, so only
+  addition order matters, and rounds apply stamps in the matmul's
+  k-ascending order).  The residual matmul is linear in the node count
+  and stays shared by both paths, so the sparse pass is bit-equal to
+  the dense one, which stays selectable as the permanent cross-check.
+* **Structure-exploiting solves.**  Above 4 unknowns the compiler also
+  inspects the Jacobian's compile-time sparsity pattern: when it is
+  bordered-block-diagonal (a column: leaker pairs touching only the two
+  bitlines), the fused path solves through a batched Schur complement
+  (:class:`_SchurSolver`) — block solves folded onto the unrolled
+  eliminations, a tiny border system, vectorised back-substitution —
+  instead of the cubic blocked elimination.  The solver choice is
+  independent of the assembly choice, and the reference kernel keeps
+  ``np.linalg.solve`` as the cross-check for both.
 * **``solveN``.**  Batched dense solves over ``(nu, nu, n)`` stacks:
   fully unrolled closed-form elimination for ``nu <= 4`` (PR 2's
   ``solve4`` generalised down to 1) and blocked in-place elimination
@@ -79,11 +101,67 @@ __all__ = [
     "transient_grid",
     "solveN",
     "solve4",
+    "SPARSE_ASSEMBLY_THRESHOLD",
 ]
 
 # Smoothing epsilons — must match MosfetModel.ids exactly.
 _EPS_RELU = 1e-3
 _EPS_ABS = 5e-3
+
+#: Unknown-node count above which ``assembly="auto"`` switches from the
+#: dense incidence matmuls to the scatter-stamp pass.  At or below this
+#: the matmuls are small enough that BLAS wins; above it the dense
+#: Jacobian assembly is the dominant per-iteration cost (quadratic in
+#: the node count for a linear number of stamps).
+SPARSE_ASSEMBLY_THRESHOLD = 8
+
+#: Active-sample count below which the sparse pass delegates the
+#: Jacobian to the dense matmul.  BLAS switches to gemv-style kernels on
+#: very skinny right-hand sides and those reduce the inner dimension in
+#: a different order, so the scatter rounds would no longer be
+#: bit-equal; at these sizes the matmul costs next to nothing, so
+#: delegating keeps the bit-equality guarantee without giving up any of
+#: the bulk speedup.
+_SPARSE_MIN_BATCH = 16
+
+
+def _scatter_rounds(mat: np.ndarray):
+    """Decompose an incidence matrix into collision-free scatter rounds.
+
+    ``mat`` is a stamp matrix with entries in ``{0, +1, -1}`` (the
+    compiler's ``S`` and ``M`` matrices are built that way: each
+    (entry, column) pair is stamped at most once, and a +1/-1 collision
+    cancels to an exact 0 which ``np.nonzero`` drops).  The result is a
+    list of rounds ``(rows_pos, cols_pos, rows_neg, cols_neg)``: round
+    ``r`` holds the ``r``-th nonzero (in ascending column order) of each
+    row, so within a round every target row is unique and a buffered
+    fancy ``out[rows] += src[cols]`` is collision-free.  Applying the
+    rounds in order accumulates each output entry in ascending-column
+    order — the same order the BLAS matmul kernels reduce the inner
+    dimension, which is what makes the sparse pass bit-equal to the
+    dense one (stamp determinism; the ±1 products are exact, so only
+    addition order can differ, and it does not).
+    """
+    rows, cols = np.nonzero(mat)
+    vals = mat[rows, cols]
+    if not np.all(np.abs(vals) == 1.0):
+        raise SimulationError(
+            "scatter assembly requires pure ±1 stamps; got values "
+            f"{sorted(set(vals.tolist()))}"
+        )
+    rounds = []
+    if rows.size == 0:
+        return rounds
+    # np.nonzero returns row-major order: within each row, columns ascend.
+    first = np.r_[0, np.flatnonzero(np.diff(rows)) + 1]
+    counts = np.diff(np.r_[first, rows.size])
+    rank = np.arange(rows.size) - np.repeat(first, counts)
+    for r in range(int(rank.max()) + 1):
+        sel = rank == r
+        rr, cc, vv = rows[sel], cols[sel], vals[sel]
+        pos = vv > 0
+        rounds.append((rr[pos], cc[pos], rr[~pos], cc[~pos]))
+    return rounds
 
 
 # ----------------------------------------------------------------------
@@ -297,6 +375,137 @@ def _solve_blocked(a: np.ndarray, b: np.ndarray, min_pivot: float) -> np.ndarray
 
 _UNROLLED_SOLVERS = {1: solve1, 2: solve2, 3: solve3, 4: solve4}
 
+#: Caps for the compile-time Schur decomposition: interior blocks must
+#: fold onto the unrolled solvers, the border system too.
+_SCHUR_MAX_BLOCK = 4
+_SCHUR_MAX_BORDER = 4
+
+
+class _SchurSolver:
+    """Structure-exploiting batched solve for bordered-block-diagonal systems.
+
+    Large compiled circuits are rarely dense: a column's leaker cells
+    couple only to their partner node and the two bitlines, so after
+    removing a small *border* set (the bitlines) the Jacobian graph falls
+    apart into tiny independent blocks.  This solver finds that structure
+    once at compile time — a greedy peel: while some connected component
+    of the non-border graph exceeds :data:`_SCHUR_MAX_BLOCK` nodes, move
+    its highest-degree node into the border (deterministic, ties broken
+    by node index) — and then solves every batch through the Schur
+    complement: block solves folded over (block, rhs, sample) onto the
+    unrolled :func:`solveN` kernels, a ``<= 4``-unknown border system,
+    and a vectorised back-substitution.  Cost is linear in the node
+    count instead of cubic, and every path keeps the pivot guard with
+    the LAPACK rescue.
+
+    Construction raises :class:`SimulationError` when the pattern does
+    not decompose within the border cap; callers fall back to the
+    generic blocked elimination.
+    """
+
+    def __init__(self, pattern: np.ndarray, min_pivot: float):
+        nu = pattern.shape[0]
+        adj = (pattern | pattern.T)
+        np.fill_diagonal(adj, False)
+        degree = adj.sum(axis=1)
+
+        border: List[int] = []
+        while True:
+            comps = self._components(adj, border)
+            big = [c for c in comps if len(c) > _SCHUR_MAX_BLOCK]
+            if not big:
+                break
+            if len(border) >= _SCHUR_MAX_BORDER:
+                raise SimulationError(
+                    "schur: pattern does not decompose within the border cap"
+                )
+            cand = np.concatenate(big)
+            border.append(int(cand[np.argmax(degree[cand])]))
+        if not comps or not border:
+            # Fully decoupled or trivially small systems are not worth a
+            # dedicated path; the generic solver handles them.
+            raise SimulationError("schur: no bordered structure to exploit")
+
+        self.min_pivot = float(min_pivot)
+        self.h = np.array(sorted(border), dtype=int)
+        groups: Dict[int, List[np.ndarray]] = {}
+        for comp in comps:
+            groups.setdefault(len(comp), []).append(np.sort(comp))
+        # Deterministic group order: by block size, blocks by first node.
+        self.groups = []
+        for s in sorted(groups):
+            nodes = np.stack(sorted(groups[s], key=lambda c: int(c[0])))
+            self.groups.append((s, nodes))
+
+    @staticmethod
+    def _components(adj: np.ndarray, border: List[int]) -> List[np.ndarray]:
+        nu = adj.shape[0]
+        alive = np.ones(nu, dtype=bool)
+        alive[list(border)] = False
+        seen = np.zeros(nu, dtype=bool)
+        comps = []
+        for start in range(nu):
+            if not alive[start] or seen[start]:
+                continue
+            comp = [start]
+            seen[start] = True
+            stack = [start]
+            while stack:
+                node = stack.pop()
+                for nb in np.flatnonzero(adj[node] & alive & ~seen):
+                    seen[nb] = True
+                    comp.append(int(nb))
+                    stack.append(int(nb))
+            comps.append(np.array(sorted(comp), dtype=int))
+        return comps
+
+    def solve(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Solve ``a[:, :, i] @ x[:, i] = b[:, i]`` through the Schur path."""
+        h_idx = self.h
+        h = h_idx.size
+        m = a.shape[2]
+        min_pivot = self.min_pivot
+        x = np.empty_like(b)
+
+        b_h = b[h_idx].copy()
+        schur = a[h_idx[:, None], h_idx[None, :]].copy()     # (h, h, m)
+        saved = []
+        for s, nodes in self.groups:
+            nc = nodes.shape[0]
+            d_blk = a[nodes[:, :, None], nodes[:, None, :]]   # (nc, s, s, m)
+            c_blk = a[nodes[:, :, None], h_idx[None, None, :]]  # (nc, s, h, m)
+            r_blk = a[h_idx[None, :, None], nodes[:, None, :]]  # (nc, h, s, m)
+            b_d = b[nodes]                                    # (nc, s, m)
+
+            # Solve D z = [b_D | C] with the rhs axis folded into the
+            # sample axis: (s, s, nc * (1 + h) * m) hits the unrolled
+            # closed-form eliminations for s <= 4.
+            r = 1 + h
+            rhs = np.concatenate([b_d[:, :, None, :], c_blk], axis=2)
+            rhs_f = np.ascontiguousarray(
+                rhs.transpose(1, 0, 2, 3)
+            ).reshape(s, nc * r * m)
+            d_f = np.ascontiguousarray(
+                np.broadcast_to(
+                    d_blk.transpose(1, 2, 0, 3)[:, :, :, None, :],
+                    (s, s, nc, r, m),
+                )
+            ).reshape(s, s, nc * r * m)
+            z = solveN(d_f, rhs_f, min_pivot).reshape(s, nc, r, m)
+            z_b = z[:, :, 0, :]                               # (s, nc, m)
+            z_c = z[:, :, 1:, :]                              # (s, nc, h, m)
+
+            schur -= np.einsum("npsm,snqm->pqm", r_blk, z_c)
+            b_h -= np.einsum("npsm,snm->pm", r_blk, z_b)
+            saved.append((nodes, z_b, z_c))
+
+        x_h = solveN(schur, b_h, min_pivot)
+        x[h_idx] = x_h
+        for nodes, z_b, z_c in saved:
+            x_d = z_b - np.einsum("snpm,pm->snm", z_c, x_h)
+            x[nodes] = x_d.transpose(1, 0, 2)
+        return x
+
 
 def solveN(a: np.ndarray, b: np.ndarray, min_pivot: float = 1e-18) -> np.ndarray:
     """Batched dense solve of ``a[:, :, i] @ x[:, i] = b[:, i]``.
@@ -428,6 +637,13 @@ class CompiledTransient:
         :func:`solveN`; ``"reference"`` — per-device
         :meth:`MosfetModel.ids` calls and ``np.linalg.solve`` inside the
         same step loop (slower, maximally transparent).
+    assembly:
+        ``"dense"`` — residual/Jacobian assembly through the incidence
+        matmuls; ``"sparse"`` — precomputed scatter-stamp rounds,
+        bit-equal to the dense pass but linear (not quadratic) in the
+        node count; ``"auto"`` (default) — sparse above
+        :data:`SPARSE_ASSEMBLY_THRESHOLD` unknowns, dense at or below.
+        The resolved choice is exposed as :attr:`assembly`.
     newton_max_iter / newton_tol / max_step / min_pivot:
         Damped-Newton controls (defaults match the batched 6T engine).
     clip:
@@ -447,6 +663,7 @@ class CompiledTransient:
         grid: np.ndarray,
         probes: Sequence[object] = (),
         kernel: str = "fast",
+        assembly: str = "auto",
         newton_max_iter: int = 40,
         newton_tol: float = 5e-8,
         max_step: float = 0.4,
@@ -456,6 +673,10 @@ class CompiledTransient:
         if kernel not in ("fast", "reference"):
             raise SimulationError(
                 f"kernel must be 'fast' or 'reference', got {kernel!r}"
+            )
+        if assembly not in ("auto", "dense", "sparse"):
+            raise SimulationError(
+                f"assembly must be 'auto', 'dense' or 'sparse', got {assembly!r}"
             )
         self.circuit = circuit
         self.kernel = kernel
@@ -468,8 +689,15 @@ class CompiledTransient:
             raise SimulationError("grid must be a strictly increasing 1-D array")
 
         self._partition_nodes()
+        if assembly == "auto":
+            assembly = (
+                "sparse" if self.n_unknowns > SPARSE_ASSEMBLY_THRESHOLD
+                else "dense"
+            )
+        self.assembly = assembly
         self._build_linear_tables()
         self._build_device_tables()
+        self._build_solver()
         self._build_plan()
         if clip is None:
             lo = min(0.0, float(self._rail_vals.min())) - 0.4
@@ -676,6 +904,40 @@ class CompiledTransient:
                     m_mat[rs * nu + rt, g_kind * n_dev + k] -= 1.0
         self._s_mat = s_mat
         self._m_mat = m_mat
+        # The sparse pass scatters only the Jacobian: its dense assembly
+        # is quadratic in the node count (nu² rows against 4·n_dev
+        # columns), while the residual matmul is linear (nu rows) — not
+        # worth trading the exact-op bit-equality for.
+        self._jac_rounds = (
+            _scatter_rounds(m_mat) if self.assembly == "sparse" else None
+        )
+
+    def _build_solver(self) -> None:
+        """Pick the batched solver for the fused path.
+
+        At or below 4 unknowns the fully unrolled eliminations are
+        unbeatable.  Above, try the Schur decomposition on the Jacobian's
+        compile-time sparsity pattern (linear elements plus device
+        stamps); when the pattern does not decompose, the generic
+        blocked elimination in :func:`solveN` remains the fallback.  The
+        choice is per-compile and independent of the assembly pass, so
+        ``assembly="sparse"`` and ``assembly="dense"`` always run the
+        identical solver on identical inputs.  The reference kernel
+        keeps its row-pivoted ``np.linalg.solve`` either way — it stays
+        the cross-check for the structured solve too.
+        """
+        self._schur = None
+        nu = self.n_unknowns
+        if nu <= 4:
+            return
+        pattern = (self.cmat != 0.0) | (self._gmat != 0.0)
+        entries = np.unique(np.nonzero(self._m_mat)[0])
+        pattern[entries // nu, entries % nu] = True
+        np.fill_diagonal(pattern, True)
+        try:
+            self._schur = _SchurSolver(pattern, self.min_pivot)
+        except SimulationError:
+            self._schur = None
 
     def _build_plan(self) -> None:
         """Per-step constant tables over the fixed grid."""
@@ -1059,8 +1321,11 @@ class CompiledTransient:
         if has_g and g_is_diag:
             g_diag_col = plan.g_diag[:, None]
         gmat = self._gmat
+        sparse = self.assembly == "sparse"
         s_mat = self._s_mat
         m_mat = self._m_mat
+        jac_rounds = self._jac_rounds
+        schur = self._schur
         n_sample_steps = 0
 
         for step in range(plan.n_steps):
@@ -1111,10 +1376,29 @@ class CompiledTransient:
                     else:
                         f += gmat @ y_sub
                         f -= g_rhs_col
-                jac = (m_mat @ g_stack).reshape(nu, nu, -1)
+                if sparse and ids.shape[1] >= _SPARSE_MIN_BATCH:
+                    jac = np.zeros((nu * nu, ids.shape[1]))
+                    for rp, cp, rm, cm in jac_rounds:
+                        if rp.size:
+                            jac[rp] += g_stack[cp]
+                        if rm.size:
+                            jac[rm] -= g_stack[cm]
+                    jac = jac.reshape(nu, nu, -1)
+                else:
+                    jac = (m_mat @ g_stack).reshape(nu, nu, -1)
                 jac += base_jac
                 if fused:
-                    delta = solveN(jac, -f, min_pivot)
+                    if schur is not None:
+                        try:
+                            delta = schur.solve(jac, -f)
+                        except np.linalg.LinAlgError:
+                            # An exactly singular interior block defeats
+                            # the block elimination even when the full
+                            # matrix is solvable; the generic path
+                            # recovers those pathological samples.
+                            delta = solveN(jac, -f, min_pivot)
+                    else:
+                        delta = solveN(jac, -f, min_pivot)
                 else:
                     delta = np.linalg.solve(
                         np.ascontiguousarray(jac.transpose(2, 0, 1)),
@@ -1204,6 +1488,7 @@ class CompiledTransient:
     def __repr__(self) -> str:
         return (
             f"CompiledTransient({self.circuit.title!r}, kernel={self.kernel!r}, "
-            f"unknowns={self.n_unknowns}, devices={self.n_devices}, "
-            f"rails={self.rail_names}, steps={self._plan.n_steps})"
+            f"assembly={self.assembly!r}, unknowns={self.n_unknowns}, "
+            f"devices={self.n_devices}, rails={self.rail_names}, "
+            f"steps={self._plan.n_steps})"
         )

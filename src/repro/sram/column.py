@@ -18,6 +18,14 @@ It deliberately lives on the general engine (not the batched one): the
 column is where topology *changes* with configuration, which is exactly
 what the general engine is for.  The batched engine's ``cbl`` lump is
 calibrated from this model in ``tests/sram/test_column.py``.
+
+Since the compiler grew its sparse assembly pass and structured solves,
+the column is also a first-class *sampled* workload:
+:meth:`ReadColumn.access_times_batch` bulk-evaluates read access times
+over per-cell threshold shifts — the accessed cell *and* every leaker —
+so importance sampling can explore the full ``6 * (n_leakers + 1)``
+dimensional variation space of the column (see
+``make_column_read_limitstate`` in :mod:`repro.experiments.workloads`).
 """
 
 from __future__ import annotations
@@ -148,6 +156,15 @@ class ReadColumn:
         """MOSFET names of the accessed cell (for variation targeting)."""
         return cell_device_names("_a")
 
+    def all_device_names(self) -> List[str]:
+        """Every cell MOSFET on the column, accessed cell first, then the
+        leakers in build order — each in canonical per-cell order.  This
+        is the column order of the bulk variation matrices."""
+        names = cell_device_names("_a")
+        for k in range(self.config.n_leakers):
+            names.extend(cell_device_names(f"_l{k}"))
+        return names
+
     def simulate(self, delta_vth: Optional[Dict[str, float]] = None) -> TransientResult:
         """One transient; ``delta_vth`` maps device names to shifts in volts."""
         applied = []
@@ -185,19 +202,23 @@ class ReadColumn:
         t = self.timing
         return t.wl_delay + t.wl_rise + t.wl_width + t.wl_fall
 
-    def compiled(self, n_steps: int = 400, kernel: str = "fast") -> CompiledTransient:
+    def compiled(
+        self, n_steps: int = 400, kernel: str = "fast", assembly: str = "auto"
+    ) -> CompiledTransient:
         """The whole column compiled into one batched kernel (cached).
 
         Every cell — accessed and leakers — integrates as unknowns
         (``4 + 2 * n_leakers`` nodes), so the compiled path sees exactly
-        the leakage topology the scalar column simulates; the solves run
-        through the blocked elimination branch of
-        :func:`~repro.spice.compile.solveN`.  Note the per-iteration
-        Jacobian assembly is dense in the node count: columns beyond a
-        few dozen leakers want a sparse assembly pass (ROADMAP item)
-        before this becomes the bulk-sampling path.
+        the leakage topology the scalar column simulates.  Above the
+        compiler's node-count threshold the Jacobian assembles through
+        the sparse scatter-stamp pass (bit-equal to the dense matmuls,
+        which stay selectable via ``assembly="dense"``), and the solves
+        run through the batched Schur complement the compiler derives
+        from the column's bordered-block structure — this is what makes
+        the column a bulk-sampling workload rather than a per-sample
+        curiosity.
         """
-        key = (int(n_steps), kernel)
+        key = (int(n_steps), kernel, assembly)
         ct = self._compiled.get(key)
         if ct is None:
             t_fall = self._t_wl_fall()
@@ -215,23 +236,73 @@ class ReadColumn:
                                t=t_fall),
                 ),
                 kernel=kernel,
+                assembly=assembly,
             )
             self._compiled[key] = ct
         return ct
 
-    def _accessed_vth_dict(self, delta_vth, n: int):
-        """Accept a dict of device names or an ``(n, 6)`` matrix over the
-        accessed cell's devices in canonical order."""
+    @staticmethod
+    def _batch_n(delta_vth) -> int:
+        """Sample count implied by a dict or matrix variation spec."""
+        if isinstance(delta_vth, dict):
+            return max(np.atleast_1d(np.asarray(v)).size for v in delta_vth.values())
+        return np.atleast_2d(np.asarray(delta_vth, dtype=float)).shape[0]
+
+    @staticmethod
+    def _vth_dict(delta_vth, n: int, names: List[str], what: str):
+        """Accept a dict of device names or an ``(n, len(names))`` matrix."""
         if delta_vth is None or isinstance(delta_vth, dict):
             return delta_vth
         arr = np.atleast_2d(np.asarray(delta_vth, dtype=float))
-        names = self.accessed_device_names()
         if arr.shape != (n, len(names)):
             raise ValueError(
                 f"column delta_vth matrix shape {arr.shape} != ({n}, {len(names)}) "
-                f"over {names}"
+                f"over {what}"
             )
         return {name: arr[:, j] for j, name in enumerate(names)}
+
+    def access_times_batch(
+        self,
+        delta_vth,
+        n_steps: int = 400,
+        kernel: str = "fast",
+        assembly: str = "auto",
+        penalty_per_volt: float = 20e-9,
+    ) -> np.ndarray:
+        """Bulk read access times over per-cell threshold shifts.
+
+        ``delta_vth`` is a dict of device names to per-sample arrays or
+        an ``(n, 6 * (n_leakers + 1))`` matrix over
+        :meth:`all_device_names` — the accessed cell *and* every leaker
+        carry variation, which is what makes the column the
+        dimension-scaling workload.  The metric matches the batched 6T
+        engine's convention: time from the wordline half-swing to the
+        bitline differential reaching ``dv_spec``; samples that never
+        develop the differential get the continuous shortfall penalty
+        ``(t_stop - t_wl) + (dv_spec - diff_final) * penalty_per_volt``
+        so search methods keep a gradient to climb.
+        """
+        n = self._batch_n(delta_vth)
+        ct = self.compiled(n_steps=n_steps, kernel=kernel, assembly=assembly)
+        res = ct.run(
+            ic=self._initial_conditions(),
+            n=n,
+            delta_vth=self._vth_dict(
+                delta_vth, n, self.all_device_names(),
+                "the accessed cell plus leakers (all_device_names order)",
+            ),
+        )
+        self.n_simulations += n
+
+        t = self.timing
+        t_wl_mid = t.wl_delay + 0.5 * t.wl_rise
+        found = ~np.isnan(res.cross["access"])
+        metric = np.empty(n)
+        metric[found] = res.cross["access"][found] - t_wl_mid
+        diff_final = res.final["blb"][~found] - res.final["bl"][~found]
+        shortfall = self.dv_spec - diff_final
+        metric[~found] = (t.t_stop - t_wl_mid) + shortfall * penalty_per_volt
+        return metric
 
     def differential_at_wl_fall_batch(
         self,
@@ -244,15 +315,15 @@ class ReadColumn:
         ``delta_vth`` is a dict of device names to per-sample arrays or
         an ``(n, 6)`` matrix over :meth:`accessed_device_names`.
         """
-        if isinstance(delta_vth, dict):
-            n = max(np.atleast_1d(np.asarray(v)).size for v in delta_vth.values())
-        else:
-            n = np.atleast_2d(np.asarray(delta_vth, dtype=float)).shape[0]
+        n = self._batch_n(delta_vth)
         ct = self.compiled(n_steps=n_steps, kernel=kernel)
         res = ct.run(
             ic=self._initial_conditions(),
             n=n,
-            delta_vth=self._accessed_vth_dict(delta_vth, n),
+            delta_vth=self._vth_dict(
+                delta_vth, n, self.accessed_device_names(),
+                "the accessed cell (canonical order)",
+            ),
         )
         self.n_simulations += n
         return res.value["diff_at_wl_fall"]

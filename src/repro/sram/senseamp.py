@@ -267,30 +267,52 @@ class SenseAmp:
         n_bisect: int = 10,
         n_steps: int = 260,
         kernel: str = "fast",
+        on_unresolvable: str = "raise",
     ) -> np.ndarray:
         """Batched :meth:`offset`: all samples bisect simultaneously.
 
         Runs ``n_bisect + 2`` compiled transients total (versus that many
         scalar transients *per sample* on the reference path).  Mirrors
-        the scalar bisection exactly: samples that cannot resolve even
-        ``dv_max`` raise, samples that resolve ``-dv_max`` report the
-        bracket edge.
+        the scalar bisection: samples that resolve ``-dv_max`` report the
+        bracket edge; samples that cannot resolve even ``dv_max`` follow
+        ``on_unresolvable`` — ``"raise"`` (the scalar behaviour: such a
+        latch is outside the measurement range, treat it as a setup
+        error) or ``"saturate"`` (report ``offset = +inf`` for those
+        samples and keep bisecting the rest: a deep-tail sample then
+        counts as an unconditional failure downstream instead of killing
+        the whole bulk batch — the behaviour high-sigma sampling needs).
         """
+        if on_unresolvable not in ("raise", "saturate"):
+            raise MeasurementError(
+                "on_unresolvable must be 'raise' or 'saturate', got "
+                f"{on_unresolvable!r}"
+            )
         delta_vth = self._sa_vth_dict(
             delta_vth, np.atleast_2d(np.asarray(delta_vth)).shape[0]
         ) if not isinstance(delta_vth, dict) else delta_vth
         n = None
-        for v in (delta_vth or {}).values():
-            v = np.atleast_1d(np.asarray(v))
-            n = v.size if n is None else max(n, v.size)
+        array_sizes = {}
+        for name, v in (delta_vth or {}).items():
+            size = np.atleast_1d(np.asarray(v)).size
+            if size > 1:
+                array_sizes[name] = size
+            n = size if n is None else max(n, size)
         if n is None:
             raise MeasurementError("offset_batch needs per-sample threshold shifts")
+        if len(set(array_sizes.values())) > 1:
+            # Silent max-size broadcasting would wire shorter arrays to
+            # the wrong samples; a shape disagreement is always a bug.
+            raise MeasurementError(
+                "offset_batch: per-device threshold arrays disagree on the "
+                f"sample count: { {k: v for k, v in sorted(array_sizes.items())} }"
+            )
 
         hi = np.full(n, float(dv_max))
         lo = -hi.copy()
         correct_hi, _ = self.resolve_batch(hi, delta_vth, n_steps, kernel)
-        if not correct_hi.all():
-            bad = int((~correct_hi).sum())
+        unresolvable = ~correct_hi
+        if unresolvable.any() and on_unresolvable == "raise":
+            bad = int(unresolvable.sum())
             raise MeasurementError(
                 f"{bad} of {n} samples cannot resolve even dv={dv_max} V; "
                 "offset beyond range"
@@ -304,6 +326,7 @@ class SenseAmp:
             lo = np.where(correct, lo, mid)
         out = 0.5 * (lo + hi)
         out[at_edge] = -float(dv_max)
+        out[unresolvable] = np.inf
         return out
 
     def offset(

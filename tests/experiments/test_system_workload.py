@@ -70,6 +70,45 @@ class TestCoupling:
         assert system_ls.g(u) < min(system_ls.g(cell_only), system_ls.g(sa_only))
 
 
+class TestDeepTailLatchBatch:
+    """The headline bugfix: one unresolvable deep-tail sample must not
+    abort a bulk latch-model batch — it saturates and counts as failure."""
+
+    @pytest.fixture(scope="class")
+    def latch_ls(self):
+        return make_system_read_limitstate(
+            spec=55e-12, n_steps=200, sa_model="latch", sa_dv_max=0.1
+        )
+
+    def test_mixed_batch_completes_and_counts_failure(self, latch_ls):
+        rng = np.random.default_rng(5)
+        ub = rng.normal(0.0, 0.5, size=(6, 10))
+        ub[2, 6:] = [25.0, 0.0, -25.0, 0.0]   # offset far beyond sa_dv_max
+        g = latch_ls.g_batch(ub)
+        assert np.isneginf(g[2])              # unconditional failure
+        assert np.isfinite(g[[0, 1, 3, 4, 5]]).all()
+
+    def test_deep_tail_does_not_perturb_neighbours(self, latch_ls):
+        rng = np.random.default_rng(6)
+        ub = rng.normal(0.0, 0.5, size=(4, 10))
+        g_clean = latch_ls.g_batch(ub)
+        mixed = np.vstack([ub[:2], [[0.0] * 6 + [25.0, 0.0, -25.0, 0.0]], ub[2:]])
+        g_mixed = latch_ls.g_batch(mixed)
+        np.testing.assert_array_equal(g_mixed[[0, 1, 3, 4]], g_clean)
+
+    def test_strict_mode_still_aborts(self):
+        from repro.errors import MeasurementError
+
+        strict = make_system_read_limitstate(
+            spec=55e-12, n_steps=200, sa_model="latch", sa_dv_max=0.1,
+            sa_on_unresolvable="raise",
+        )
+        ub = np.zeros((2, 10))
+        ub[1, 6:] = [25.0, 0.0, -25.0, 0.0]
+        with pytest.raises(MeasurementError, match="cannot resolve"):
+            strict.g_batch(ub)
+
+
 class TestEstimation:
     def test_gis_runs_on_ten_dims(self, system_ls):
         from repro.highsigma.gis import GradientImportanceSampling

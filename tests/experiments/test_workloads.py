@@ -7,6 +7,8 @@ from repro.experiments.workloads import (
     analytic_grid_workloads,
     calibrate_read_spec,
     cell_variation_space,
+    column_variation_space,
+    make_column_read_limitstate,
     make_disturb_limitstate,
     make_read_limitstate,
     make_senseamp_offset_limitstate,
@@ -126,6 +128,49 @@ class TestCompiledWorkloads:
 
         with pytest.raises(SimulationError):
             make_system_read_limitstate(60e-12, sa_model="cubic")
+
+
+class TestColumnWorkload:
+    """The dimension-scaling column workload on the compiled sparse path."""
+
+    @pytest.fixture(scope="class")
+    def ls(self):
+        return make_column_read_limitstate(6e-11, n_leakers=2, n_steps=200)
+
+    def test_dim_scales_with_leakers(self, ls):
+        assert ls.dim == 18
+        assert make_column_read_limitstate(6e-11, n_leakers=5, n_steps=64).dim == 36
+
+    def test_variation_space_order_matches_column(self):
+        from repro.sram.column import ColumnConfig, ReadColumn
+
+        space = column_variation_space(n_leakers=2)
+        column = ReadColumn(config=ColumnConfig(n_leakers=2))
+        assert [a.device for a in space.axes] == column.all_device_names()
+
+    def test_nominal_passes(self, ls):
+        assert ls.g(np.zeros(ls.dim)) > 0
+
+    def test_batch_matches_scalar(self, ls):
+        rng = np.random.default_rng(7)
+        ub = rng.normal(size=(3, ls.dim))
+        np.testing.assert_allclose(
+            ls.g_batch(ub), [ls.g(u) for u in ub], rtol=1e-9
+        )
+
+    def test_accessed_cell_axis_dominates(self, ls):
+        # +3 sigma on the accessed pass gate (axis 2) must cost far more
+        # margin than +3 sigma on a leaker's pull-up (axis 6).
+        u_access, u_leak = np.zeros(ls.dim), np.zeros(ls.dim)
+        u_access[2] = 3.0
+        u_leak[6] = 3.0
+        g0 = ls.g(np.zeros(ls.dim))
+        assert ls.g(u_access) < ls.g(u_leak)
+        assert ls.g(u_access) < g0
+
+    def test_bad_leaker_data_rejected(self):
+        with pytest.raises(ValueError, match="leaker_data"):
+            make_column_read_limitstate(6e-11, n_leakers=2, leaker_data="typo")
 
 
 class TestCalibration:

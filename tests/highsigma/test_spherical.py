@@ -42,6 +42,35 @@ class TestSearch:
         with pytest.raises(SearchError):
             sph.search_centre(np.random.default_rng(3))
 
+    def test_failure_message_reports_values_actually_used(self):
+        # One escalation quadruples the directions (4 -> 16) and widens
+        # the ceiling (3.0 -> 4.5); the error must report *those* values,
+        # not the never-attempted next escalation's 64 / 6.75.
+        ls = LimitState(fn=lambda u: 0.0, spec=1.0, dim=3, direction="upper",
+                        name="never-fails", cache=False)
+        sph = SphericalSearchIS(ls, n_directions=4, r_max=3.0, max_escalations=1)
+        with pytest.raises(SearchError, match=r"radius 4\.5 using 16 directions"):
+            sph.search_centre(np.random.default_rng(3))
+
+    def test_smallest_g_direction_selected(self):
+        # Two fixed probe directions, both failing at the first shell but
+        # with different margins: the bisection must follow the deeper
+        # one (the second), not simply the first failing row.
+        class FixedDirections:
+            def standard_normal(self, shape):
+                assert shape == (2, 2)
+                return np.array([[1.0, 0.0], [0.0, 1.0]])
+
+        # g(u) = 1 - (u0 + 2 u1): at r=1, dir (1,0) sits exactly on the
+        # boundary (g = 0) while dir (0,1) is well inside (g = -1).
+        ls = LimitState(
+            fn=None, batch_fn=lambda u: 1.0 - (u[:, 0] + 2.0 * u[:, 1]),
+            spec=0.0, dim=2, direction="lower", cache=False,
+        )
+        sph = SphericalSearchIS(ls, n_directions=2, r_start=1.0, r_step=0.5)
+        centre, radius = sph.search_centre(FixedDirections())
+        np.testing.assert_allclose(centre / radius, [0.0, 1.0], atol=1e-12)
+
 
 class TestEstimation:
     def test_hypersphere_estimate(self):

@@ -18,6 +18,7 @@ from repro.spice.compile import (
     PeakProbe,
     RetirePolicy,
     ValueProbe,
+    _SchurSolver,
     solveN,
     transient_grid,
 )
@@ -190,6 +191,142 @@ class TestRunValidation:
         )
         with pytest.raises(SimulationError, match="unknown cross probe"):
             ct.run(ic={"out": 1.0}, n=4, retire=RetirePolicy("zzz", after=0.5e-9))
+
+
+def _compiled_pair(circuit, grid, probes, **kwargs):
+    """The same compile with dense and with sparse assembly."""
+    return tuple(
+        CompiledTransient(circuit, grid=grid, probes=probes, kernel="fast",
+                          assembly=asm, **kwargs)
+        for asm in ("dense", "sparse")
+    )
+
+
+def _assert_runs_bit_equal(res_d, res_s):
+    for name in res_d.final:
+        np.testing.assert_array_equal(res_d.final[name], res_s.final[name])
+    for name in res_d.cross:
+        np.testing.assert_array_equal(res_d.cross[name], res_s.cross[name])
+    for name in res_d.peak:
+        np.testing.assert_array_equal(res_d.peak[name], res_s.peak[name])
+    np.testing.assert_array_equal(res_d.converged, res_s.converged)
+
+
+class TestSparseAssembly:
+    """The sparse scatter-stamp pass against the dense incidence matmuls.
+
+    The contract is *bit-equality*, not tolerance: the stamps are exact
+    ±1 and the rounds replay the matmuls' accumulation order, so any
+    difference at all means the pass is wrong (see the stamp-determinism
+    invariant in ROADMAP.md).
+    """
+
+    def test_bad_assembly_rejected(self):
+        with pytest.raises(SimulationError, match="assembly"):
+            CompiledTransient(_rc_circuit(), grid=transient_grid(1e-9, n_steps=32),
+                              assembly="coo")
+
+    def test_auto_selects_by_node_count(self):
+        from repro.sram.column import ColumnConfig, ReadColumn
+
+        small = CompiledTransient(_rc_circuit(),
+                                  grid=transient_grid(1e-9, n_steps=32))
+        assert small.assembly == "dense"
+        column = ReadColumn(config=ColumnConfig(n_leakers=3)).compiled(n_steps=64)
+        assert column.n_unknowns == 10
+        assert column.assembly == "sparse"
+
+    def test_bit_equal_on_6t(self):
+        eng = Batched6T(n_steps=140)
+        base = eng._fast_kernel._compiled_for("read")
+        probes = (CrossProbe("cross", {"blb": 1.0, "bl": -1.0},
+                             offset=-eng.dv_spec),
+                  PeakProbe("q_peak", "q"))
+        dense, sparse = _compiled_pair(base.circuit, base.grid, probes,
+                                       clip=(-0.4, eng.vdd + 0.4))
+        rng = np.random.default_rng(10)
+        dvth = rng.normal(0.0, 0.04, size=(48, 6))
+        ic = {"q": 0.0, "qb": eng.vdd, "bl": eng.vdd, "blb": eng.vdd}
+        _assert_runs_bit_equal(
+            dense.run(ic=ic, n=48, delta_vth=dvth),
+            sparse.run(ic=ic, n=48, delta_vth=dvth),
+        )
+
+    def test_bit_equal_on_latch(self):
+        from repro.sram.senseamp import SenseAmp
+
+        sense = SenseAmp()
+        base = sense.compiled(n_steps=200)
+        probes = (CrossProbe("win_correct", {"soutb": 1.0, "sout": -1.0},
+                             offset=-0.5 * sense.vdd),)
+        dense, sparse = _compiled_pair(base.circuit, base.grid, probes)
+        rng = np.random.default_rng(11)
+        dvth = {"m_sn_l": rng.normal(0.0, 0.03, 40),
+                "m_sn_r": rng.normal(0.0, 0.03, 40)}
+        ic = {"sout": sense.vdd - 0.1, "soutb": sense.vdd, "tail": 0.0}
+        _assert_runs_bit_equal(
+            dense.run(ic=ic, n=40, delta_vth=dvth),
+            sparse.run(ic=ic, n=40, delta_vth=dvth),
+        )
+
+    def test_bit_equal_on_column(self):
+        from repro.sram.column import ColumnConfig, ReadColumn
+
+        column = ReadColumn(config=ColumnConfig(n_leakers=3))
+        rng = np.random.default_rng(12)
+        dvth = rng.normal(0.0, 0.03, size=(32, 24))
+        d = column.access_times_batch(dvth, n_steps=160, assembly="dense")
+        s = column.access_times_batch(dvth, n_steps=160, assembly="sparse")
+        np.testing.assert_array_equal(d, s)
+
+
+class TestSchurSolver:
+    @staticmethod
+    def _bordered_stack(rng, n_blocks=5, h=2, m=64):
+        """Diagonally dominant bordered-block-diagonal stacks."""
+        n = 2 * n_blocks + h
+        a = np.zeros((n, n, m))
+        for i in range(n):
+            a[i, i] = rng.uniform(2.0, 3.0, m)
+        for b in range(n_blocks):
+            i = h + 2 * b
+            a[i, i + 1] = rng.normal(0, 0.3, m)
+            a[i + 1, i] = rng.normal(0, 0.3, m)
+            for j in range(h):
+                a[i, j] = rng.normal(0, 0.3, m)
+                a[j, i] = rng.normal(0, 0.3, m)
+                a[i + 1, j] = rng.normal(0, 0.3, m)
+                a[j, i + 1] = rng.normal(0, 0.3, m)
+        b_rhs = rng.normal(size=(n, m))
+        return a, b_rhs
+
+    def test_matches_lapack_on_bordered_pattern(self):
+        rng = np.random.default_rng(13)
+        a, b = self._bordered_stack(rng)
+        pattern = np.any(a != 0.0, axis=2)
+        solver = _SchurSolver(pattern, min_pivot=1e-18)
+        assert solver.h.size == 2
+        x = solver.solve(a, b)
+        ref = np.linalg.solve(
+            np.ascontiguousarray(a.transpose(2, 0, 1)),
+            np.ascontiguousarray(b.T)[..., None],
+        )[..., 0].T
+        np.testing.assert_allclose(x, ref, rtol=1e-9, atol=1e-12)
+
+    def test_dense_pattern_rejected(self):
+        pattern = np.ones((12, 12), dtype=bool)
+        with pytest.raises(SimulationError, match="schur"):
+            _SchurSolver(pattern, min_pivot=1e-18)
+
+    def test_column_compiles_to_schur(self):
+        from repro.sram.column import ColumnConfig, ReadColumn
+
+        ct = ReadColumn(config=ColumnConfig(n_leakers=15)).compiled(n_steps=64)
+        assert ct._schur is not None
+        # The border is the two bitlines; every interior block is a
+        # 2-node cell pair (accessed cell + 15 leakers).
+        assert ct._schur.h.size == 2
+        assert [(s, nodes.shape[0]) for s, nodes in ct._schur.groups] == [(2, 16)]
 
 
 class TestFusedVsReferenceOnGenericCircuit:

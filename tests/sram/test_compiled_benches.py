@@ -108,6 +108,46 @@ class TestSenseAmpOffsetBatch:
         with pytest.raises(MeasurementError, match="cannot resolve"):
             sense.offset_batch(dvt, dv_max=0.1)
 
+    def test_out_of_range_sample_saturates(self, sense):
+        """A deep-tail sample saturates to +inf instead of killing the
+        batch, and the resolvable samples are untouched by its presence."""
+        rng = np.random.default_rng(20)
+        good = rng.normal(0.0, 0.02, size=(4, 4))
+        mixed = np.vstack([good[:2], [[0.5, 0.0, -0.5, 0.0]], good[2:]])
+        out = sense.offset_batch(mixed, dv_max=0.1, on_unresolvable="saturate")
+        assert np.isposinf(out[2])
+        clean = sense.offset_batch(good, dv_max=0.1, on_unresolvable="saturate")
+        np.testing.assert_array_equal(out[[0, 1, 3, 4]], clean)
+
+    def test_scalar_offset_still_raises(self, sense):
+        from repro.errors import MeasurementError
+
+        with pytest.raises(MeasurementError, match="cannot resolve"):
+            sense.offset(sa_dict(np.array([0.5, 0.0, -0.5, 0.0])), dv_max=0.1)
+
+    def test_bad_on_unresolvable_rejected(self, sense):
+        from repro.errors import MeasurementError
+
+        with pytest.raises(MeasurementError, match="on_unresolvable"):
+            sense.offset_batch(np.zeros((2, 4)), on_unresolvable="ignore")
+
+    def test_mixed_dict_sizes_rejected(self, sense):
+        """Per-device arrays that disagree on n must error loudly, not
+        silently broadcast to the largest size."""
+        from repro.errors import MeasurementError
+
+        with pytest.raises(MeasurementError, match="disagree"):
+            sense.offset_batch(
+                {"m_sn_l": np.zeros(3), "m_sn_r": np.zeros(5)}
+            )
+
+    def test_scalar_in_dict_still_broadcasts(self, sense):
+        out = sense.offset_batch(
+            {"m_sn_l": 0.02, "m_sn_r": np.full(3, -0.02)}
+        )
+        assert out.shape == (3,)
+        np.testing.assert_allclose(out, out[0])
+
 
 class TestReadColumnBatch:
     @pytest.fixture(scope="class")
@@ -141,6 +181,35 @@ class TestReadColumnBatch:
                 {n: float(dvth[i, j]) for j, n in enumerate(names)}
             )
             assert batch[i] == pytest.approx(scalar, rel=0.02)
+
+    def test_access_times_vs_scalar(self, column):
+        """Bulk access times against the scalar column testbench
+        (adaptive integrator): cross-validation budget."""
+        rng = np.random.default_rng(21)
+        dvth = np.zeros((3, 24))
+        dvth[:, :6] = rng.normal(0.0, 0.03, size=(3, 6))
+        batch = column.access_times_batch(dvth, n_steps=400)
+        names = column.accessed_device_names()
+        for i in range(3):
+            scalar = column.access_sample(
+                {n: float(dvth[i, j]) for j, n in enumerate(names)}
+            )
+            assert batch[i] == pytest.approx(scalar.value, rel=XVAL_REL)
+
+    def test_leaker_variation_matters(self, column):
+        """A strongly leaking pass gate on an unaccessed cell must slow
+        the read — the axis the bulk entry point exists to expose."""
+        nominal = column.access_times_batch(np.zeros((1, 24)), n_steps=200)[0]
+        dvth = np.zeros((1, 24))
+        # Leaker 0's BLB-side pass gate: much lower Vth leaks BLB harder.
+        names = column.all_device_names()
+        dvth[0, names.index("m_pg_r_l0")] = -0.35
+        leaky = column.access_times_batch(dvth, n_steps=200)[0]
+        assert leaky > nominal
+
+    def test_access_times_bad_matrix_shape(self, column):
+        with pytest.raises(ValueError, match="delta_vth matrix shape"):
+            column.access_times_batch(np.zeros((4, 6)), n_steps=160)
 
     def test_leakage_erodes_differential(self, column):
         """Physics check on the compiled path: more adversarial leakers

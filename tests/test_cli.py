@@ -30,10 +30,22 @@ class TestParser:
             ["read-sigma", "--spec-ps", "60", "--system", "--sa-model", "latch"],
             ["write-sigma", "--target-sigma", "4"],
             ["sa-sigma", "--spec-mv", "80"],
+            ["column-sigma", "--spec-ps", "60", "--leakers", "7",
+             "--assembly", "sparse"],
             ["snm", "--vdd", "0.8"],
             ["compare", "--target-sigma", "3.5"],
         ):
             assert parser.parse_args(argv) is not None
+
+    def test_column_sigma_defaults(self):
+        args = build_parser().parse_args(["column-sigma", "--spec-ps", "60"])
+        assert args.leakers == 15
+        assert args.leaker_data == "adversarial"
+        assert args.assembly == "auto"
+
+    def test_column_sigma_requires_spec(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["column-sigma"])
 
     def test_system_requires_explicit_spec(self, capsys):
         from repro.cli import main

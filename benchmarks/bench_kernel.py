@@ -6,7 +6,10 @@ reports samples/second, and — as a CI gate — asserts that the fast kernel
 is at least as fast as the reference path and that the two agree on the
 metrics.  A second section runs a compiled *non-6T* circuit (the
 sense-amp latch) through both compiled kernels, so a compiler regression
-cannot hide behind the 6T specialisation::
+cannot hide behind the 6T specialisation; a third runs a multi-column
+array slice, where the fused path additionally carries the sparse
+scatter-stamp assembly and the per-column Schur peel against the
+reference kernel's per-device ``np.linalg.solve``::
 
     PYTHONPATH=src python benchmarks/bench_kernel.py
     PYTHONPATH=src python benchmarks/bench_kernel.py --n 2048 --repeat 3
@@ -108,6 +111,40 @@ def main() -> int:
           f"max rel time diff {rel:.3e} {'ok' if agree else 'FAIL'}")
     if sa_rates["fast"] < sa_rates["reference"]:
         print("FAIL: fused compiled latch slower than its reference kernel")
+        ok = False
+
+    # ------------------------------------------------------------------
+    # Compiled array slice: 2 columns behind the shared mux (22 unknowns,
+    # sparse assembly + per-column Schur peel on the fused path).
+    # ------------------------------------------------------------------
+    from repro.sram.array import ArrayConfig, ArraySlice
+
+    arr = ArraySlice(config=ArrayConfig(n_cols=2, n_leakers=3))
+    n_arr = min(args.n, 128)  # the reference path is per-device Python
+    dvt_arr = rng.normal(0.0, 0.03, size=(n_arr, arr.n_variation_devices))
+    arr_results = {}
+    arr_rates = {}
+    for name in ("reference", "fast"):
+        arr.access_times_batch(dvt_arr[:2], n_steps=args.n_steps, kernel=name)
+        best = float("inf")
+        for _ in range(args.repeat):
+            t0 = time.perf_counter()
+            arr_results[name] = arr.access_times_batch(
+                dvt_arr, n_steps=args.n_steps, kernel=name
+            )
+            best = min(best, time.perf_counter() - t0)
+        arr_rates[name] = n_arr / best
+        print(f"array {name:12s}: {arr_rates[name]:9.1f} samples/s")
+    rel = float(np.max(
+        np.abs(arr_results["fast"] - arr_results["reference"])
+        / np.abs(arr_results["reference"])
+    ))
+    agree = rel < 1e-6
+    ok &= agree
+    print(f"      {'fast':12s} vs reference array: max rel metric diff "
+          f"{rel:.3e} {'ok' if agree else 'FAIL'}")
+    if arr_rates["fast"] < arr_rates["reference"]:
+        print("FAIL: fused compiled array slower than its reference kernel")
         ok = False
 
     if not ok:

@@ -2,8 +2,8 @@
 
 Runs a small fixed workload mix covering the hot paths (streaming
 accumulator loop, gradient-IS end-to-end on the batched 6T engine,
-sharded-plan execution) and compares total wall time against the
-committed baseline::
+sharded-plan execution, compiled bulk workloads) and compares total wall
+time against the committed baseline::
 
     PYTHONPATH=src python benchmarks/smoke.py --check              # CI gate
     PYTHONPATH=src python benchmarks/smoke.py --update-baseline    # re-record
@@ -19,6 +19,16 @@ behind an unrelated speedup elsewhere.  Sections faster than
 sections cannot trip the gate.  The baseline is a wall-clock number from
 one machine; the 2x margin is what absorbs ordinary machine-to-machine
 variation.
+
+``--check`` also writes a machine-readable report (``--json-out``,
+default ``BENCH_smoke.json``) with per-section wall-clock, the internal
+speedup ratios the sections assert on, per-section deltas against the
+committed baseline, and host metadata — the file CI uploads as an
+artifact so the performance trajectory is recorded run over run instead
+of evaporating with the runner.  ``--update-baseline`` stamps the same
+host metadata into ``smoke_baseline.json`` (under ``"_meta"``), so when
+a gate trips the baseline's provenance — which machine, which Python,
+which numpy — is auditable instead of folklore.
 """
 
 from __future__ import annotations
@@ -26,6 +36,7 @@ from __future__ import annotations
 import argparse
 import json
 import pathlib
+import platform
 import time
 
 import numpy as np
@@ -33,7 +44,30 @@ import numpy as np
 BASELINE_PATH = pathlib.Path(__file__).parent / "results" / "smoke_baseline.json"
 
 
-def workload_streaming_core() -> None:
+def host_metadata() -> dict:
+    """Provenance of a timing: machine, interpreter, BLAS-bearing numpy."""
+    cpu = platform.processor() or platform.machine()
+    try:
+        with open("/proc/cpuinfo") as f:
+            for line in f:
+                if line.lower().startswith("model name"):
+                    cpu = line.split(":", 1)[1].strip()
+                    break
+    except OSError:
+        pass
+    import os
+
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu": cpu,
+        "cpu_count": os.cpu_count(),
+        "recorded_unix": round(time.time(), 1),
+    }
+
+
+def workload_streaming_core():
     """Accumulator hot loop: many cheap batches, estimate every batch."""
     from repro.highsigma.analytic import LinearLimitState
     from repro.highsigma.estimators import MeanShiftISCore
@@ -46,7 +80,7 @@ def workload_streaming_core() -> None:
     core.run(np.random.default_rng(0), method="smoke")
 
 
-def workload_gis_engine() -> None:
+def workload_gis_engine():
     """Gradient IS end-to-end on the real batched 6T read engine."""
     from repro.experiments.workloads import make_read_limitstate
     from repro.highsigma.gis import GradientImportanceSampling
@@ -58,7 +92,7 @@ def workload_gis_engine() -> None:
     gis.run(np.random.default_rng(1))
 
 
-def workload_sharded_plan() -> None:
+def workload_sharded_plan():
     """A pinned 4-shard plan executed in-process (plan overhead path)."""
     from repro.highsigma.analytic import LinearLimitState
     from repro.highsigma.estimators import MeanShiftISCore
@@ -71,7 +105,7 @@ def workload_sharded_plan() -> None:
     core.run(np.random.default_rng(2), method="smoke")
 
 
-def workload_system_read_batched() -> None:
+def workload_system_read_batched():
     """Batched system-level read (ten axes, compiled fast path).
 
     Also asserts the point of the batched path: evaluating the block
@@ -102,9 +136,10 @@ def workload_system_read_batched() -> None:
             f"batched system-read only {speedup:.2f}x faster than the "
             "scalar per-sample loop (acceptance floor: 2x)"
         )
+    return {"speedup_batched_vs_scalar": round(speedup, 2)}
 
 
-def workload_column_read_batched() -> None:
+def workload_column_read_batched():
     """Bulk sampling on the 34-node read column (96 variation axes).
 
     Times one bulk block through the sparse-assembly compiled column
@@ -142,6 +177,65 @@ def workload_column_read_batched() -> None:
             f"sparse-assembly column read only {speedup:.2f}x faster than "
             "the dense-assembly path (acceptance floor: 2x)"
         )
+    return {"speedup_sparse_vs_dense": round(speedup, 2)}
+
+
+def workload_array_read_batched():
+    """Bulk sampling on a 2-column array slice behind the shared mux.
+
+    The slice (2 columns x 8 cells: 38 unknowns) exercises the
+    generalized Schur peel — per-column cell pairs against a border of
+    all four bitlines, the mux data lines as interior singletons — and
+    this section asserts its two acceptance floors:
+
+    * the peel beats the generic guarded blocked elimination
+      (``solver="blocked"``, the permanent cross-check) by >= 1.5x per
+      sample on identical inputs (min of two timed runs per path; the
+      measured margin on the baseline container is ~3-4x, and it grows
+      with the column count since the peel is linear in the node count
+      where the elimination is cubic);
+    * sparse scatter-stamp assembly stays *bit-equal* to the dense
+      incidence matmuls on the multi-column circuit — the stamp-
+      determinism invariant at array scale.
+    """
+    from repro.experiments.workloads import make_array_read_limitstate
+
+    n = 48
+    n_cols, n_leakers = 2, 7
+    rng = np.random.default_rng(5)
+    u = rng.normal(0.0, 1.0, size=(n, 6 * n_cols * (n_leakers + 1)))
+
+    times, vals = {}, {}
+    for solver in ("schur", "blocked"):
+        ls = make_array_read_limitstate(
+            6e-11, n_cols=n_cols, n_leakers=n_leakers, n_steps=240,
+            solver=solver,
+        )
+        ls.g_batch(u[:4])  # compile outside the timed region
+        best = float("inf")
+        for _ in range(2):
+            t0 = time.perf_counter()
+            vals[solver] = ls.g_batch(u)
+            best = min(best, time.perf_counter() - t0)
+        times[solver] = best
+    # Different solver arithmetic, same converged answer: tolerance, not
+    # bit-equality (that contract belongs to the assembly axis below).
+    np.testing.assert_allclose(vals["schur"], vals["blocked"], rtol=1e-6)
+    speedup = times["blocked"] / times["schur"]
+    print(f"  [array-read] schur peel vs blocked elimination: {speedup:.1f}x")
+    if speedup < 1.5:
+        raise RuntimeError(
+            f"array-slice Schur peel only {speedup:.2f}x faster than the "
+            "generic blocked elimination (acceptance floor: 1.5x)"
+        )
+
+    ls_dense = make_array_read_limitstate(
+        6e-11, n_cols=n_cols, n_leakers=n_leakers, n_steps=240,
+        assembly="dense",
+    )
+    g_dense = ls_dense.g_batch(u)
+    np.testing.assert_array_equal(g_dense, vals["schur"])
+    return {"speedup_schur_vs_blocked": round(speedup, 2)}
 
 
 WORKLOADS = [
@@ -150,22 +244,66 @@ WORKLOADS = [
     ("sharded-plan", workload_sharded_plan),
     ("system-read-batched", workload_system_read_batched),
     ("column-read-batched", workload_column_read_batched),
+    ("array-read-batched", workload_array_read_batched),
 ]
 
 
-def run_smoke() -> dict:
+def run_smoke():
+    """Run every section; returns ``(timings, extras, errors)``.
+
+    ``extras`` holds whatever ratio dict a section chose to report.  A
+    section whose *internal* gate trips (``RuntimeError``) or whose
+    equality assertion fails lands in ``errors`` instead of aborting the
+    run: the remaining sections still execute and the caller still gets
+    a full report to archive — a failing run's numbers are exactly the
+    ones worth inspecting.
+    """
     timings = {}
+    extras = {}
+    errors = {}
     total = 0.0
     for name, fn in WORKLOADS:
         t0 = time.perf_counter()
-        fn()
+        try:
+            info = fn()
+        except (RuntimeError, AssertionError) as exc:
+            info = None
+            errors[name] = str(exc)
+            print(f"  [{name}] FAILED: {exc}")
         dt = time.perf_counter() - t0
         timings[name] = round(dt, 3)
+        if info:
+            extras[name] = info
         total += dt
-        print(f"{name:16s}: {dt:6.2f} s")
+        print(f"{name:20s}: {dt:6.2f} s")
     timings["total"] = round(total, 3)
-    print(f"{'total':16s}: {total:6.2f} s")
-    return timings
+    print(f"{'total':20s}: {total:6.2f} s")
+    return timings, extras, errors
+
+
+def write_report(path: pathlib.Path, timings: dict, extras: dict,
+                 errors: dict, baseline: dict) -> None:
+    """Emit the machine-readable run record CI archives as an artifact."""
+    sections = {}
+    for name, _ in WORKLOADS:
+        entry = {"seconds": timings[name]}
+        base = baseline.get(name)
+        if base is not None:
+            entry["baseline_seconds"] = base
+            entry["vs_baseline"] = round(timings[name] / base, 3) if base else None
+        entry.update(extras.get(name, {}))
+        if name in errors:
+            entry["error"] = errors[name]
+        sections[name] = entry
+    report = {
+        "sections": sections,
+        "total_seconds": timings["total"],
+        "baseline_total_seconds": baseline.get("total"),
+        "baseline_meta": baseline.get("_meta"),
+        "meta": host_metadata(),
+    }
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"report written to {path}")
 
 
 def main() -> int:
@@ -173,19 +311,31 @@ def main() -> int:
     parser.add_argument("--check", action="store_true",
                         help="fail if total wall time exceeds factor * baseline")
     parser.add_argument("--update-baseline", action="store_true",
-                        help="record this run as the new baseline")
+                        help="record this run as the new baseline (with host "
+                             "metadata under '_meta' for provenance)")
     parser.add_argument("--factor", type=float, default=2.0)
     parser.add_argument("--min-section", type=float, default=0.5,
                         help="sections with a baseline below this many "
                              "seconds are gated against factor * this "
                              "floor (timer-noise guard)")
+    parser.add_argument("--json-out", type=pathlib.Path,
+                        default=pathlib.Path("BENCH_smoke.json"),
+                        help="machine-readable report written on --check "
+                             "(per-section wall-clock, speedup ratios, "
+                             "baseline deltas, host metadata)")
     args = parser.parse_args()
 
-    timings = run_smoke()
+    timings, extras, errors = run_smoke()
 
     if args.update_baseline:
+        if errors:
+            print("FAIL: refusing to record a baseline from a run with "
+                  f"failing sections: {sorted(errors)}")
+            return 1
         BASELINE_PATH.parent.mkdir(exist_ok=True)
-        BASELINE_PATH.write_text(json.dumps(timings, indent=2) + "\n")
+        record = dict(timings)
+        record["_meta"] = host_metadata()
+        BASELINE_PATH.write_text(json.dumps(record, indent=2) + "\n")
         print(f"baseline written to {BASELINE_PATH}")
         return 0
 
@@ -194,7 +344,8 @@ def main() -> int:
             print(f"no baseline at {BASELINE_PATH}; run --update-baseline first")
             return 1
         baseline = json.loads(BASELINE_PATH.read_text())
-        failed = False
+        write_report(args.json_out, timings, extras, errors, baseline)
+        failed = bool(errors)
         for name, _ in WORKLOADS:
             base = baseline.get(name)
             if base is None:
@@ -203,11 +354,11 @@ def main() -> int:
                 continue
             limit = args.factor * max(base, args.min_section)
             status = "ok" if timings[name] <= limit else "FAIL"
-            print(f"{name:16s}: {timings[name]:6.2f} s  "
+            print(f"{name:20s}: {timings[name]:6.2f} s  "
                   f"(baseline {base:.2f} s, limit {limit:.2f} s)  {status}")
             failed |= timings[name] > limit
         total_limit = args.factor * baseline["total"]
-        print(f"{'total':16s}: {timings['total']:6.2f} s  "
+        print(f"{'total':20s}: {timings['total']:6.2f} s  "
               f"(baseline {baseline['total']:.2f} s, limit {total_limit:.2f} s)")
         if timings["total"] > total_limit:
             failed = True
@@ -215,7 +366,11 @@ def main() -> int:
             print("FAIL: smoke run regressed against the per-section gate")
             return 1
         print("smoke benchmark within budget")
-    return 0
+        return 0
+
+    # Plain run (no --check/--update-baseline): still fail loudly when a
+    # section's internal gate tripped.
+    return 1 if errors else 0
 
 
 if __name__ == "__main__":

@@ -11,7 +11,7 @@ import numpy as np
 from benchmarks.conftest import run_once
 from repro.experiments.tables import render_series
 from repro.experiments.workloads import calibrate_read_spec, make_read_limitstate
-from repro.highsigma.estimators import MeanShiftISCore, effective_sample_size, is_estimate
+from repro.highsigma.estimators import MeanShiftISCore, is_estimate
 from repro.highsigma.gis import GradientImportanceSampling
 from repro.highsigma.mnis import MinimumNormIS
 

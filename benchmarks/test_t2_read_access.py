@@ -12,7 +12,7 @@ Two spec corners on the transistor-level batched 6T engine:
 import numpy as np
 
 from benchmarks.conftest import run_once
-from repro.experiments.runners import MethodSpec, default_methods, run_comparison
+from repro.experiments.runners import default_methods, run_comparison
 from repro.experiments.tables import render_table
 from repro.experiments.workloads import Workload, calibrate_read_spec, make_read_limitstate
 

@@ -13,7 +13,7 @@ Run:  python examples/cell_characterization.py
 import numpy as np
 
 from repro.sram import ReadTestbench, WriteTestbench, butterfly_snm
-from repro.sram.cell import CELL_DEVICE_ORDER, CellDesign
+from repro.sram.cell import CellDesign
 
 
 def sparkline(waveform, t_stop, width=60, vmax=1.0):

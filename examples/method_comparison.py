@@ -9,7 +9,6 @@ transistor-level read-access limit state at a ~4-sigma spec corner.
 Run:  python examples/method_comparison.py
 """
 
-import numpy as np
 
 from repro.experiments import (
     Workload,

@@ -14,6 +14,10 @@ run the extractions without writing Python:
 * ``column-sigma``— read failure sigma of a *full column* (accessed cell
   plus leakers, one variation axis per transistor) on the compiled
   column with sparse assembly and structured solves;
+* ``array-sigma`` — read failure sigma of a multi-column *array slice*
+  (``--cols`` columns behind a shared bitline mux, the metric measured
+  on the muxed data lines) on the compiled slice with the per-column
+  Schur peel;
 * ``snm``         — static noise margins of the cell;
 * ``compare``     — the full method-comparison table on one workload.
 
@@ -24,6 +28,7 @@ Examples::
     python -m repro.cli write-sigma --target-sigma 5 --vdd 0.9
     python -m repro.cli sa-sigma --spec-mv 80
     python -m repro.cli column-sigma --spec-ps 60 --leakers 15
+    python -m repro.cli array-sigma --spec-ps 60 --cols 4 --leakers 15
     python -m repro.cli snm --vdd 0.8
     python -m repro.cli compare --target-sigma 4 --budget 4000
     python -m repro.cli read-sigma --spec-ps 55 --workers 4 --starts 4
@@ -46,6 +51,24 @@ from typing import Optional
 import numpy as np
 
 __all__ = ["main", "build_parser"]
+
+
+def _positive_int(value: str) -> int:
+    """Argparse type for counts that must be strictly positive.
+
+    Raising :class:`argparse.ArgumentTypeError` makes argparse print the
+    usage line plus a one-line error and exit with status 2 — a loud,
+    traceback-free rejection of ``--cols 0`` or ``--leakers -3``.
+    """
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}")
+    if parsed <= 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {parsed}"
+        )
+    return parsed
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -119,7 +142,7 @@ def build_parser() -> argparse.ArgumentParser:
     common(p_col)
     p_col.add_argument("--spec-ps", type=float, required=True,
                        help="access-time spec [ps]")
-    p_col.add_argument("--leakers", type=int, default=15,
+    p_col.add_argument("--leakers", type=_positive_int, default=15,
                        help="unaccessed cells on the column (u-space has "
                             "6 * (leakers + 1) axes)")
     p_col.add_argument("--leaker-data", choices=("adversarial", "friendly"),
@@ -130,6 +153,32 @@ def build_parser() -> argparse.ArgumentParser:
                        help="compiler assembly pass: sparse scatter stamps "
                             "(auto above the node-count threshold) or the "
                             "dense incidence matmuls (cross-check)")
+
+    p_arr = sub.add_parser(
+        "array-sigma",
+        help="array-slice read failure sigma (columns + shared bitline mux)",
+    )
+    common(p_arr)
+    p_arr.add_argument("--spec-ps", type=float, required=True,
+                       help="access-time spec on the muxed data lines [ps]")
+    p_arr.add_argument("--cols", type=_positive_int, default=4,
+                       help="read columns behind the shared mux (u-space "
+                            "has 6 * cols * (leakers + 1) axes)")
+    p_arr.add_argument("--leakers", type=_positive_int, default=15,
+                       help="unaccessed cells per column")
+    p_arr.add_argument("--leaker-data", choices=("adversarial", "friendly"),
+                       default="adversarial",
+                       help="stored pattern of the unaccessed cells")
+    p_arr.add_argument("--assembly", choices=("auto", "dense", "sparse"),
+                       default="auto",
+                       help="compiler assembly pass: sparse scatter stamps "
+                            "(auto above the node-count threshold) or the "
+                            "dense incidence matmuls (cross-check)")
+    p_arr.add_argument("--solver", choices=("auto", "schur", "blocked"),
+                       default="auto",
+                       help="fused-path linear solver: the per-column Schur "
+                            "peel (auto on the array's bordered pattern) or "
+                            "the generic guarded elimination (cross-check)")
 
     p_snm = sub.add_parser("snm", help="static noise margins (butterfly)")
     p_snm.add_argument("--vdd", type=float, default=1.0)
@@ -259,6 +308,29 @@ def _run_column_sigma(args) -> int:
     return 0
 
 
+def _run_array_sigma(args) -> int:
+    from repro.experiments.workloads import make_array_read_limitstate
+    from repro.highsigma.gis import GradientImportanceSampling
+
+    spec = args.spec_ps * 1e-12
+    ls = make_array_read_limitstate(
+        spec, n_cols=args.cols, n_leakers=args.leakers,
+        leaker_data=args.leaker_data, vdd=args.vdd, n_steps=args.n_steps,
+        kernel=args.kernel, assembly=args.assembly, solver=args.solver,
+    )
+    # Same gradient economics as the column, one scale up: a full
+    # central-difference stencil over 6 * cols * (leakers + 1) axes is
+    # still just a couple of bulk batches on the compiled slice.
+    gis = GradientImportanceSampling(
+        ls, n_max=args.budget, target_rel_err=args.rel_err,
+        n_starts=args.starts, workers=args.workers, n_shards=args.shards,
+    )
+    result = gis.run(np.random.default_rng(args.seed))
+    _report(result, spec, f"  (array, {args.cols} cols x "
+                          f"{args.leakers + 1} cells, dim {ls.dim})")
+    return 0
+
+
 def _run_snm(args) -> int:
     from repro.sram.statics import butterfly_snm
 
@@ -316,6 +388,8 @@ def main(argv: Optional[list] = None) -> int:
         return _run_sa_sigma(args)
     if args.command == "column-sigma":
         return _run_column_sigma(args)
+    if args.command == "array-sigma":
+        return _run_array_sigma(args)
     if args.command == "snm":
         return _run_snm(args)
     if args.command == "compare":

@@ -30,6 +30,7 @@ from repro.highsigma.analytic import (
 )
 from repro.highsigma.limitstate import LimitState
 from repro.highsigma.mpfp import MpfpOptions, MpfpSearch
+from repro.sram.array import ArrayConfig, ArraySlice
 from repro.sram.batched import Batched6T
 from repro.sram.cell import CELL_DEVICE_ORDER, CellDesign
 from repro.sram.column import ColumnConfig, ReadColumn
@@ -41,6 +42,7 @@ from repro.variation.space import DeviceAxis, VariationSpace
 __all__ = [
     "Workload",
     "analytic_grid_workloads",
+    "array_variation_space",
     "cell_variation_space",
     "column_variation_space",
     "make_read_limitstate",
@@ -49,6 +51,7 @@ __all__ = [
     "make_senseamp_offset_limitstate",
     "make_system_read_limitstate",
     "make_column_read_limitstate",
+    "make_array_read_limitstate",
     "calibrate_read_spec",
     "calibrate_write_spec",
     "surrogate_workload",
@@ -168,6 +171,56 @@ def column_variation_space(
                            vth_mismatch_sigma(model, w, design.l))
             )
     return VariationSpace(axes)
+
+
+def array_variation_space(
+    design: Optional[CellDesign] = None,
+    n_cols: int = 4,
+    n_leakers: int = 15,
+) -> VariationSpace:
+    """Pelgrom u-space over a whole array slice.
+
+    One vth axis per transistor of every cell on every column — column
+    by column, the accessed cell first, then that column's leakers — so
+    the dimension is ``6 * n_cols * (n_leakers + 1)``: 384 axes at the
+    default 4 columns of 16 cells.  This extends the column's
+    dimension-scaling scenario by a second multiplicative direction
+    (array width) while the failure region stays dominated by the
+    selected column's handful of axes.
+    """
+    design = design or CellDesign()
+    geometry = _cell_geometry(design)
+    axes = []
+    for c in range(n_cols):
+        for suffix in ArraySlice._col_suffixes(c, n_leakers):
+            for name in CELL_DEVICE_ORDER:
+                model, w = geometry[name]
+                axes.append(
+                    DeviceAxis(f"{name}{suffix}", "vth",
+                               vth_mismatch_sigma(model, w, design.l))
+                )
+    return VariationSpace(axes)
+
+
+def _check_axes_cover_devices(space: VariationSpace, order, what: str) -> None:
+    """Refuse a space whose axis names drift from the circuit's devices.
+
+    ``VariationSpace.vth_matrix`` silently zero-fills devices no axis
+    targets — correct for deliberately nominal devices (the mux pair),
+    fatal when the suffix scheme of a variation-space builder drifts
+    from the netlist builder's: the workload would sample *no* variation
+    and report a garbage sigma with no error.  The factories call this
+    to make that drift loud.
+    """
+    axis_devices = [a.device for a in space.axes]
+    if axis_devices != list(order):
+        missing = sorted(set(order) - set(axis_devices))
+        extra = sorted(set(axis_devices) - set(order))
+        raise SimulationError(
+            f"{what} variation space does not match the circuit's device "
+            f"names (missing axes for {missing[:4]}, axes without devices "
+            f"{extra[:4]}, or a pure ordering mismatch)"
+        )
 
 
 def _engine_limitstate(
@@ -436,6 +489,7 @@ def make_column_read_limitstate(
     )
     space = column_variation_space(design, n_leakers=n_leakers)
     order = column.all_device_names()
+    _check_axes_cover_devices(space, order, "column")
 
     def batch_fn(u_batch: np.ndarray) -> np.ndarray:
         u_batch = np.atleast_2d(u_batch)
@@ -453,6 +507,71 @@ def make_column_read_limitstate(
         name=(
             f"sram-column-read(spec={spec:.3e}s, vdd={vdd:g}V, "
             f"leakers={n_leakers})"
+        ),
+    )
+
+
+def make_array_read_limitstate(
+    spec: float,
+    design: Optional[CellDesign] = None,
+    n_cols: int = 4,
+    n_leakers: int = 15,
+    leaker_data: str = "adversarial",
+    vdd: float = 1.0,
+    cbl: Optional[float] = None,
+    cdl: Optional[float] = None,
+    dv_spec: float = 0.12,
+    n_steps: int = 400,
+    timing: Optional[OperationTiming] = None,
+    kernel: str = "fast",
+    assembly: str = "auto",
+    solver: str = "auto",
+) -> LimitState:
+    """Array-slice read limit state: the muxed slice is the device under test.
+
+    ``6 * n_cols * (n_leakers + 1)`` u-axes — every transistor of every
+    cell on every column — evaluated in bulk on the compiled slice
+    (sparse scatter-stamp assembly plus the per-column Schur peel: cell
+    pairs as interior blocks against a border of all bitlines, the mux
+    data lines as interior singletons; ``assembly="dense"`` and
+    ``solver="blocked"`` keep the cross-check paths).  Failure is the
+    access time of the *muxed* data-line differential to ``dv_spec``
+    exceeding ``spec``, so the metric includes the mux resistance and
+    data-line loading on top of the column leakage.  This is the
+    dimension-scaling workload at array scale: 4 columns of 16 cells is
+    a 138-node circuit and a 384-dimensional u-space.
+    """
+    design = design or CellDesign()
+    array = ArraySlice(
+        design=design,
+        config=ArrayConfig(
+            n_cols=n_cols, n_leakers=n_leakers, leaker_data=leaker_data,
+            cbl=cbl, cdl=cdl, vdd=vdd,
+        ),
+        dv_spec=dv_spec,
+        timing=timing,
+    )
+    space = array_variation_space(design, n_cols=n_cols, n_leakers=n_leakers)
+    order = array.all_device_names()
+    _check_axes_cover_devices(space, order, "array slice")
+
+    def batch_fn(u_batch: np.ndarray) -> np.ndarray:
+        u_batch = np.atleast_2d(u_batch)
+        dvth = space.vth_matrix(u_batch, order)
+        return array.access_times_batch(
+            dvth, n_steps=n_steps, kernel=kernel, assembly=assembly,
+            solver=solver,
+        )
+
+    return LimitState(
+        fn=None,
+        batch_fn=batch_fn,
+        spec=spec,
+        dim=space.dim,
+        direction="upper",
+        name=(
+            f"sram-array-read(spec={spec:.3e}s, vdd={vdd:g}V, "
+            f"cols={n_cols}, leakers={n_leakers})"
         ),
     )
 

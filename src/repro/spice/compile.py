@@ -40,12 +40,18 @@ step* instead of a per-circuit rewrite:
 * **Structure-exploiting solves.**  Above 4 unknowns the compiler also
   inspects the Jacobian's compile-time sparsity pattern: when it is
   bordered-block-diagonal (a column: leaker pairs touching only the two
-  bitlines), the fused path solves through a batched Schur complement
-  (:class:`_SchurSolver`) — block solves folded onto the unrolled
-  eliminations, a tiny border system, vectorised back-substitution —
-  instead of the cubic blocked elimination.  The solver choice is
-  independent of the assembly choice, and the reference kernel keeps
-  ``np.linalg.solve`` as the cross-check for both.
+  bitlines; a multi-column array slice: per-column cell pairs against a
+  border of all bitlines, with the shared mux data lines peeling off as
+  their own interior blocks), the fused path solves through a batched
+  Schur complement (:class:`_SchurSolver`) — block solves folded onto
+  the unrolled eliminations, a border system through :func:`solveN`,
+  vectorised back-substitution — instead of the cubic blocked
+  elimination.  ``solver="blocked"`` forces the generic elimination
+  (the permanent cross-check the benchmarks time the peel against) and
+  ``solver="schur"`` makes a non-decomposing pattern a loud compile
+  error.  The solver choice is independent of the assembly choice, and
+  the reference kernel keeps ``np.linalg.solve`` as the cross-check for
+  both.
 * **``solveN``.**  Batched dense solves over ``(nu, nu, n)`` stacks:
   fully unrolled closed-form elimination for ``nu <= 4`` (PR 2's
   ``solve4`` generalised down to 1) and blocked in-place elimination
@@ -375,10 +381,26 @@ def _solve_blocked(a: np.ndarray, b: np.ndarray, min_pivot: float) -> np.ndarray
 
 _UNROLLED_SOLVERS = {1: solve1, 2: solve2, 3: solve3, 4: solve4}
 
-#: Caps for the compile-time Schur decomposition: interior blocks must
-#: fold onto the unrolled solvers, the border system too.
+#: Caps for the compile-time Schur decomposition.  Interior blocks must
+#: fold onto the unrolled solvers; the border system goes through
+#: :func:`solveN`, so it may exceed 4 unknowns (blocked elimination) —
+#: the cap on the border is *relative* to the circuit size, because the
+#: Schur path only pays off while the border stays a small fraction of
+#: the node count (a multi-column array slice peels per-column cell
+#: pairs against a border of all bitlines: 2 per column).
 _SCHUR_MAX_BLOCK = 4
-_SCHUR_MAX_BORDER = 4
+_SCHUR_MIN_BORDER_CAP = 4
+
+
+def _schur_border_cap(nu: int) -> int:
+    """Largest border the Schur decomposition is allowed to accumulate.
+
+    ``nu // 4`` keeps the border solve (cubic in the border size)
+    negligible next to the peeled interior work, with an absolute floor
+    of :data:`_SCHUR_MIN_BORDER_CAP` so small circuits keep the exact
+    behaviour the column compiled to before the cap was generalised.
+    """
+    return max(_SCHUR_MIN_BORDER_CAP, nu // 4)
 
 
 class _SchurSolver:
@@ -393,14 +415,18 @@ class _SchurSolver:
     its highest-degree node into the border (deterministic, ties broken
     by node index) — and then solves every batch through the Schur
     complement: block solves folded over (block, rhs, sample) onto the
-    unrolled :func:`solveN` kernels, a ``<= 4``-unknown border system,
+    unrolled :func:`solveN` kernels, a border system through
+    :func:`solveN` (unrolled to 4 unknowns, blocked elimination above —
+    a multi-column array's border is every bitline, two per column),
     and a vectorised back-substitution.  Cost is linear in the node
     count instead of cubic, and every path keeps the pivot guard with
     the LAPACK rescue.
 
     Construction raises :class:`SimulationError` when the pattern does
-    not decompose within the border cap; callers fall back to the
-    generic blocked elimination.
+    not decompose within the border cap (:func:`_schur_border_cap` —
+    relative to the node count, so bigger circuits may peel bigger
+    borders while dense patterns still refuse); callers fall back to
+    the generic blocked elimination.
     """
 
     def __init__(self, pattern: np.ndarray, min_pivot: float):
@@ -408,6 +434,7 @@ class _SchurSolver:
         adj = (pattern | pattern.T)
         np.fill_diagonal(adj, False)
         degree = adj.sum(axis=1)
+        border_cap = _schur_border_cap(nu)
 
         border: List[int] = []
         while True:
@@ -415,7 +442,7 @@ class _SchurSolver:
             big = [c for c in comps if len(c) > _SCHUR_MAX_BLOCK]
             if not big:
                 break
-            if len(border) >= _SCHUR_MAX_BORDER:
+            if len(border) >= border_cap:
                 raise SimulationError(
                     "schur: pattern does not decompose within the border cap"
                 )
@@ -644,6 +671,17 @@ class CompiledTransient:
         node count; ``"auto"`` (default) — sparse above
         :data:`SPARSE_ASSEMBLY_THRESHOLD` unknowns, dense at or below.
         The resolved choice is exposed as :attr:`assembly`.
+    solver:
+        Linear-solver policy of the fused path.  ``"auto"`` (default) —
+        use the compile-time Schur decomposition when the Jacobian
+        pattern is bordered-block-diagonal, the generic guarded
+        elimination otherwise; ``"blocked"`` — always the generic
+        :func:`solveN` path (unrolled to 4 unknowns, blocked elimination
+        above: the permanent cross-check for the structured solve);
+        ``"schur"`` — require the Schur decomposition, raising when the
+        pattern does not decompose.  The resolved choice is exposed as
+        :attr:`solver` (``"schur"`` or ``"blocked"``); the reference
+        kernel always keeps the row-pivoted ``np.linalg.solve``.
     newton_max_iter / newton_tol / max_step / min_pivot:
         Damped-Newton controls (defaults match the batched 6T engine).
     clip:
@@ -664,6 +702,7 @@ class CompiledTransient:
         probes: Sequence[object] = (),
         kernel: str = "fast",
         assembly: str = "auto",
+        solver: str = "auto",
         newton_max_iter: int = 40,
         newton_tol: float = 5e-8,
         max_step: float = 0.4,
@@ -678,6 +717,11 @@ class CompiledTransient:
             raise SimulationError(
                 f"assembly must be 'auto', 'dense' or 'sparse', got {assembly!r}"
             )
+        if solver not in ("auto", "schur", "blocked"):
+            raise SimulationError(
+                f"solver must be 'auto', 'schur' or 'blocked', got {solver!r}"
+            )
+        self._solver_choice = solver
         self.circuit = circuit
         self.kernel = kernel
         self.newton_max_iter = int(newton_max_iter)
@@ -920,15 +964,29 @@ class CompiledTransient:
         compile-time sparsity pattern (linear elements plus device
         stamps); when the pattern does not decompose, the generic
         blocked elimination in :func:`solveN` remains the fallback.  The
-        choice is per-compile and independent of the assembly pass, so
-        ``assembly="sparse"`` and ``assembly="dense"`` always run the
-        identical solver on identical inputs.  The reference kernel
-        keeps its row-pivoted ``np.linalg.solve`` either way — it stays
-        the cross-check for the structured solve too.
+        ``solver=`` argument overrides the policy: ``"blocked"`` skips
+        the Schur analysis entirely (the cross-check the smoke benchmark
+        times the structured solve against), ``"schur"`` makes a
+        non-decomposing pattern a compile error instead of a silent
+        fallback.  The choice is per-compile and independent of the
+        assembly pass, so ``assembly="sparse"`` and ``assembly="dense"``
+        always run the identical solver on identical inputs.  The
+        reference kernel keeps its row-pivoted ``np.linalg.solve``
+        either way — it stays the cross-check for the structured solve
+        too.
         """
         self._schur = None
+        self.solver = "blocked"
         nu = self.n_unknowns
+        if self._solver_choice == "blocked":
+            return
         if nu <= 4:
+            if self._solver_choice == "schur":
+                raise SimulationError(
+                    "compile: solver='schur' needs more than 4 unknowns "
+                    f"(got {nu}); the unrolled eliminations already cover "
+                    "this size"
+                )
             return
         pattern = (self.cmat != 0.0) | (self._gmat != 0.0)
         entries = np.unique(np.nonzero(self._m_mat)[0])
@@ -937,12 +995,15 @@ class CompiledTransient:
         try:
             self._schur = _SchurSolver(pattern, self.min_pivot)
         except SimulationError:
+            if self._solver_choice == "schur":
+                raise
             self._schur = None
+        if self._schur is not None:
+            self.solver = "schur"
 
     def _build_plan(self) -> None:
         """Per-step constant tables over the fixed grid."""
         grid = self.grid
-        nu = self.n_unknowns
         nr = len(self._rail_nodes)
         hs = np.diff(grid)
         n_steps = hs.size
@@ -1488,7 +1549,8 @@ class CompiledTransient:
     def __repr__(self) -> str:
         return (
             f"CompiledTransient({self.circuit.title!r}, kernel={self.kernel!r}, "
-            f"assembly={self.assembly!r}, unknowns={self.n_unknowns}, "
+            f"assembly={self.assembly!r}, solver={self.solver!r}, "
+            f"unknowns={self.n_unknowns}, "
             f"devices={self.n_devices}, rails={self.rail_names}, "
             f"steps={self._plan.n_steps})"
         )

@@ -13,8 +13,12 @@
 * :mod:`repro.sram.kernel` — the fused fast integrator kernel behind
   ``Batched6T(kernel="fast")``: stacked device evaluation, closed-form
   batched 4x4 solves, sample retirement.
+* :mod:`repro.sram.array` — multi-column array slice (shared-bitline
+  mux + one sense amp) compiled through the batched circuit compiler
+  with the per-column Schur peel.
 """
 
+from repro.sram.array import ArrayConfig, ArraySlice
 from repro.sram.cell import CellDesign, build_cell
 from repro.sram.column import ColumnConfig, ReadColumn
 from repro.sram.senseamp import SenseAmp, SenseAmpDesign
@@ -23,6 +27,8 @@ from repro.sram.batched import Batched6T
 from repro.sram.statics import butterfly_snm
 
 __all__ = [
+    "ArrayConfig",
+    "ArraySlice",
     "CellDesign",
     "build_cell",
     "ColumnConfig",

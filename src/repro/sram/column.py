@@ -58,6 +58,48 @@ CBL_PER_CELL = 0.12e-15
 CBL_WIRE = 2.0e-15
 
 
+def _batch_n(delta_vth) -> int:
+    """Sample count implied by a dict or matrix variation spec."""
+    if isinstance(delta_vth, dict):
+        return max(np.atleast_1d(np.asarray(v)).size for v in delta_vth.values())
+    return np.atleast_2d(np.asarray(delta_vth, dtype=float)).shape[0]
+
+
+def _vth_dict(delta_vth, n: int, names: List[str], what: str):
+    """Accept a dict of device names or an ``(n, len(names))`` matrix."""
+    if delta_vth is None or isinstance(delta_vth, dict):
+        return delta_vth
+    arr = np.atleast_2d(np.asarray(delta_vth, dtype=float))
+    if arr.shape != (n, len(names)):
+        raise ValueError(
+            f"delta_vth matrix shape {arr.shape} != ({n}, {len(names)}) "
+            f"over {what}"
+        )
+    return {name: arr[:, j] for j, name in enumerate(names)}
+
+
+def _access_metric(res, pos: str, neg: str, timing, dv_spec: float,
+                   penalty_per_volt: float) -> np.ndarray:
+    """Access-time metric from a compiled run's ``access`` cross probe.
+
+    Shared by the column (``blb - bl``) and the array slice
+    (``dlb - dl``): time from the wordline half-swing to the crossing;
+    samples that never develop the differential get the continuous
+    shortfall penalty
+    ``(t_stop - t_wl) + (dv_spec - diff_final) * penalty_per_volt`` so
+    search methods keep a gradient to climb — the one place the
+    convention is written down for the compiled bulk benches.
+    """
+    t_wl_mid = timing.wl_delay + 0.5 * timing.wl_rise
+    found = ~np.isnan(res.cross["access"])
+    metric = np.empty(found.size)
+    metric[found] = res.cross["access"][found] - t_wl_mid
+    diff_final = res.final[pos][~found] - res.final[neg][~found]
+    shortfall = dv_spec - diff_final
+    metric[~found] = (timing.t_stop - t_wl_mid) + shortfall * penalty_per_volt
+    return metric
+
+
 @dataclass(frozen=True)
 class ColumnConfig:
     """Column composition.
@@ -241,26 +283,6 @@ class ReadColumn:
             self._compiled[key] = ct
         return ct
 
-    @staticmethod
-    def _batch_n(delta_vth) -> int:
-        """Sample count implied by a dict or matrix variation spec."""
-        if isinstance(delta_vth, dict):
-            return max(np.atleast_1d(np.asarray(v)).size for v in delta_vth.values())
-        return np.atleast_2d(np.asarray(delta_vth, dtype=float)).shape[0]
-
-    @staticmethod
-    def _vth_dict(delta_vth, n: int, names: List[str], what: str):
-        """Accept a dict of device names or an ``(n, len(names))`` matrix."""
-        if delta_vth is None or isinstance(delta_vth, dict):
-            return delta_vth
-        arr = np.atleast_2d(np.asarray(delta_vth, dtype=float))
-        if arr.shape != (n, len(names)):
-            raise ValueError(
-                f"column delta_vth matrix shape {arr.shape} != ({n}, {len(names)}) "
-                f"over {what}"
-            )
-        return {name: arr[:, j] for j, name in enumerate(names)}
-
     def access_times_batch(
         self,
         delta_vth,
@@ -282,27 +304,19 @@ class ReadColumn:
         ``(t_stop - t_wl) + (dv_spec - diff_final) * penalty_per_volt``
         so search methods keep a gradient to climb.
         """
-        n = self._batch_n(delta_vth)
+        n = _batch_n(delta_vth)
         ct = self.compiled(n_steps=n_steps, kernel=kernel, assembly=assembly)
         res = ct.run(
             ic=self._initial_conditions(),
             n=n,
-            delta_vth=self._vth_dict(
+            delta_vth=_vth_dict(
                 delta_vth, n, self.all_device_names(),
                 "the accessed cell plus leakers (all_device_names order)",
             ),
         )
         self.n_simulations += n
-
-        t = self.timing
-        t_wl_mid = t.wl_delay + 0.5 * t.wl_rise
-        found = ~np.isnan(res.cross["access"])
-        metric = np.empty(n)
-        metric[found] = res.cross["access"][found] - t_wl_mid
-        diff_final = res.final["blb"][~found] - res.final["bl"][~found]
-        shortfall = self.dv_spec - diff_final
-        metric[~found] = (t.t_stop - t_wl_mid) + shortfall * penalty_per_volt
-        return metric
+        return _access_metric(res, "blb", "bl", self.timing, self.dv_spec,
+                              penalty_per_volt)
 
     def differential_at_wl_fall_batch(
         self,
@@ -315,12 +329,12 @@ class ReadColumn:
         ``delta_vth`` is a dict of device names to per-sample arrays or
         an ``(n, 6)`` matrix over :meth:`accessed_device_names`.
         """
-        n = self._batch_n(delta_vth)
+        n = _batch_n(delta_vth)
         ct = self.compiled(n_steps=n_steps, kernel=kernel)
         res = ct.run(
             ic=self._initial_conditions(),
             n=n,
-            delta_vth=self._vth_dict(
+            delta_vth=_vth_dict(
                 delta_vth, n, self.accessed_device_names(),
                 "the accessed cell (canonical order)",
             ),

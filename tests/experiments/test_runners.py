@@ -11,7 +11,6 @@ from repro.experiments.runners import (
     run_method,
 )
 from repro.experiments.workloads import Workload, analytic_grid_workloads
-from repro.highsigma.analytic import LinearLimitState
 from repro.highsigma.gis import GradientImportanceSampling
 
 

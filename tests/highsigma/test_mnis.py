@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import SearchError
-from repro.highsigma.analytic import LinearLimitState, QuadraticLimitState
+from repro.highsigma.analytic import LinearLimitState
 from repro.highsigma.limitstate import LimitState
 from repro.highsigma.mnis import MinimumNormIS
 

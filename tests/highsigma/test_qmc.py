@@ -50,9 +50,6 @@ class TestCoreWithQmc:
         assert res.p_fail == pytest.approx(ls.exact_pfail(), rel=0.15)
 
     def test_qmc_lower_run_to_run_spread(self):
-        ls_exact = LinearLimitState(beta=4.0, dim=5)
-        truth = ls_exact.exact_pfail()
-
         def run(sampler, seed):
             ls = LinearLimitState(beta=4.0, dim=5)
             core = MeanShiftISCore(ls, shifts=[4.0 * ls.a], n_max=1024,

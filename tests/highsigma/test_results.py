@@ -1,6 +1,5 @@
 """EstimateResult record tests."""
 
-import numpy as np
 import pytest
 
 from repro.highsigma.results import EstimateResult

@@ -323,10 +323,89 @@ class TestSchurSolver:
 
         ct = ReadColumn(config=ColumnConfig(n_leakers=15)).compiled(n_steps=64)
         assert ct._schur is not None
+        assert ct.solver == "schur"
         # The border is the two bitlines; every interior block is a
         # 2-node cell pair (accessed cell + 15 leakers).
         assert ct._schur.h.size == 2
         assert [(s, nodes.shape[0]) for s, nodes in ct._schur.groups] == [(2, 16)]
+
+    def test_relative_border_cap_accepts_wide_borders(self):
+        """A bordered pattern whose border exceeds the old fixed cap of
+        4 must now decompose (the cap scales as nu // 4) and solve the
+        border system through the blocked elimination."""
+        rng = np.random.default_rng(14)
+        a, b = self._bordered_stack(rng, n_blocks=12, h=6, m=32)
+        pattern = np.any(a != 0.0, axis=2)
+        solver = _SchurSolver(pattern, min_pivot=1e-18)
+        assert solver.h.size == 6
+        x = solver.solve(a, b)
+        ref = np.linalg.solve(
+            np.ascontiguousarray(a.transpose(2, 0, 1)),
+            np.ascontiguousarray(b.T)[..., None],
+        )[..., 0].T
+        np.testing.assert_allclose(x, ref, rtol=1e-9, atol=1e-12)
+
+    def test_relative_border_cap_still_rejects_dense(self):
+        """The cap is relative, not unbounded: a dense pattern of any
+        size must still refuse the peel."""
+        for n in (12, 40):
+            with pytest.raises(SimulationError, match="schur"):
+                _SchurSolver(np.ones((n, n), dtype=bool), min_pivot=1e-18)
+
+
+class TestSolverChoice:
+    """The solver= knob: explicit policy over the Schur-vs-blocked pick."""
+
+    def test_bad_solver_rejected(self):
+        with pytest.raises(SimulationError, match="solver"):
+            CompiledTransient(_rc_circuit(), grid=transient_grid(1e-9, n_steps=32),
+                              solver="lu")
+
+    def test_blocked_forces_generic_path(self):
+        from repro.sram.column import ColumnConfig, ReadColumn
+
+        ct = ReadColumn(config=ColumnConfig(n_leakers=15)).compiled(
+            n_steps=64, kernel="fast", assembly="auto"
+        )
+        assert ct.solver == "schur"
+        forced = CompiledTransient(
+            ct.circuit, grid=ct.grid, kernel="fast", solver="blocked"
+        )
+        assert forced.solver == "blocked"
+        assert forced._schur is None
+
+    def test_schur_required_raises_on_small_circuit(self):
+        with pytest.raises(SimulationError, match="schur"):
+            CompiledTransient(_rc_circuit(), grid=transient_grid(1e-9, n_steps=32),
+                              solver="schur")
+
+    def test_schur_required_raises_on_nondecomposing_pattern(self):
+        """A chain of pass devices couples every node to the next: no
+        small border isolates blocks, so solver='schur' must refuse
+        loudly instead of silently falling back."""
+        from repro.spice.elements import Mosfet
+        from repro.spice.mosfet import nmos_45nm
+
+        c = Circuit("chain")
+        c.add(VoltageSource("v_vdd", "vdd", "0", dc(1.0)))
+        nm = nmos_45nm()
+        for k in range(11):
+            c.add(Mosfet(f"m{k}", f"n{k}", "vdd", f"n{k + 1}", "0",
+                         nm, w=200e-9, l=50e-9))
+        c.add(Capacitor("c_end", "n11", "0", 5e-15))
+        with pytest.raises(SimulationError, match="schur"):
+            CompiledTransient(c, grid=transient_grid(1e-9, n_steps=32),
+                              solver="schur")
+        # auto on the same circuit falls back to the generic elimination.
+        auto = CompiledTransient(c, grid=transient_grid(1e-9, n_steps=32))
+        assert auto.solver == "blocked"
+
+    def test_solver_independent_of_assembly(self):
+        from repro.sram.column import ColumnConfig, ReadColumn
+
+        column = ReadColumn(config=ColumnConfig(n_leakers=3))
+        for asm in ("dense", "sparse"):
+            assert column.compiled(n_steps=64, assembly=asm).solver == "schur"
 
 
 class TestFusedVsReferenceOnGenericCircuit:

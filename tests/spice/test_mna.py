@@ -1,7 +1,6 @@
 """Direct tests of the MNA stamp context and system assembly."""
 
 import numpy as np
-import pytest
 
 from repro.spice import mna
 from repro.spice.elements import Resistor, VoltageSource

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.spice.mosfet import THERMAL_VOLTAGE, MosfetModel, nmos_45nm, pmos_45nm
+from repro.spice.mosfet import nmos_45nm, pmos_45nm
 
 W, L = 120e-9, 50e-9
 volts = st.floats(min_value=-1.2, max_value=1.2, allow_nan=False)

@@ -1,6 +1,5 @@
 """Column testbench tests: loading, leakage, data-pattern dependence."""
 
-import numpy as np
 import pytest
 
 from repro.sram.column import CBL_PER_CELL, CBL_WIRE, ColumnConfig, ReadColumn

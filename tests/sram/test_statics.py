@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import MeasurementError
-from repro.sram.cell import CellDesign
 from repro.sram.statics import butterfly_snm, half_cell_vtc
 
 

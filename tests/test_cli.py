@@ -32,6 +32,8 @@ class TestParser:
             ["sa-sigma", "--spec-mv", "80"],
             ["column-sigma", "--spec-ps", "60", "--leakers", "7",
              "--assembly", "sparse"],
+            ["array-sigma", "--spec-ps", "60", "--cols", "4", "--leakers", "7",
+             "--assembly", "sparse", "--solver", "schur"],
             ["snm", "--vdd", "0.8"],
             ["compare", "--target-sigma", "3.5"],
         ):
@@ -46,6 +48,51 @@ class TestParser:
     def test_column_sigma_requires_spec(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["column-sigma"])
+
+    def test_array_sigma_defaults(self):
+        args = build_parser().parse_args(["array-sigma", "--spec-ps", "60"])
+        assert args.cols == 4
+        assert args.leakers == 15
+        assert args.assembly == "auto"
+        assert args.solver == "auto"
+
+    def test_array_sigma_requires_spec(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["array-sigma"])
+
+
+class TestArgumentValidation:
+    """Bad arguments must exit with the usage message (status 2), never a
+    traceback — the contract argparse's type/choices machinery gives us."""
+
+    @pytest.mark.parametrize("argv", [
+        ["array-sigma", "--spec-ps", "60", "--cols", "0"],
+        ["array-sigma", "--spec-ps", "60", "--cols", "-2"],
+        ["array-sigma", "--spec-ps", "60", "--cols", "two"],
+        ["array-sigma", "--spec-ps", "60", "--leakers", "-3"],
+        ["column-sigma", "--spec-ps", "60", "--leakers", "0"],
+        ["column-sigma", "--spec-ps", "60", "--leakers", "1.5"],
+    ])
+    def test_non_positive_counts_rejected(self, argv, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "usage:" in err
+        assert "integer" in err
+
+    @pytest.mark.parametrize("argv", [
+        ["array-sigma", "--spec-ps", "60", "--assembly", "coo"],
+        ["column-sigma", "--spec-ps", "60", "--assembly", "turbo"],
+        ["array-sigma", "--spec-ps", "60", "--solver", "lu"],
+    ])
+    def test_bad_choice_rejected_with_usage(self, argv, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "usage:" in err
+        assert "invalid choice" in err
 
     def test_system_requires_explicit_spec(self, capsys):
         from repro.cli import main

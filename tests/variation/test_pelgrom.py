@@ -1,6 +1,5 @@
 """Pelgrom mismatch-law tests."""
 
-import numpy as np
 import pytest
 
 from repro.spice.mosfet import nmos_45nm, pmos_45nm

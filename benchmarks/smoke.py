@@ -291,6 +291,11 @@ def write_report(path: pathlib.Path, timings: dict, extras: dict,
         if base is not None:
             entry["baseline_seconds"] = base
             entry["vs_baseline"] = round(timings[name] / base, 3) if base else None
+        else:
+            # The committed baseline predates this section; the check
+            # fails readably and this marker tells the artifact reader
+            # why (re-record with --update-baseline).
+            entry["missing_from_baseline"] = True
         entry.update(extras.get(name, {}))
         if name in errors:
             entry["error"] = errors[name]
@@ -346,21 +351,36 @@ def main() -> int:
         baseline = json.loads(BASELINE_PATH.read_text())
         write_report(args.json_out, timings, extras, errors, baseline)
         failed = bool(errors)
+        stale = [
+            name for name, _ in WORKLOADS if baseline.get(name) is None
+        ]
+        if "total" not in baseline:
+            stale.append("total")
         for name, _ in WORKLOADS:
             base = baseline.get(name)
             if base is None:
-                print(f"NOTE: section {name!r} missing from baseline; "
-                      "re-record with --update-baseline")
+                print(f"FAIL: section {name!r} ({timings[name]:.2f} s) is "
+                      "missing from the committed baseline; re-record with "
+                      "--update-baseline")
                 continue
             limit = args.factor * max(base, args.min_section)
             status = "ok" if timings[name] <= limit else "FAIL"
             print(f"{name:20s}: {timings[name]:6.2f} s  "
                   f"(baseline {base:.2f} s, limit {limit:.2f} s)  {status}")
             failed |= timings[name] > limit
-        total_limit = args.factor * baseline["total"]
-        print(f"{'total':20s}: {timings['total']:6.2f} s  "
-              f"(baseline {baseline['total']:.2f} s, limit {total_limit:.2f} s)")
-        if timings["total"] > total_limit:
+        if "total" in baseline:
+            total_limit = args.factor * baseline["total"]
+            print(f"{'total':20s}: {timings['total']:6.2f} s  "
+                  f"(baseline {baseline['total']:.2f} s, "
+                  f"limit {total_limit:.2f} s)")
+            if timings["total"] > total_limit:
+                failed = True
+        else:
+            print("FAIL: baseline has no 'total' entry; re-record with "
+                  "--update-baseline")
+        if stale:
+            print("FAIL: baseline is stale (missing sections: "
+                  f"{', '.join(stale)}); re-record with --update-baseline")
             failed = True
         if failed:
             print("FAIL: smoke run regressed against the per-section gate")

@@ -19,6 +19,9 @@ run the extractions without writing Python:
   on the muxed data lines) on the compiled slice with the per-column
   Schur peel;
 * ``snm``         — static noise margins of the cell;
+* ``netlist-lint``— structural lint of the bench netlists plus (with
+  ``--audit``) the compile-plan audit over every assembly/solver
+  combination — the static gate CI runs before anything samples;
 * ``compare``     — the full method-comparison table on one workload.
 
 Examples::
@@ -49,6 +52,8 @@ import sys
 from typing import Optional
 
 import numpy as np
+
+from repro.errors import ConfigError
 
 __all__ = ["main", "build_parser"]
 
@@ -182,6 +187,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_snm = sub.add_parser("snm", help="static noise margins (butterfly)")
     p_snm.add_argument("--vdd", type=float, default=1.0)
+
+    p_lint = sub.add_parser(
+        "netlist-lint",
+        help="lint the bench netlists and (optionally) audit their "
+             "compiled plans",
+    )
+    p_lint.add_argument(
+        "--circuit",
+        choices=("6t", "latch", "column", "write", "array", "read", "all"),
+        default="all",
+        help="which circuit to lint: a compiled bench, the example read "
+             "testbench, or all of them",
+    )
+    p_lint.add_argument(
+        "--audit", action="store_true",
+        help="also run the compile-plan audit over every legal "
+             "assembly/solver combination of each bench",
+    )
+    p_lint.add_argument(
+        "--strict-warnings", action="store_true",
+        help="treat warning-severity findings as failures too",
+    )
 
     p_cmp = sub.add_parser("compare", help="all methods on one workload")
     common(p_cmp)
@@ -342,6 +369,52 @@ def _run_snm(args) -> int:
     return 0
 
 
+def _run_netlist_lint(args) -> int:
+    from repro.spice.audit import audit_plan
+    from repro.spice.diagnostics import lint_circuit
+    from repro.sram.benches import (
+        BENCH_NAMES,
+        bench_compiled,
+        bench_solver_choices,
+    )
+
+    names = (
+        list(BENCH_NAMES) + ["read"] if args.circuit == "all"
+        else [args.circuit]
+    )
+    bad = {"error", "warning"} if args.strict_warnings else {"error"}
+    n_failed = 0
+    for name in names:
+        if name == "read":
+            from repro.sram.testbench import ReadTestbench
+
+            circuit, probes, cts = ReadTestbench().circuit, (), []
+        else:
+            ct = bench_compiled(name)
+            circuit = ct.circuit
+            probes = (*ct._cross_probes, *ct._peak_probes, *ct._value_probes)
+            cts = [ct]
+            if args.audit:
+                cts = [
+                    bench_compiled(name, assembly=assembly, solver=solver)
+                    for assembly in ("dense", "sparse")
+                    for solver in bench_solver_choices(name)
+                ]
+        diags = list(lint_circuit(circuit, probes=probes))
+        audited = 0
+        for audit_ct in cts if args.audit else []:
+            diags += audit_plan(audit_ct)
+            audited += 1
+        failing = [d for d in diags if d.severity in bad]
+        n_failed += bool(failing)
+        status = "FAIL" if failing else "ok"
+        suffix = f", {audited} plan audits" if args.audit else ""
+        print(f"{name:7s}: {status}  ({len(diags)} findings{suffix})")
+        for d in diags:
+            print(f"  {d}")
+    return 1 if n_failed else 0
+
+
 def _run_compare(args) -> int:
     from repro.experiments.runners import default_methods, run_comparison
     from repro.experiments.tables import render_table
@@ -392,9 +465,11 @@ def main(argv: Optional[list] = None) -> int:
         return _run_array_sigma(args)
     if args.command == "snm":
         return _run_snm(args)
+    if args.command == "netlist-lint":
+        return _run_netlist_lint(args)
     if args.command == "compare":
         return _run_compare(args)
-    raise AssertionError(f"unhandled command {args.command!r}")
+    raise ConfigError(f"unhandled command {args.command!r}")
 
 
 if __name__ == "__main__":

@@ -20,9 +20,19 @@ Shard-count vs worker-count: the *shard plan* (``n_shards``) determines
 the random streams and therefore the estimate; ``workers`` only decides
 how many OS processes execute the plan.  Pin ``n_shards`` when comparing
 runs across machines with different core counts.
+
+The static side of the determinism contract lives in
+:mod:`repro.engine.audit`: :func:`~repro.engine.audit.audit_shard_plan`
+proves a shard plan's streams disjoint and its budgets the canonical
+split (the ``D0xx`` codes) before anything runs.
 """
 
 from repro.engine.accumulator import StreamingAccumulator
+from repro.engine.audit import (
+    assert_shard_plan_clean,
+    audit_runner_merge,
+    audit_shard_plan,
+)
 from repro.engine.sharding import ShardedRunner, ShardResult, spawn_generators, split_budget
 
 __all__ = [
@@ -31,4 +41,7 @@ __all__ = [
     "ShardResult",
     "spawn_generators",
     "split_budget",
+    "audit_shard_plan",
+    "audit_runner_merge",
+    "assert_shard_plan_clean",
 ]

@@ -1,0 +1,213 @@
+"""Determinism audit for shard plans: streams disjoint, merge in order.
+
+The engine's contract (see :mod:`repro.engine.sharding`) is that a shard
+plan — per-shard RNG streams plus per-shard budgets — fully determines
+the statistics, with ``workers`` a pure speed knob.  This module is the
+static side of that contract: given a plan, *prove* it deterministic
+before anything runs.
+
+* **D001** — every shard generator carries a distinct
+  ``np.random.SeedSequence`` identity (entropy + spawn key).  Two shards
+  sharing a stream would sample correlated points and silently bias the
+  merged estimate.
+* **D002** — the budgets are the deterministic
+  :func:`~repro.engine.sharding.split_budget` plan (largest shards
+  first) and account for the full total.
+* **D003** — a merged result list is in ascending contiguous shard-index
+  order, the order the accumulator merge is defined over.
+* **D004** — every shard stream was spawned from the declared parent
+  (same entropy, parent's spawn key extended by one element), so the
+  plan depends only on the parent seed and the shard count.
+
+Codes are registered in
+:data:`repro.spice.diagnostics.DIAGNOSTIC_CODES`; error findings can be
+escalated with :func:`assert_shard_plan_clean`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.sharding import ShardResult, split_budget
+from repro.errors import PlanAuditError
+from repro.spice.diagnostics import (
+    DIAGNOSTIC_CODES,
+    Diagnostic,
+    format_diagnostics,
+    lint_errors,
+)
+
+__all__ = [
+    "audit_shard_plan",
+    "audit_runner_merge",
+    "assert_shard_plan_clean",
+]
+
+
+def _diag(code: str, severity: str, subject: str, message: str) -> Diagnostic:
+    return Diagnostic(code, severity, subject, message, DIAGNOSTIC_CODES[code][1])
+
+
+def _seed_identity(rng: np.random.Generator) -> Optional[Tuple]:
+    """The (entropy, spawn_key) identity of a generator's seed sequence."""
+    bg = rng.bit_generator
+    ss = getattr(bg, "seed_seq", None)
+    if ss is None:
+        ss = getattr(bg, "_seed_seq", None)
+    if ss is None or not hasattr(ss, "entropy"):
+        return None
+    return (ss.entropy, tuple(ss.spawn_key))
+
+
+def audit_shard_plan(
+    rngs: Sequence[np.random.Generator],
+    budgets: Sequence[int],
+    total: Optional[int] = None,
+    parent: Optional[np.random.Generator] = None,
+) -> List[Diagnostic]:
+    """Audit a shard plan (streams + budgets) without running it.
+
+    ``total`` enables the D002 check that ``budgets`` is exactly
+    ``split_budget(total, n_shards)``; ``parent`` enables the D004 check
+    that every stream was spawned from it.  Returns all findings (empty
+    when the plan is provably deterministic).
+    """
+    diags: List[Diagnostic] = []
+    rngs = list(rngs)
+    budgets = [int(b) for b in budgets]
+
+    if len(rngs) != len(budgets):
+        diags.append(
+            _diag(
+                "D002", "error", "plan",
+                f"{len(rngs)} RNG streams for {len(budgets)} shard budgets",
+            )
+        )
+
+    # -- D001: stream disjointness -------------------------------------
+    identities = []
+    for i, rng in enumerate(rngs):
+        for j in range(i):
+            if rng is rngs[j]:
+                diags.append(
+                    _diag(
+                        "D001", "error", f"shards ({j}, {i})",
+                        "the same Generator object runs two shards",
+                    )
+                )
+        identities.append(_seed_identity(rng))
+    seen = {}
+    for i, ident in enumerate(identities):
+        if ident is None:
+            if rngs[i] is not None and not any(
+                rngs[i] is rngs[j] for j in range(i)
+            ):
+                diags.append(
+                    _diag(
+                        "D001", "warning", f"shard {i}",
+                        "stream has no SeedSequence identity; disjointness "
+                        "cannot be proven statically",
+                    )
+                )
+            continue
+        if ident in seen:
+            diags.append(
+                _diag(
+                    "D001", "error", f"shards ({seen[ident]}, {i})",
+                    "two shard streams share one SeedSequence "
+                    f"(entropy={ident[0]!r}, spawn_key={ident[1]!r})",
+                )
+            )
+        else:
+            seen[ident] = i
+
+    # -- D002: deterministic budget split -------------------------------
+    if any(b < 0 for b in budgets):
+        diags.append(
+            _diag("D002", "error", "budgets", f"negative shard budget in {budgets}")
+        )
+    elif total is not None and budgets:
+        want = split_budget(int(total), len(budgets))
+        if budgets != want:
+            diags.append(
+                _diag(
+                    "D002", "error", "budgets",
+                    f"budgets {budgets} are not split_budget({int(total)}, "
+                    f"{len(budgets)}) = {want}",
+                )
+            )
+
+    # -- D004: spawned from the declared parent -------------------------
+    if parent is not None:
+        parent_ident = _seed_identity(parent)
+        if parent_ident is None:
+            diags.append(
+                _diag(
+                    "D004", "warning", "parent",
+                    "parent stream has no SeedSequence identity; lineage "
+                    "cannot be proven statically",
+                )
+            )
+        else:
+            p_entropy, p_key = parent_ident
+            for i, ident in enumerate(identities):
+                if ident is None:
+                    continue
+                entropy, key = ident
+                if (
+                    entropy != p_entropy
+                    or len(key) != len(p_key) + 1
+                    or key[:-1] != p_key
+                ):
+                    diags.append(
+                        _diag(
+                            "D004", "error", f"shard {i}",
+                            f"stream (entropy={entropy!r}, spawn_key={key!r}) "
+                            "was not spawned from the parent "
+                            f"(spawn_key={p_key!r})",
+                        )
+                    )
+
+    diags.sort(key=lambda d: (d.code, d.subject))
+    return diags
+
+
+def audit_runner_merge(results: Sequence[ShardResult]) -> List[Diagnostic]:
+    """D003: results are in ascending contiguous shard-index order.
+
+    :meth:`~repro.engine.sharding.ShardedRunner.run_shards` guarantees
+    this ordering; run the audit over any result list that took another
+    path (a remote dispatch, a hand-assembled merge) before merging.
+    """
+    diags: List[Diagnostic] = []
+    indexes = [int(r.index) for r in results]
+    if indexes != list(range(len(indexes))):
+        diags.append(
+            _diag(
+                "D003", "error", "results",
+                f"shard indexes {indexes} are not 0..{len(indexes) - 1} "
+                "in order",
+            )
+        )
+    return diags
+
+
+def assert_shard_plan_clean(
+    rngs: Sequence[np.random.Generator],
+    budgets: Sequence[int],
+    total: Optional[int] = None,
+    parent: Optional[np.random.Generator] = None,
+) -> List[Diagnostic]:
+    """Raise :class:`~repro.errors.PlanAuditError` on D-code errors."""
+    diags = audit_shard_plan(rngs, budgets, total=total, parent=parent)
+    errors = lint_errors(diags)
+    if errors:
+        raise PlanAuditError(
+            "shard plan failed its determinism audit:\n"
+            + format_diagnostics(errors),
+            code=errors[0].code,
+            diagnostics=diags,
+        )
+    return diags

@@ -4,9 +4,19 @@ All library-raised exceptions derive from :class:`ReproError` so callers can
 catch everything from this package with a single ``except`` clause while
 still being able to discriminate simulator convergence problems from user
 configuration mistakes.
+
+Diagnostic-carrying errors (:class:`DiagnosticError` and its subclasses)
+additionally expose a machine-readable ``code`` (one of the registered
+``N0xx``/``P0xx``/``D0xx`` codes in
+:data:`repro.spice.diagnostics.DIAGNOSTIC_CODES`) and the full list of
+:class:`~repro.spice.diagnostics.Diagnostic` findings that triggered the
+raise, so tooling can report structured findings instead of parsing
+messages.
 """
 
 from __future__ import annotations
+
+from typing import Optional, Sequence
 
 
 class ReproError(Exception):
@@ -68,3 +78,57 @@ class SearchError(ReproError):
     simulation budget; samplers surface this to the user rather than
     silently returning a garbage shift vector.
     """
+
+
+class ConfigError(ReproError, ValueError):
+    """Raised for invalid user-supplied configuration.
+
+    Examples: a variation matrix whose shape disagrees with the device
+    count, a negative column height, an unknown leakage-data mode.  Also a
+    :class:`ValueError` so existing callers that catch the builtin keep
+    working.
+    """
+
+
+class DiagnosticError(ReproError):
+    """Base for errors that carry structured static-analysis findings.
+
+    ``code`` is the primary diagnostic code (``N0xx`` netlist, ``P0xx``
+    plan, ``D0xx`` determinism; see
+    :data:`repro.spice.diagnostics.DIAGNOSTIC_CODES`), and ``diagnostics``
+    holds every :class:`~repro.spice.diagnostics.Diagnostic` collected
+    before the raise (possibly just the one matching ``code``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        code: Optional[str] = None,
+        diagnostics: Sequence[object] = (),
+    ):
+        super().__init__(message)
+        self.code = code
+        self.diagnostics = tuple(diagnostics)
+
+
+class LintError(DiagnosticError, NetlistError):
+    """Raised when the netlist linter finds error-severity problems.
+
+    Also a :class:`NetlistError`: strict compilation turns structural
+    lint findings into the same class of failure a malformed netlist
+    produces.
+    """
+
+
+class CompileError(DiagnosticError, SimulationError):
+    """Raised when the batched compiler rejects a circuit, with a code.
+
+    Also a :class:`SimulationError` (the class the compiler historically
+    raised), so ``except SimulationError`` call sites keep working.
+    """
+
+
+class PlanAuditError(DiagnosticError, SimulationError):
+    """Raised when :func:`repro.spice.audit.assert_plan_clean` finds a
+    malformed compiled plan — the admission gate for cached or
+    remotely-deserialized plans."""

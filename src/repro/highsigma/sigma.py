@@ -13,6 +13,8 @@ from __future__ import annotations
 import numpy as np
 from scipy import stats
 
+from repro.errors import ConfigError
+
 __all__ = ["pfail_to_sigma", "sigma_to_pfail", "array_yield", "cells_per_failure"]
 
 
@@ -44,9 +46,9 @@ def array_yield(p_fail: float, n_cells: float, n_repair: int = 0) -> float:
     machine precision and numerically robust, so it is used directly.
     """
     if not 0.0 <= p_fail <= 1.0:
-        raise ValueError(f"p_fail must be a probability, got {p_fail!r}")
+        raise ConfigError(f"p_fail must be a probability, got {p_fail!r}")
     if n_cells <= 0:
-        raise ValueError(f"n_cells must be positive, got {n_cells!r}")
+        raise ConfigError(f"n_cells must be positive, got {n_cells!r}")
     lam = p_fail * n_cells
     return float(stats.poisson.cdf(n_repair, lam))
 

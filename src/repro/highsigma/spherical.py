@@ -120,7 +120,7 @@ class SphericalSearchIS:
             # dimension (experiment F5 quantifies it).
             n_dirs *= 4
             r_max *= 1.5
-        raise AssertionError("unreachable")
+        raise SearchError("radius search exited its escalation loop unexpectedly")
 
     def run(self, rng: Optional[np.random.Generator] = None) -> EstimateResult:
         """Full two-stage estimation."""

@@ -15,6 +15,11 @@ original paper with a self-contained modified-nodal-analysis engine:
 * :mod:`repro.spice.waveform` — waveform container and measurements.
 * :mod:`repro.spice.sensitivity` — finite-difference gradients of scalar
   measurements with respect to named instance parameters.
+* :mod:`repro.spice.diagnostics` — coded structural netlist lint
+  (``lint_circuit``; the ``N0xx`` codes).
+* :mod:`repro.spice.audit` — compile-plan auditor (``audit_plan``; the
+  ``P0xx`` codes) proving a :class:`~repro.spice.compile.CompiledTransient`
+  well-formed without running it.
 """
 
 from repro.spice.mosfet import MosfetModel, MosfetOpPoint, nmos_45nm, pmos_45nm
@@ -30,6 +35,14 @@ from repro.spice.elements import (
 )
 from repro.spice.sources import dc, pulse, pwl
 from repro.spice.dcop import OperatingPoint, solve_dc
+from repro.spice.diagnostics import (
+    DIAGNOSTIC_CODES,
+    Diagnostic,
+    format_diagnostics,
+    lint_circuit,
+    lint_errors,
+)
+from repro.spice.audit import assert_plan_clean, audit_plan
 from repro.spice.transient import TransientOptions, TransientResult, run_transient
 from repro.spice.waveform import Waveform
 
@@ -55,4 +68,11 @@ __all__ = [
     "TransientOptions",
     "TransientResult",
     "Waveform",
+    "Diagnostic",
+    "DIAGNOSTIC_CODES",
+    "lint_circuit",
+    "lint_errors",
+    "format_diagnostics",
+    "audit_plan",
+    "assert_plan_clean",
 ]

@@ -92,8 +92,15 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.errors import SimulationError
-from repro.spice.elements import Mosfet, Resistor, VoltageSource
+from repro.errors import CompileError, LintError, SimulationError
+from repro.spice.elements import (
+    CurrentSource,
+    Mosfet,
+    Resistor,
+    Vccs,
+    Vcvs,
+    VoltageSource,
+)
 from repro.spice.mosfet import THERMAL_VOLTAGE
 from repro.spice.netlist import GROUND_INDEX, Circuit
 from repro.spice.sources import DcShape
@@ -443,15 +450,16 @@ class _SchurSolver:
             if not big:
                 break
             if len(border) >= border_cap:
-                raise SimulationError(
-                    "schur: pattern does not decompose within the border cap"
+                raise CompileError(
+                    "schur: pattern does not decompose within the border cap",
+                    code="P003",
                 )
             cand = np.concatenate(big)
             border.append(int(cand[np.argmax(degree[cand])]))
         if not comps or not border:
             # Fully decoupled or trivially small systems are not worth a
             # dedicated path; the generic solver handles them.
-            raise SimulationError("schur: no bordered structure to exploit")
+            raise CompileError("schur: no bordered structure to exploit", code="P003")
 
         self.min_pivot = float(min_pivot)
         self.h = np.array(sorted(border), dtype=int)
@@ -689,6 +697,14 @@ class CompiledTransient:
         from the rail voltage range over the grid (±0.4 V), matching the
         6T engine's physically-reachable-band clamp.  Warm-start
         extrapolations are clipped to the band widened by 0.1 V.
+    strict:
+        Run :func:`repro.spice.diagnostics.lint_circuit` over the
+        circuit and probes before compiling and raise
+        :class:`~repro.errors.LintError` (with every finding attached)
+        when the linter reports error-severity diagnostics.  The
+        default (``False``) keeps the compiler's own first-failure
+        rejections, which raise :class:`~repro.errors.CompileError`
+        carrying the matching diagnostic code.
 
     Construction snapshots the circuit; mutating element attributes
     afterwards (e.g. ``delta_vth``) does not affect compiled runs — the
@@ -708,19 +724,36 @@ class CompiledTransient:
         max_step: float = 0.4,
         min_pivot: float = 1e-18,
         clip: Optional[Tuple[float, float]] = None,
+        strict: bool = False,
     ):
         if kernel not in ("fast", "reference"):
-            raise SimulationError(
+            raise CompileError(
                 f"kernel must be 'fast' or 'reference', got {kernel!r}"
             )
         if assembly not in ("auto", "dense", "sparse"):
-            raise SimulationError(
+            raise CompileError(
                 f"assembly must be 'auto', 'dense' or 'sparse', got {assembly!r}"
             )
         if solver not in ("auto", "schur", "blocked"):
-            raise SimulationError(
+            raise CompileError(
                 f"solver must be 'auto', 'schur' or 'blocked', got {solver!r}"
             )
+        if strict:
+            from repro.spice.diagnostics import (
+                format_diagnostics,
+                lint_circuit,
+                lint_errors,
+            )
+
+            diags = lint_circuit(circuit, probes)
+            errors = lint_errors(diags)
+            if errors:
+                raise LintError(
+                    f"strict compile of {circuit.title!r}: the netlist "
+                    "linter found errors:\n" + format_diagnostics(errors),
+                    code=errors[0].code,
+                    diagnostics=diags,
+                )
         self._solver_choice = solver
         self.circuit = circuit
         self.kernel = kernel
@@ -764,28 +797,38 @@ class CompiledTransient:
             if isinstance(elem, VoltageSource):
                 np_, nm = elem.nodes
                 if nm != GROUND_INDEX:
-                    raise SimulationError(
+                    raise CompileError(
                         f"compile: voltage source {elem.name!r} must be "
-                        "grounded (floating sources are not supported)"
+                        "grounded (floating sources are not supported)",
+                        code="N005",
                     )
                 if np_ == GROUND_INDEX:
-                    raise SimulationError(
-                        f"compile: voltage source {elem.name!r} drives ground"
+                    raise CompileError(
+                        f"compile: voltage source {elem.name!r} drives ground",
+                        code="N005",
                     )
                 if np_ in rail_shape:
-                    raise SimulationError(
+                    raise CompileError(
                         f"compile: node {c.node_name(np_)!r} driven by more "
-                        "than one voltage source"
+                        "than one voltage source",
+                        code="N006",
                     )
                 rail_shape[np_] = elem.shape
             elif isinstance(elem, (Mosfet, Resistor)) or elem.caps():
                 # MOSFETs, resistors and anything purely capacitive.
                 continue
             else:
-                raise SimulationError(
+                if isinstance(elem, (Vcvs, Vccs)):
+                    code = "N003"
+                elif isinstance(elem, CurrentSource):
+                    code = "N004"
+                else:
+                    code = "N011"
+                raise CompileError(
                     f"compile: unsupported element {type(elem).__name__} "
                     f"({elem.name!r}); the batched compiler handles MOSFETs, "
-                    "capacitors, resistors and grounded voltage sources"
+                    "capacitors, resistors and grounded voltage sources",
+                    code=code,
                 )
 
         self._rail_nodes = sorted(rail_shape)           # circuit node indices
@@ -796,7 +839,7 @@ class CompiledTransient:
         ]
         self.n_unknowns = len(self.node_names)
         if self.n_unknowns == 0:
-            raise SimulationError("compile: circuit has no unknown nodes")
+            raise CompileError("compile: circuit has no unknown nodes", code="N014")
 
         # circuit node index -> extended-state row.
         nu, nr = self.n_unknowns, len(self._rail_nodes)
@@ -892,7 +935,7 @@ class CompiledTransient:
         n_dev = len(mosfets)
         self.n_devices = n_dev
         if n_dev == 0:
-            raise SimulationError("compile: circuit has no MOSFETs")
+            raise CompileError("compile: circuit has no MOSFETs", code="N013")
         nu = self.n_unknowns
         row = self._row_of_node
 
@@ -982,10 +1025,11 @@ class CompiledTransient:
             return
         if nu <= 4:
             if self._solver_choice == "schur":
-                raise SimulationError(
+                raise CompileError(
                     "compile: solver='schur' needs more than 4 unknowns "
                     f"(got {nu}); the unrolled eliminations already cover "
-                    "this size"
+                    "this size",
+                    code="P003",
                 )
             return
         pattern = (self.cmat != 0.0) | (self._gmat != 0.0)
@@ -1062,7 +1106,9 @@ class CompiledTransient:
         names = set()
         for p in probes:
             if p.name in names:
-                raise SimulationError(f"compile: duplicate probe name {p.name!r}")
+                raise CompileError(
+                    f"compile: duplicate probe name {p.name!r}", code="N012"
+                )
             names.add(p.name)
             if isinstance(p, CrossProbe):
                 cross.append(p)
@@ -1071,15 +1117,18 @@ class CompiledTransient:
             elif isinstance(p, ValueProbe):
                 value.append(p)
             else:
-                raise SimulationError(f"compile: unknown probe type {type(p).__name__}")
+                raise CompileError(
+                    f"compile: unknown probe type {type(p).__name__}", code="N011"
+                )
 
         def coeff_row(coeffs: Mapping[str, float]) -> np.ndarray:
             rowv = np.zeros(self.n_unknowns)
             for node, c in coeffs.items():
                 if node not in self._unknown_index:
-                    raise SimulationError(
+                    raise CompileError(
                         f"compile: probe references {node!r}, which is not an "
-                        f"unknown node (unknowns: {self.node_names})"
+                        f"unknown node (unknowns: {self.node_names})",
+                        code="N008",
                     )
                 rowv[self._unknown_index[node]] = float(c)
             return rowv
@@ -1090,9 +1139,10 @@ class CompiledTransient:
         )
         for p in peak:
             if p.node not in self._unknown_index:
-                raise SimulationError(
+                raise CompileError(
                     f"compile: peak probe node {p.node!r} is not an unknown "
-                    f"node (unknowns: {self.node_names})"
+                    f"node (unknowns: {self.node_names})",
+                    code="N008",
                 )
         self._peak_probes = peak
         self._peak_rows = np.array(
@@ -1112,9 +1162,10 @@ class CompiledTransient:
         )
         for p, s in zip(value, self._value_steps):
             if s >= self._plan.n_steps:
-                raise SimulationError(
+                raise CompileError(
                     f"compile: value probe {p.name!r} at t={p.t:g} falls "
-                    "beyond the grid"
+                    "beyond the grid",
+                    code="P007",
                 )
 
     # ------------------------------------------------------------------
@@ -1292,9 +1343,10 @@ class CompiledTransient:
         if n < 1:
             raise SimulationError(f"run: batch size must be >= 1, got {n}")
         if retire is not None and self._value_probes:
-            raise SimulationError(
+            raise CompileError(
                 "run: retirement and value probes cannot be combined (a "
-                "retired sample has no state left to snapshot)"
+                "retired sample has no state left to snapshot)",
+                code="P006",
             )
 
         plan = self._plan
@@ -1338,8 +1390,9 @@ class CompiledTransient:
                     retire_probe = j
                     break
             else:
-                raise SimulationError(
-                    f"run: retire policy names unknown cross probe {retire.probe!r}"
+                raise CompileError(
+                    f"run: retire policy names unknown cross probe {retire.probe!r}",
+                    code="P006",
                 )
             past = np.flatnonzero(plan.t_now >= retire.after)
             retire_from = int(past[0]) if past.size else plan.n_steps

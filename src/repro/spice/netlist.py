@@ -8,9 +8,12 @@ system assembly deterministic and test output stable.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import TYPE_CHECKING, Dict, List
 
 from repro.errors import NetlistError
+
+if TYPE_CHECKING:  # import cycle: elements bind back to the circuit
+    from repro.spice.elements import Element
 
 __all__ = ["Circuit", "GROUND", "GROUND_INDEX"]
 
@@ -32,7 +35,7 @@ class Circuit:
 
     def __init__(self, title: str = "untitled"):
         self.title = title
-        self._elements: List = []
+        self._elements: List["Element"] = []
         self._names: Dict[str, int] = {}
         self._node_index: Dict[str, int] = {}
         self._node_names: List[str] = []
@@ -55,7 +58,7 @@ class Circuit:
             self._node_names.append(name)
         return self._node_index[name]
 
-    def add(self, element) -> "Circuit":
+    def add(self, element: "Element") -> "Circuit":
         """Add an element; returns ``self`` for chaining.
 
         Raises :class:`~repro.errors.NetlistError` on a duplicate element
@@ -76,11 +79,11 @@ class Circuit:
     # ------------------------------------------------------------------
 
     @property
-    def elements(self) -> List:
+    def elements(self) -> List["Element"]:
         """Elements in insertion order."""
         return list(self._elements)
 
-    def __getitem__(self, name: str):
+    def __getitem__(self, name: str) -> "Element":
         """Look an element up by name."""
         try:
             return self._elements[self._names[name]]
@@ -114,11 +117,11 @@ class Circuit:
             raise NetlistError(f"unknown node {name!r} in circuit {self.title!r}")
         return self._node_index[name]
 
-    def branch_elements(self) -> List:
+    def branch_elements(self) -> List["Element"]:
         """Elements that carry an MNA branch-current unknown (voltage sources)."""
         return [e for e in self._elements if getattr(e, "needs_branch", False)]
 
-    def mosfets(self) -> List:
+    def mosfets(self) -> List["Element"]:
         """All MOSFET instances, in insertion order."""
         return [e for e in self._elements if getattr(e, "is_mosfet", False)]
 

@@ -24,6 +24,8 @@ from typing import Callable, Optional, Sequence
 
 import numpy as np
 
+from repro.errors import ConfigError
+
 __all__ = [
     "forward_difference",
     "central_difference",
@@ -125,7 +127,7 @@ def mosfet_vth_gradient(
         ``"central"`` or ``"forward"``.
     """
     if scheme not in ("central", "forward"):
-        raise ValueError(f"unknown scheme {scheme!r}")
+        raise ConfigError(f"unknown scheme {scheme!r}")
     devices = [circuit[name] for name in device_names]
     grad = np.zeros(len(devices))
     base = metric() if scheme == "forward" else None

@@ -38,6 +38,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.errors import ConfigError
 from repro.spice.compile import (
     CompiledTransient,
     CrossProbe,
@@ -124,11 +125,11 @@ class ArraySlice:
     ):
         config = config or ArrayConfig()
         if config.leaker_data not in ("adversarial", "friendly"):
-            raise ValueError(f"unknown leaker_data {config.leaker_data!r}")
+            raise ConfigError(f"unknown leaker_data {config.leaker_data!r}")
         if config.n_cols < 1:
-            raise ValueError(f"n_cols must be >= 1, got {config.n_cols}")
+            raise ConfigError(f"n_cols must be >= 1, got {config.n_cols}")
         if not 0 <= config.sel_col < config.n_cols:
-            raise ValueError(
+            raise ConfigError(
                 f"sel_col {config.sel_col} outside [0, {config.n_cols})"
             )
         self.design = design or CellDesign()

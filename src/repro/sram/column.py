@@ -35,6 +35,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.errors import ConfigError
 from repro.spice.compile import (
     CompiledTransient,
     CrossProbe,
@@ -71,7 +72,7 @@ def _vth_dict(delta_vth, n: int, names: List[str], what: str):
         return delta_vth
     arr = np.atleast_2d(np.asarray(delta_vth, dtype=float))
     if arr.shape != (n, len(names)):
-        raise ValueError(
+        raise ConfigError(
             f"delta_vth matrix shape {arr.shape} != ({n}, {len(names)}) "
             f"over {what}"
         )
@@ -139,7 +140,7 @@ class ReadColumn:
         tran_options: Optional[TransientOptions] = None,
     ):
         if config is not None and config.leaker_data not in ("adversarial", "friendly"):
-            raise ValueError(f"unknown leaker_data {config.leaker_data!r}")
+            raise ConfigError(f"unknown leaker_data {config.leaker_data!r}")
         self.design = design or CellDesign()
         self.config = config or ColumnConfig()
         self.dv_spec = float(dv_spec)

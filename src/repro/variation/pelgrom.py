@@ -15,6 +15,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import ConfigError
+
 __all__ = ["vth_mismatch_sigma", "beta_mismatch_sigma"]
 
 
@@ -27,12 +29,12 @@ def vth_mismatch_sigma(model, w: float, l: float) -> float:
     our model cards).
     """
     if w <= 0 or l <= 0:
-        raise ValueError(f"device geometry must be positive, got W={w!r} L={l!r}")
+        raise ConfigError(f"device geometry must be positive, got W={w!r} L={l!r}")
     return model.avt / np.sqrt(w * l)
 
 
 def beta_mismatch_sigma(model, w: float, l: float) -> float:
     """Relative (fractional) sigma of the current factor of one device."""
     if w <= 0 or l <= 0:
-        raise ValueError(f"device geometry must be positive, got W={w!r} L={l!r}")
+        raise ConfigError(f"device geometry must be positive, got W={w!r} L={l!r}")
     return model.abeta / np.sqrt(w * l)

@@ -1,0 +1,229 @@
+"""Plan auditor: clean on every bench/assembly/solver, catches mutations.
+
+The mutation tests are the auditor's reason to exist: each one injects a
+defect class a corrupted cache entry or a hand-edited plan could carry
+(colliding scatter round, reordered rounds, a broken Schur partition,
+stamps that disagree with the wiring, stale hoisted tables, retirement
+that can clobber a metric) and asserts the auditor reports the exact
+code.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import PlanAuditError, SimulationError
+from repro.spice.audit import assert_plan_clean, audit_plan
+from repro.spice.compile import RetirePolicy
+from repro.sram.benches import (
+    BENCH_NAMES,
+    bench_compiled,
+    bench_solver_choices,
+    recompile,
+)
+
+
+def _codes(diags):
+    return sorted({d.code for d in diags})
+
+
+def _errors(diags):
+    return [d for d in diags if d.severity == "error"]
+
+
+MATRIX = [
+    (name, assembly, solver)
+    for name in BENCH_NAMES
+    for assembly in ("dense", "sparse")
+    for solver in bench_solver_choices(name)
+]
+
+
+class TestCleanMatrix:
+    @pytest.mark.parametrize("name,assembly,solver", MATRIX)
+    def test_bench_audits_clean(self, name, assembly, solver):
+        """ISSUE acceptance: every bench, every assembly/solver combo."""
+        ct = bench_compiled(name, assembly=assembly, solver=solver)
+        diags = assert_plan_clean(ct)
+        assert _errors(diags) == []
+
+    def test_assert_plan_clean_raises_typed(self):
+        ct = bench_compiled("column", assembly="sparse")
+        ct._jac_rounds = None
+        with pytest.raises(PlanAuditError) as exc:
+            assert_plan_clean(ct)
+        assert exc.value.code == "P002"
+        assert isinstance(exc.value, SimulationError)  # family compatibility
+
+
+class TestScatterRoundMutations:
+    def test_p001_colliding_round(self):
+        """Merging two rounds makes rows repeat inside one round."""
+        ct = bench_compiled("column", assembly="sparse")
+        r0, r1 = ct._jac_rounds[0], ct._jac_rounds[1]
+        merged = tuple(np.concatenate([a, b]) for a, b in zip(r0, r1))
+        ct._jac_rounds = [merged] + list(ct._jac_rounds[2:])
+        codes = _codes(_errors(audit_plan(ct)))
+        assert "P001" in codes
+
+    def test_p002_reordered_rounds(self):
+        """Reversed rounds apply stamps in descending column order."""
+        ct = bench_compiled("column", assembly="sparse")
+        ct._jac_rounds = list(reversed(ct._jac_rounds))
+        codes = _codes(_errors(audit_plan(ct)))
+        assert codes == ["P002"]
+
+    def test_p002_sparse_without_rounds(self):
+        ct = bench_compiled("column", assembly="sparse")
+        ct._jac_rounds = None
+        assert _codes(_errors(audit_plan(ct))) == ["P002"]
+
+    def test_p002_dense_with_rounds(self):
+        ct = bench_compiled("column", assembly="dense")
+        ct._jac_rounds = []
+        assert _codes(_errors(audit_plan(ct))) == ["P002"]
+
+
+class TestSchurMutations:
+    def test_p003_interior_node_leaked_into_border(self):
+        ct = bench_compiled("array", assembly="sparse", solver="schur")
+        schur = ct._schur
+        leaked = int(np.asarray(schur.groups[0][1])[0][0])
+        schur.h = np.unique(np.append(np.asarray(schur.h), leaked))
+        diags = _errors(audit_plan(ct))
+        assert "P003" in _codes(diags)
+        assert any("border and an interior block" in d.message for d in diags)
+
+    def test_p003_dropped_interior_block(self):
+        ct = bench_compiled("array", assembly="sparse", solver="schur")
+        schur = ct._schur
+        s, nodes = schur.groups[0]
+        nodes = np.asarray(nodes)
+        assert nodes.shape[0] >= 2, "bench must have multiple blocks of this size"
+        schur.groups[0] = (s, nodes[1:])
+        diags = _errors(audit_plan(ct))
+        assert "P003" in _codes(diags)
+        assert any("neither the border nor any block" in d.message for d in diags)
+
+    def test_p003_oversized_block(self):
+        ct = bench_compiled("array", assembly="sparse", solver="schur")
+        schur = ct._schur
+        # Glue enough same-size blocks into one pseudo-block that the
+        # result exceeds the unrolled-solve width.
+        gi, (s, nodes) = max(
+            enumerate(schur.groups), key=lambda g: np.asarray(g[1][1]).shape[0]
+        )
+        nodes = np.asarray(nodes)
+        n_fuse = 4 // s + 1  # smallest count with n_fuse * s > 4
+        assert nodes.shape[0] >= n_fuse, "bench too small for this mutation"
+        fused = np.concatenate(list(nodes[:n_fuse]))[None, :]
+        schur.groups[gi] = (n_fuse * s, fused)
+        if nodes.shape[0] > n_fuse:
+            schur.groups.append((s, nodes[n_fuse:]))
+        diags = _errors(audit_plan(ct))
+        assert "P003" in _codes(diags)
+        assert any("unrolled-solve width" in d.message for d in diags)
+
+    def test_p003_solver_mismatch(self):
+        ct = bench_compiled("column", solver="blocked")
+        donor = bench_compiled("column", solver="schur")
+        ct._schur = donor._schur
+        assert "P003" in _codes(_errors(audit_plan(ct)))
+
+
+class TestIndexMapMutations:
+    def test_p004_sign_flip_in_s_mat(self):
+        ct = bench_compiled("6t")
+        s = np.array(ct._s_mat, copy=True)
+        r, c = np.argwhere(s != 0.0)[0]
+        s[r, c] = -s[r, c]
+        ct._s_mat = s
+        diags = _errors(audit_plan(ct))
+        assert "P004" in _codes(diags)
+        assert any(d.subject == "s_mat" for d in diags)
+
+    def test_p004_gather_out_of_range(self):
+        ct = bench_compiled("6t")
+        idx = np.array(ct._d_idx, copy=True)
+        idx[0] = ct._n_ext  # one past the end of the extended state
+        ct._d_idx = idx
+        diags = _errors(audit_plan(ct))
+        assert "P004" in _codes(diags)
+
+
+class TestPlanTableMutations:
+    def test_p005_stale_step_sizes(self):
+        ct = bench_compiled("latch")
+        ct._plan.hs = ct._plan.hs * 2.0
+        diags = _errors(audit_plan(ct))
+        assert _codes(diags) == ["P005"]
+
+    def test_p005_stale_base_jacobian(self):
+        ct = bench_compiled("latch")
+        ct._plan.base_jac = ct._plan.base_jac + 1e-3
+        diags = _errors(audit_plan(ct))
+        assert "P005" in _codes(diags)
+        assert any(d.subject == "base_jac" for d in diags)
+
+
+class TestRetirementAudit:
+    def test_p006_value_probe_with_retirement(self):
+        ct = bench_compiled("array")
+        retire = RetirePolicy("access", after=float(ct.grid[-1]) * 0.5)
+        diags = _errors(audit_plan(ct, retire=retire))
+        assert "P006" in _codes(diags)
+
+    def test_p006_peak_window_after_retirement(self):
+        ct = bench_compiled("write")
+        t_from = float(ct._peak_probes[0].t_from)
+        retire = RetirePolicy("trip", after=t_from * 0.5)
+        diags = _errors(audit_plan(ct, retire=retire))
+        assert "P006" in _codes(diags)
+
+    def test_p006_unknown_retire_probe(self):
+        ct = bench_compiled("6t")
+        retire = RetirePolicy("nonesuch", after=float(ct.grid[-1]))
+        diags = _errors(audit_plan(ct, retire=retire))
+        assert "P006" in _codes(diags)
+
+    def test_write_bench_retirement_is_legal_after_peak_opens(self):
+        ct = bench_compiled("write")
+        t_from = float(ct._peak_probes[0].t_from)
+        retire = RetirePolicy("trip", after=t_from * 1.5)
+        assert _errors(audit_plan(ct, retire=retire)) == []
+
+
+class TestProbeTableMutations:
+    def test_p007_peak_rows_out_of_range(self):
+        ct = bench_compiled("write")
+        rows = np.array(ct._peak_rows, copy=True)
+        rows[0] = ct.n_unknowns
+        ct._peak_rows = rows
+        diags = _errors(audit_plan(ct))
+        assert "P007" in _codes(diags)
+
+    def test_p007_value_step_beyond_grid(self):
+        ct = bench_compiled("array")
+        steps = np.array(ct._value_steps, copy=True)
+        steps[0] = ct._plan.n_steps
+        ct._value_steps = steps
+        diags = _errors(audit_plan(ct))
+        assert "P007" in _codes(diags)
+
+
+class TestRecompileHelper:
+    def test_recompile_is_equivalent(self):
+        base = bench_compiled("column")
+        other = recompile(base, assembly="dense")
+        assert other.assembly == "dense"
+        assert other.n_unknowns == base.n_unknowns
+        assert audit_plan(other) == []
+
+    def test_recompile_preserves_probes(self):
+        base = bench_compiled("array")
+        other = recompile(base, solver="blocked")
+        assert [p.name for p in other._cross_probes] == [
+            p.name for p in base._cross_probes
+        ]
+        assert [p.name for p in other._value_probes] == [
+            p.name for p in base._value_probes
+        ]

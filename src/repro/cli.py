@@ -43,6 +43,17 @@ plan is pinned to ``--shards`` (default: ``--workers``), so results are
 bit-identical for any worker count with the same ``--shards`` — e.g.
 ``--shards 4 --workers 1`` reproduces ``--shards 4 --workers 4`` on a
 laptop with no free cores.
+
+Fault tolerance: ``--retries N`` re-dispatches failed or lost shard
+jobs, ``--shard-timeout S`` declares hung pooled attempts lost (and
+recycles the pool), and ``--journal PATH`` checkpoints completed shards
+so ``--resume`` replays them after an interruption.  All of it rides on
+the shard-plan determinism above, so a retried or resumed run is
+bit-identical to a fault-free one::
+
+    python -m repro.cli array-sigma --spec-ps 60 --workers 4 \\
+        --retries 2 --shard-timeout 300 --journal run.journal
+    # interrupted? same command + --resume finishes the missing shards
 """
 
 from __future__ import annotations
@@ -53,7 +64,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, JournalError
 
 __all__ = ["main", "build_parser"]
 
@@ -110,6 +121,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="gradient-search starts (multi-start covers "
                             "multiple failure regions; starts shard over "
                             "--workers)")
+        p.add_argument("--retries", type=int, default=0,
+                       help="re-dispatch a failed/lost/timed-out shard up "
+                            "to this many extra times (same plan index, "
+                            "stream and budget, so retried runs stay "
+                            "bit-identical to fault-free ones)")
+        p.add_argument("--shard-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="declare a pooled shard attempt lost after this "
+                            "many seconds and recycle the worker pool "
+                            "(combine with --retries to survive hung "
+                            "workers)")
+        p.add_argument("--journal", type=str, default=None, metavar="PATH",
+                       help="checkpoint completed shards to PATH as they "
+                            "finish, so an interrupted run can resume")
+        p.add_argument("--resume", action="store_true",
+                       help="with --journal: replay already-journaled "
+                            "shards (after a plan audit) and execute only "
+                            "the missing ones — bit-identical to an "
+                            "uninterrupted run")
 
     p_read = sub.add_parser("read-sigma", help="read-access failure sigma")
     common(p_read)
@@ -234,6 +264,59 @@ def _report(result, spec: float, extra: str = "") -> None:
         print(f"1 Mb zero-repair  : {100*y:.2f} % yield")
 
 
+def _make_runner(args):
+    """Build the fault-tolerant runner the CLI flags describe (or None).
+
+    The returned runner is persistent (one pool amortised across the
+    estimator's rounds) and owns a retry policy and, with ``--journal``,
+    a :class:`~repro.engine.journal.RunJournal`.  The caller must close
+    it (see :func:`_finish_runner`).
+    """
+    from repro.engine.journal import RunJournal
+    from repro.engine.sharding import RetryPolicy, ShardedRunner, resolve_shards
+
+    if args.retries < 0:
+        raise ConfigError(f"--retries must be >= 0, got {args.retries}")
+    if args.resume and not args.journal:
+        raise ConfigError("--resume requires --journal PATH")
+    if args.retries == 0 and args.shard_timeout is None and not args.journal:
+        return None
+    if args.journal and resolve_shards(args.shards, args.workers) < 2:
+        raise ConfigError(
+            "--journal needs a shard plan to checkpoint: set --shards >= 2 "
+            "(or --workers >= 2)"
+        )
+    journal = RunJournal(args.journal, resume=args.resume) if args.journal else None
+    retry = RetryPolicy(max_attempts=args.retries + 1, timeout=args.shard_timeout)
+    return ShardedRunner(
+        workers=args.workers, persistent=True, retry=retry, journal=journal
+    )
+
+
+def _finish_runner(runner) -> None:
+    if runner is not None:
+        runner.close()
+        if runner.journal is not None:
+            runner.journal.close()
+
+
+def _report_faults(runner) -> None:
+    if runner is None:
+        return
+    s = runner.fault_stats
+    if any(
+        s[k]
+        for k in ("retries", "timeouts", "worker_deaths", "pool_recycles", "replayed")
+    ):
+        print(
+            f"fault tolerance   : retries {s['retries']}, "
+            f"timeouts {s['timeouts']}, "
+            f"worker deaths {s['worker_deaths']}, "
+            f"pool recycles {s['pool_recycles']}, "
+            f"journal replays {s['replayed']}"
+        )
+
+
 def _run_sigma(args, kind: str) -> int:
     from repro.experiments.workloads import (
         calibrate_read_spec,
@@ -270,12 +353,18 @@ def _run_sigma(args, kind: str) -> int:
     else:
         make = make_read_limitstate if kind == "read" else make_write_limitstate
         ls = make(spec, vdd=args.vdd, n_steps=args.n_steps, kernel=args.kernel)
-    gis = GradientImportanceSampling(
-        ls, n_max=args.budget, target_rel_err=args.rel_err,
-        n_starts=args.starts, workers=args.workers, n_shards=args.shards,
-    )
-    result = gis.run(np.random.default_rng(args.seed))
+    runner = _make_runner(args)
+    try:
+        gis = GradientImportanceSampling(
+            ls, n_max=args.budget, target_rel_err=args.rel_err,
+            n_starts=args.starts, workers=args.workers, n_shards=args.shards,
+            runner=runner,
+        )
+        result = gis.run(np.random.default_rng(args.seed))
+    finally:
+        _finish_runner(runner)
     _report(result, spec, note)
+    _report_faults(runner)
     return 0
 
 
@@ -291,12 +380,17 @@ def _run_sa_sigma(args) -> int:
     # quantised at ~dv_max / 2^n_bisect, so the search tolerances are
     # matched to that resolution instead of the simulator-noise defaults.
     ls = make_senseamp_offset_limitstate(spec, vdd=args.vdd, kernel=args.kernel)
-    gis = GradientImportanceSampling(
-        ls, n_max=args.budget, target_rel_err=args.rel_err,
-        n_starts=args.starts, workers=args.workers, n_shards=args.shards,
-        mpfp_options=MpfpOptions(max_iterations=25, tol_g=1e-2, tol_align=2e-2),
-    )
-    result = gis.run(np.random.default_rng(args.seed))
+    runner = _make_runner(args)
+    try:
+        gis = GradientImportanceSampling(
+            ls, n_max=args.budget, target_rel_err=args.rel_err,
+            n_starts=args.starts, workers=args.workers, n_shards=args.shards,
+            mpfp_options=MpfpOptions(max_iterations=25, tol_g=1e-2, tol_align=2e-2),
+            runner=runner,
+        )
+        result = gis.run(np.random.default_rng(args.seed))
+    finally:
+        _finish_runner(runner)
     lo, hi = result.ci()
     print(f"offset spec       : {args.spec_mv:.1f} mV")
     print(f"p_fail            : {result.p_fail:.4e}  (CI95 [{lo:.3e}, {hi:.3e}])")
@@ -308,6 +402,7 @@ def _run_sa_sigma(args) -> int:
     if 0 < result.p_fail < 1:
         y = array_yield(result.p_fail, 1 << 20)
         print(f"1 Mb zero-repair  : {100*y:.2f} % yield")
+    _report_faults(runner)
     return 0
 
 
@@ -325,13 +420,19 @@ def _run_column_sigma(args) -> int:
     # stencil is a couple of bulk batches on the compiled column, so
     # even the 96-axis default column prices a gradient like a handful
     # of scalar simulations.
-    gis = GradientImportanceSampling(
-        ls, n_max=args.budget, target_rel_err=args.rel_err,
-        n_starts=args.starts, workers=args.workers, n_shards=args.shards,
-    )
-    result = gis.run(np.random.default_rng(args.seed))
+    runner = _make_runner(args)
+    try:
+        gis = GradientImportanceSampling(
+            ls, n_max=args.budget, target_rel_err=args.rel_err,
+            n_starts=args.starts, workers=args.workers, n_shards=args.shards,
+            runner=runner,
+        )
+        result = gis.run(np.random.default_rng(args.seed))
+    finally:
+        _finish_runner(runner)
     _report(result, spec, f"  (column, {args.leakers} leakers, "
                           f"dim {ls.dim})")
+    _report_faults(runner)
     return 0
 
 
@@ -348,13 +449,19 @@ def _run_array_sigma(args) -> int:
     # Same gradient economics as the column, one scale up: a full
     # central-difference stencil over 6 * cols * (leakers + 1) axes is
     # still just a couple of bulk batches on the compiled slice.
-    gis = GradientImportanceSampling(
-        ls, n_max=args.budget, target_rel_err=args.rel_err,
-        n_starts=args.starts, workers=args.workers, n_shards=args.shards,
-    )
-    result = gis.run(np.random.default_rng(args.seed))
+    runner = _make_runner(args)
+    try:
+        gis = GradientImportanceSampling(
+            ls, n_max=args.budget, target_rel_err=args.rel_err,
+            n_starts=args.starts, workers=args.workers, n_shards=args.shards,
+            runner=runner,
+        )
+        result = gis.run(np.random.default_rng(args.seed))
+    finally:
+        _finish_runner(runner)
     _report(result, spec, f"  (array, {args.cols} cols x "
                           f"{args.leakers + 1} cells, dim {ls.dim})")
+    _report_faults(runner)
     return 0
 
 
@@ -453,22 +560,34 @@ def _run_compare(args) -> int:
 def main(argv: Optional[list] = None) -> int:
     """Entry point (also exposed as ``python -m repro.cli``)."""
     args = build_parser().parse_args(argv)
-    if args.command == "read-sigma":
-        return _run_sigma(args, "read")
-    if args.command == "write-sigma":
-        return _run_sigma(args, "write")
-    if args.command == "sa-sigma":
-        return _run_sa_sigma(args)
-    if args.command == "column-sigma":
-        return _run_column_sigma(args)
-    if args.command == "array-sigma":
-        return _run_array_sigma(args)
-    if args.command == "snm":
-        return _run_snm(args)
-    if args.command == "netlist-lint":
-        return _run_netlist_lint(args)
-    if args.command == "compare":
-        return _run_compare(args)
+    try:
+        if args.command == "read-sigma":
+            return _run_sigma(args, "read")
+        if args.command == "write-sigma":
+            return _run_sigma(args, "write")
+        if args.command == "sa-sigma":
+            return _run_sa_sigma(args)
+        if args.command == "column-sigma":
+            return _run_column_sigma(args)
+        if args.command == "array-sigma":
+            return _run_array_sigma(args)
+        if args.command == "snm":
+            return _run_snm(args)
+        if args.command == "netlist-lint":
+            return _run_netlist_lint(args)
+        if args.command == "compare":
+            return _run_compare(args)
+    except ConfigError as exc:
+        # Semantic flag conflicts (e.g. --resume without --journal) exit
+        # like argparse rejections: one readable line, status 2.
+        print(f"error: {exc}")
+        return 2
+    except JournalError as exc:
+        # A refused resume (D005–D007: the journal was recorded under a
+        # different plan) is a usage error, not a crash: the diagnostic
+        # already names the mismatch and the fix.
+        print(f"error: {exc}")
+        return 2
     raise ConfigError(f"unhandled command {args.command!r}")
 
 

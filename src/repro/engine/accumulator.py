@@ -66,13 +66,26 @@ class StreamingAccumulator:
         fails = np.asarray(fails, dtype=bool)
         if log_w.shape != fails.shape:
             raise EstimationError("log-weights and indicators must have equal shapes")
-        self.n += log_w.size
         k = int(np.count_nonzero(fails))
         if k:
-            self.n_fail += k
             lw = log_w[fails]
+            # Loud, not poisoned: one NaN or +inf log-weight entering the
+            # moments would silently corrupt every later estimate and
+            # every merge downstream.  -inf is legal (a zero weight);
+            # NaN and +inf can only be upstream corruption.
+            if np.isnan(lw).any() or (lw == np.inf).any():
+                raise EstimationError(
+                    "non-finite failing log-weight entering the accumulator "
+                    f"(NaN: {int(np.isnan(lw).sum())}, "
+                    f"+inf: {int((lw == np.inf).sum())} of {k} failing); "
+                    "log-weights may be -inf but never NaN or +inf"
+                )
+            self.n += log_w.size
+            self.n_fail += k
             self._log_s1 = float(np.logaddexp(self._log_s1, logsumexp(lw)))
             self._log_s2 = float(np.logaddexp(self._log_s2, logsumexp(2.0 * lw)))
+        else:
+            self.n += log_w.size
 
     def merge(self, other: "StreamingAccumulator") -> None:
         """Fold another accumulator in (exact, order-sensitive only in ulps).
@@ -81,6 +94,12 @@ class StreamingAccumulator:
         determinism contract: the result depends on the shard plan, not
         on which worker process produced each shard.
         """
+        for log_s in (other._log_s1, other._log_s2):
+            if np.isnan(log_s) or log_s == float("inf"):
+                raise EstimationError(
+                    f"refusing to merge an accumulator with non-finite "
+                    f"moments: {other!r}"
+                )
         self.n += other.n
         self.n_fail += other.n_fail
         self._log_s1 = float(np.logaddexp(self._log_s1, other._log_s1))

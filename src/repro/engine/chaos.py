@@ -1,0 +1,194 @@
+"""Deterministic fault injection for the sharded execution engine.
+
+The harness that *proves* the fault-tolerance layer correct: a
+:class:`FaultSpec` injects one failure mode into one specific
+``(shard, attempt)`` execution, and because retries re-run the identical
+``(index, stream, budget)`` job, a faulted run under a
+:class:`~repro.engine.sharding.RetryPolicy` must merge **bit-identical**
+to a fault-free run of the same plan.  ``tests/engine/test_chaos.py``
+pins exactly that, per fault kind and with all kinds at once.
+
+Fault kinds:
+
+* ``"raise"`` — raise :class:`FaultInjected` (a transient exception);
+* ``"delay"`` — sleep ``seconds``, then return normally (slow shard);
+* ``"hang"`` — sleep ``seconds`` (pick it beyond the retry timeout to
+  emulate a stuck Newton solve; the runner recycles the pool);
+* ``"kill"`` — ``SIGKILL`` the worker process (OOM-killer emulation;
+  downgraded to ``"raise"`` when not inside a pool worker, so an
+  in-process run never kills the caller);
+* ``"nan"`` — replace the result payload with ``NaN`` (silent data
+  corruption; pair with the :func:`reject_non_finite` validator).
+
+Faults fire *after* the wrapped task completes: losing a finished
+attempt — evals consumed, RNG stream advanced, result discarded — is
+the adversarial case the retry determinism has to absorb.
+
+Wiring: pass ``chaos=[FaultSpec(...)]`` to
+:class:`~repro.engine.sharding.ShardedRunner`; it wraps whatever task it
+executes in a :class:`ChaosTask`, so estimators need no changes.  This
+is test/benchmark machinery — never enable it in production paths.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import signal
+import time
+from dataclasses import dataclass, replace
+from typing import Any, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.sharding import (
+    ShardResult,
+    current_attempt,
+    in_pool_worker,
+)
+from repro.errors import EstimationError
+
+__all__ = ["ChaosTask", "FaultInjected", "FaultSpec", "reject_non_finite"]
+
+_KINDS = ("raise", "delay", "hang", "kill", "nan")
+
+
+class FaultInjected(EstimationError):
+    """The exception a ``"raise"`` (or downgraded ``"kill"``) fault throws."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault, keyed to a specific shard execution attempt.
+
+    ``attempt`` is 0-based: the default ``attempt=0`` faults the first
+    execution, so a policy with ``max_attempts >= 2`` recovers on the
+    retry.  ``seconds`` is the sleep for ``"delay"``/``"hang"``.
+    """
+
+    kind: str
+    shard: int
+    attempt: int = 0
+    seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise EstimationError(
+                f"unknown fault kind {self.kind!r}; expected one of {_KINDS}"
+            )
+        if int(self.shard) < 0:
+            raise EstimationError(f"fault shard must be >= 0, got {self.shard}")
+        if int(self.attempt) < 0:
+            raise EstimationError(f"fault attempt must be >= 0, got {self.attempt}")
+        if not float(self.seconds) >= 0:
+            raise EstimationError(f"fault seconds must be >= 0, got {self.seconds}")
+
+    def matches(self, shard: int, attempt: int) -> bool:
+        return int(self.shard) == int(shard) and int(self.attempt) == int(attempt)
+
+
+class ChaosTask:
+    """Comparable, picklable task wrapper applying a fault schedule.
+
+    Equality follows the inner task's (plus an identical schedule), so a
+    persistent fork pool still recognises repeat submissions and skips
+    the respawn.
+    """
+
+    __slots__ = ("inner", "faults")
+
+    def __init__(self, inner, faults: Sequence[FaultSpec]):
+        self.inner = inner
+        self.faults: Tuple[FaultSpec, ...] = tuple(faults)
+
+    def __call__(self, index: int, rng, budget: int) -> ShardResult:
+        attempt = current_attempt()
+        active = [f for f in self.faults if f.matches(index, attempt)]
+        result = self.inner(index, rng, budget)
+        for fault in active:
+            result = self._apply(fault, index, attempt, result)
+        return result
+
+    def _apply(
+        self, fault: FaultSpec, index: int, attempt: int, result: ShardResult
+    ) -> ShardResult:
+        if fault.kind in ("delay", "hang"):
+            time.sleep(fault.seconds)
+            return result
+        if fault.kind == "nan":
+            return replace(result, payload=float("nan"))
+        if fault.kind == "kill":
+            if in_pool_worker():
+                os.kill(os.getpid(), signal.SIGKILL)
+            raise FaultInjected(
+                f"kill fault on shard {index} attempt {attempt} downgraded "
+                "to an exception (not inside a pool worker)"
+            )
+        raise FaultInjected(f"injected failure on shard {index} attempt {attempt}")
+
+    # Pickle support: __slots__ classes have no __dict__ state.
+    def __getstate__(self):
+        return (self.inner, self.faults)
+
+    def __setstate__(self, state):
+        inner, faults = state
+        object.__setattr__(self, "inner", inner)
+        object.__setattr__(self, "faults", faults)
+
+    def __eq__(self, other):
+        return (
+            type(other) is ChaosTask
+            and self.faults == other.faults
+            and (self.inner is other.inner or self.inner == other.inner)
+        )
+
+    __hash__ = None  # identity/equality only; never used as a dict key
+
+
+def reject_non_finite(result: ShardResult) -> Optional[str]:
+    """:class:`~repro.engine.sharding.RetryPolicy` validator: refuse
+    payloads carrying NaN or ``+inf``.
+
+    ``-inf`` is legal — it is the log-space zero the streaming
+    accumulator uses for "no failures yet" — but NaN and ``+inf`` can
+    only mean corruption.  Returns a rejection reason or ``None``.
+    """
+    return _scan_non_finite(result.payload, "payload")
+
+
+def _scan_non_finite(obj: Any, path: str, depth: int = 0) -> Optional[str]:
+    if depth > 6 or obj is None or isinstance(obj, (bool, str, bytes)):
+        return None
+    if isinstance(obj, (int, np.integer)):
+        return None
+    if isinstance(obj, (float, np.floating)):
+        value = float(obj)
+        if math.isnan(value) or value == math.inf:
+            return f"{path} is {value!r}"
+        return None
+    if isinstance(obj, np.ndarray):
+        if obj.dtype.kind in "fc":
+            arr = np.asarray(obj)
+            if np.isnan(arr).any() or (arr == np.inf).any():
+                return f"{path} has NaN/+inf entries"
+        return None
+    if isinstance(obj, (tuple, list)):
+        for k, item in enumerate(obj):
+            bad = _scan_non_finite(item, f"{path}[{k}]", depth + 1)
+            if bad is not None:
+                return bad
+        return None
+    if isinstance(obj, dict):
+        for key in obj:
+            bad = _scan_non_finite(obj[key], f"{path}[{key!r}]", depth + 1)
+            if bad is not None:
+                return bad
+        return None
+    getstate = getattr(obj, "__getstate__", None)
+    if callable(getstate):
+        try:
+            state = getstate()
+        except Exception:
+            return None
+        return _scan_non_finite(state, f"{path}.<state>", depth + 1)
+    return None

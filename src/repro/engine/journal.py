@@ -1,0 +1,293 @@
+"""Incremental shard-result journaling with audited resume.
+
+A :class:`RunJournal` persists every completed
+:class:`~repro.engine.sharding.ShardResult` to disk the moment it
+arrives (flushed and fsynced per record), so an interrupted long
+estimation loses only its in-flight shards.  Resuming re-runs the same
+estimator with ``resume=True``: rounds whose shard plan matches a
+journaled round replay the recorded results and execute only the
+missing shards — and because shard execution is a pure function of
+``(index, stream, budget)``, the resumed run merges **bit-identical**
+to an uninterrupted one.
+
+A journal is an out-of-process artifact, so it goes through an
+admission gate before any replay — the same pattern
+``assert_plan_clean`` applies to cached compiled plans.  The runner
+first audits the live plan itself (``assert_shard_plan_clean``:
+D001–D004), then :meth:`RunJournal.begin_round` audits the journal
+against it:
+
+* ``D005`` — the journal's recorded plan fingerprint does not match the
+  current round's plan (different seed, shard count or budget split);
+* ``D006`` — duplicate records for one shard index within a round;
+* ``D007`` — a journaled shard index outside its recorded plan.
+
+All three raise :class:`~repro.errors.JournalError` (a
+:class:`~repro.errors.DiagnosticError` carrying the code and findings).
+
+On-disk format: a stream of pickled tuples — ``("plan", fingerprint,
+n_shards)`` headers followed by ``("shard", fingerprint, ShardResult)``
+records.  Appends are atomic per record (each record is serialized
+before any byte is written), and loading tolerates a truncated tail (a
+crash mid-write costs exactly the record being written).  Multi-round
+estimations (main round + top-up) produce distinct fingerprints because
+SeedSequence spawn keys advance, so rounds never collide in one file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.engine.audit import _seed_identity
+from repro.engine.sharding import ShardResult
+from repro.errors import JournalError
+from repro.spice.diagnostics import (
+    DIAGNOSTIC_CODES,
+    Diagnostic,
+    format_diagnostics,
+)
+
+__all__ = ["RunJournal", "plan_fingerprint"]
+
+
+def _diag(code: str, subject: str, message: str) -> Diagnostic:
+    return Diagnostic(code, "error", subject, message, DIAGNOSTIC_CODES[code][1])
+
+
+def plan_fingerprint(
+    rngs: Sequence[np.random.Generator], budgets: Sequence[int]
+) -> str:
+    """A stable fingerprint of one round's shard plan.
+
+    Derived from each stream's seed identity (entropy + spawn key — the
+    same identity the D001/D004 audits inspect) and the budget split, so
+    two rounds fingerprint equal exactly when they would execute the
+    identical jobs.
+    """
+    identities = [_seed_identity(rng) for rng in rngs]
+    blob = repr((identities, [int(b) for b in budgets])).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+class RunJournal:
+    """Append-only journal of completed shard results for one run.
+
+    Parameters
+    ----------
+    path:
+        The journal file.  Without ``resume`` the file is truncated and
+        records a fresh run; with ``resume=True`` existing records are
+        loaded (and audited) and new records append.
+    resume:
+        Replay journaled shards whose round matches the current plan.
+
+    The journal is handed to :class:`~repro.engine.sharding.ShardedRunner`
+    (``journal=`` argument), which calls :meth:`begin_round` once per
+    ``run_shards`` round and :meth:`record` per newly-executed shard.
+    Close it (context manager or :meth:`close`) when the run ends.
+    """
+
+    def __init__(self, path, resume: bool = False):
+        self.path = str(path)
+        self.resume = bool(resume)
+        # Distinct round fingerprints in file order, and per-fingerprint
+        # recorded results; rebuilt from disk on resume.
+        self._round_fps: List[str] = []
+        self._records: Dict[str, Dict[int, ShardResult]] = {}
+        self._plan_sizes: Dict[str, int] = {}
+        self._rounds_begun = 0
+        self._current_fp: Optional[str] = None
+        self._current_n = 0
+        self._written_headers: List[str] = []
+        if self.resume and os.path.exists(self.path):
+            self._load()
+        self._fh = open(self.path, "ab" if self.resume else "wb")
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- loading -------------------------------------------------------
+
+    def _load(self) -> None:
+        """Replay the on-disk record stream, tolerating a truncated tail."""
+        diags: List[Diagnostic] = []
+        with open(self.path, "rb") as fh:
+            while True:
+                try:
+                    rec = pickle.load(fh)
+                except EOFError:
+                    break
+                except Exception:
+                    # A crash mid-append leaves a partial record at the
+                    # tail; everything before it is intact and usable.
+                    break
+                kind = rec[0]
+                if kind == "plan":
+                    _, fp, n_shards = rec
+                    if fp not in self._plan_sizes:
+                        self._round_fps.append(fp)
+                        self._plan_sizes[fp] = int(n_shards)
+                        self._written_headers.append(fp)
+                elif kind == "shard":
+                    _, fp, result = rec
+                    if fp not in self._plan_sizes:
+                        raise JournalError(
+                            f"journal {self.path}: shard record for unknown "
+                            f"plan fingerprint {fp[:12]}… (corrupt or "
+                            "hand-edited journal)",
+                            code="D005",
+                            diagnostics=[
+                                _diag(
+                                    "D005",
+                                    self.path,
+                                    "shard record precedes its plan header",
+                                )
+                            ],
+                        )
+                    bucket = self._records.setdefault(fp, {})
+                    if result.index in bucket:
+                        diags.append(
+                            _diag(
+                                "D006",
+                                self.path,
+                                f"shard {result.index} recorded twice in "
+                                f"round {fp[:12]}…",
+                            )
+                        )
+                    elif not 0 <= result.index < self._plan_sizes[fp]:
+                        diags.append(
+                            _diag(
+                                "D007",
+                                self.path,
+                                f"shard index {result.index} outside the "
+                                f"{self._plan_sizes[fp]}-shard recorded plan",
+                            )
+                        )
+                    else:
+                        bucket[result.index] = result
+        if diags:
+            raise JournalError(
+                f"journal {self.path} failed its resume audit:\n"
+                + format_diagnostics(diags),
+                code=diags[0].code,
+                diagnostics=diags,
+            )
+
+    # -- runner interface ----------------------------------------------
+
+    def begin_round(
+        self,
+        rngs: Sequence[np.random.Generator],
+        budgets: Sequence[int],
+    ) -> Dict[int, ShardResult]:
+        """Audit the journal against this round's plan; return replays.
+
+        Rounds are matched positionally against the journaled round
+        order: round *k* of the resumed run must fingerprint equal to
+        journaled round *k* (``D005`` otherwise) — a resumed estimator
+        replays its rounds in the same order by determinism.  Rounds
+        beyond the journaled history are new work and replay nothing.
+        """
+        fp = plan_fingerprint(rngs, budgets)
+        k = self._rounds_begun
+        self._rounds_begun += 1
+        self._current_fp = fp
+        self._current_n = len(budgets)
+        if k < len(self._round_fps) and self._round_fps[k] != fp:
+            d = _diag(
+                "D005",
+                self.path,
+                f"round {k}: journal recorded plan "
+                f"{self._round_fps[k][:12]}…, current plan is {fp[:12]}… "
+                "(seed, n_shards or budget split differ)",
+            )
+            raise JournalError(
+                f"journal {self.path} does not match the current shard "
+                f"plan:\n" + format_diagnostics([d]),
+                code="D005",
+                diagnostics=[d],
+            )
+        replay = dict(self._records.get(fp, {}))
+        bad = [i for i in sorted(replay) if not 0 <= i < len(budgets)]
+        if bad:
+            diags = [
+                _diag(
+                    "D007",
+                    self.path,
+                    f"journaled shard index {i} outside the current "
+                    f"{len(budgets)}-shard plan",
+                )
+                for i in bad
+            ]
+            raise JournalError(
+                f"journal {self.path} failed its resume audit:\n"
+                + format_diagnostics(diags),
+                code="D007",
+                diagnostics=diags,
+            )
+        return replay
+
+    def record(self, result: ShardResult) -> None:
+        """Persist one newly-completed shard result (flush + fsync)."""
+        if self._fh is None:
+            raise JournalError(f"journal {self.path} is closed")
+        fp = self._current_fp
+        if fp is None:
+            raise JournalError("record() before begin_round()")
+        if result.index in self._records.get(fp, {}):
+            # Already on disk for this round (e.g. a journaled-but-
+            # rejected result that was re-executed): appending again
+            # would trip the D006 duplicate audit on the next resume.
+            return
+        try:
+            # Serialize before writing a single byte: a pickling failure
+            # must not leave a partial record on disk.
+            blob = pickle.dumps(("shard", fp, result))
+        except Exception as exc:
+            raise JournalError(
+                f"shard {result.index} result cannot be journaled "
+                f"({type(exc).__name__}: {exc}); payloads must be picklable",
+            ) from exc
+        if fp not in self._written_headers:
+            self._fh.write(pickle.dumps(("plan", fp, self._current_n)))
+            self._written_headers.append(fp)
+            if fp not in self._plan_sizes:
+                self._round_fps.append(fp)
+                self._plan_sizes[fp] = self._current_n
+        self._fh.write(blob)
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._records.setdefault(fp, {})[result.index] = result
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def rounds(self) -> int:
+        """How many distinct rounds the journal holds records for."""
+        return len(self._round_fps)
+
+    def recorded(self, fp: Optional[str] = None) -> Dict[int, Any]:
+        """The recorded results of one round (default: current round)."""
+        fp = fp if fp is not None else self._current_fp
+        return dict(self._records.get(fp, {})) if fp is not None else {}

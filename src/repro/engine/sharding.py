@@ -36,6 +36,23 @@ Mechanics:
   :attr:`~repro.highsigma.limitstate.LimitState.n_evals` after a pooled
   run, so eval accounting reconciles exactly across processes (the
   in-process path already counted them on the parent object).
+
+Fault tolerance rides on the same contract.  Shard jobs are dispatched
+*individually* (``apply_async`` per shard, not one blocking ``map``), so
+the runner can watch each in-flight attempt: a raised exception, a dead
+worker, or a timed-out attempt triggers a re-dispatch of the identical
+``(index, stream, budget)`` job under a :class:`RetryPolicy` — and
+because shard execution is a pure function of that triple, a retried run
+merges **bit-identical** to a fault-free one (``tests/engine/test_chaos.py``
+pins this with injected faults).  Worker death is detected by pid
+snapshots (``multiprocessing.Pool`` replaces dead workers but silently
+loses their in-flight jobs); hung workers cannot be cancelled through
+the Pool API, so a timeout recycles the whole pool.  Completed shards
+can be journaled incrementally (:class:`repro.engine.journal.RunJournal`)
+and replayed on resume after an audit.  Failures surface as typed
+:class:`~repro.errors.ShardExecutionError`, and every run leaves a
+diagnostics dict (:attr:`ShardedRunner.last_diagnostics`) recording
+retries, timeouts, worker replacements and per-attempt wall clock.
 """
 
 from __future__ import annotations
@@ -44,18 +61,22 @@ import itertools
 import multiprocessing
 import pickle
 import threading
+import time
 import warnings
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set
 
 import numpy as np
 
-from repro.errors import EstimationError
+from repro.errors import EstimationError, ShardExecutionError
 
 __all__ = [
+    "RetryPolicy",
     "ShardResult",
     "ShardedRunner",
+    "current_attempt",
     "fork_available",
+    "in_pool_worker",
     "resolve_shards",
     "run_sharded",
     "scale_shard_target",
@@ -136,6 +157,48 @@ class ShardResult:
     diagnostics: dict = field(default_factory=dict)
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How :class:`ShardedRunner` reacts when a shard attempt fails.
+
+    ``max_attempts`` bounds the total executions of one shard (``1``
+    disables retries).  ``timeout`` (seconds, pooled execution only)
+    declares an in-flight attempt lost and recycles the pool — a hung
+    worker cannot be cancelled through the Pool API, so the whole pool is
+    torn down and respawned.  ``backoff`` sleeps
+    ``backoff * 2**(failures-1)`` seconds before a re-dispatch.
+    ``validate`` inspects a completed :class:`ShardResult` and returns a
+    rejection reason (or ``None`` to accept); a rejected payload counts
+    as a failed attempt — the hook that turns silently-corrupt results
+    (NaN payloads) into retries.
+
+    Retries preserve determinism by construction: a re-dispatched shard
+    re-runs the identical ``(index, stream, budget)`` job, so a run with
+    retries merges bit-identical to a fault-free run of the same plan.
+    """
+
+    max_attempts: int = 1
+    timeout: Optional[float] = None
+    backoff: float = 0.0
+    validate: Optional[Callable[[ShardResult], Optional[str]]] = None
+
+    def __post_init__(self) -> None:
+        if int(self.max_attempts) < 1:
+            raise EstimationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.timeout is not None and not float(self.timeout) > 0:
+            raise EstimationError(f"timeout must be positive, got {self.timeout}")
+        if float(self.backoff) < 0:
+            raise EstimationError(f"backoff must be >= 0, got {self.backoff}")
+
+    def delay(self, failures: int) -> float:
+        """Seconds to wait before the dispatch following ``failures``."""
+        if self.backoff <= 0 or failures < 1:
+            return 0.0
+        return float(self.backoff) * (2.0 ** (failures - 1))
+
+
 # Fork-pool plumbing: the task closure (typically capturing a limit
 # state full of unpicklable simulator closures) is published into a
 # keyed module-level registry *before* the pool forks, so children
@@ -155,6 +218,10 @@ _POOL_KEYS = itertools.count()
 # forked mid-lifetime: the flag a shard task uses to detect that it is
 # already inside a pool worker and must run nested plans in-process.
 _IN_POOL_WORKER = False
+# Which execution attempt (0-based) of its shard the currently-running
+# task belongs to — set around every task invocation (worker or
+# in-process) so deterministic fault injection can key on it.
+_CURRENT_ATTEMPT = 0
 
 
 def _mark_pool_worker() -> None:
@@ -162,16 +229,56 @@ def _mark_pool_worker() -> None:
     _IN_POOL_WORKER = True
 
 
+def in_pool_worker() -> bool:
+    """Whether this process is a ShardedRunner pool worker."""
+    return _IN_POOL_WORKER
+
+
+def current_attempt() -> int:
+    """The 0-based attempt number of the shard task currently running."""
+    return _CURRENT_ATTEMPT
+
+
+def _run_attempt(task, index: int, rng, budget: int, attempt: int) -> ShardResult:
+    global _CURRENT_ATTEMPT
+    _CURRENT_ATTEMPT = int(attempt)
+    try:
+        return task(index, rng, int(budget))
+    finally:
+        _CURRENT_ATTEMPT = 0
+
+
 def _invoke_shard(args) -> ShardResult:
-    key, index, rng, budget = args
-    return _POOL_TASKS[key](index, rng, budget)
+    # Older journals/jobs carry 4-tuples; the attempt number is optional.
+    key, index, rng, budget, *rest = args
+    return _run_attempt(_POOL_TASKS[key], index, rng, budget, rest[0] if rest else 0)
 
 
 def _invoke_spawned_shard(args) -> ShardResult:
     # Spawn-path worker entry: the task itself arrived through the pickle
-    # pipe as part of the job, so there is no registry to consult.
-    task, index, rng, budget = args
-    return task(index, rng, budget)
+    # pipe as part of the job (pre-serialized by the parent *before* it
+    # created the pool — a task reaching back to its runner must never
+    # see a live pool object mid-pickle), so there is no registry to
+    # consult.
+    task, index, rng, budget, *rest = args
+    if isinstance(task, bytes):
+        task = pickle.loads(task)
+    return _run_attempt(task, index, rng, budget, rest[0] if rest else 0)
+
+
+def _clone_generator(rng):
+    """A state-identical copy of ``rng`` for one execution attempt.
+
+    Pool dispatch gets this for free (the parent-side generator is
+    pickled into every job, so a failed attempt dies with its worker's
+    copy); the in-process path must clone explicitly, or a failed
+    attempt would advance the plan's stream and the retry would draw
+    different samples than the fault-free run.
+    """
+    try:
+        return pickle.loads(pickle.dumps(rng))
+    except Exception:
+        return rng
 
 
 def fork_available() -> bool:
@@ -216,6 +323,19 @@ class _MeasuredShardTask:
     __hash__ = None  # identity/equality only; never used as a dict key
 
 
+# Counters rolled up from per-run diagnostics into the runner-lifetime
+# ``fault_stats`` total.
+_FAULT_COUNTERS = (
+    "retries",
+    "timeouts",
+    "worker_deaths",
+    "worker_replacements",
+    "pool_recycles",
+    "replayed",
+    "skipped_empty",
+)
+
+
 class ShardedRunner:
     """Execute shard tasks serially or on a process pool, results in order.
 
@@ -235,6 +355,8 @@ class ShardedRunner:
         Mutating the task's captured state (estimator configuration,
         limit-state ``fn``) between runs of an equivalent task is not
         supported while a fork pool is live — ``close()`` first.
+        A run that fails always closes the pool (dead or hung workers
+        must never be reused); the next call respawns transparently.
     start_method:
         ``None`` (default) picks ``fork`` when available, else ``spawn``;
         or force ``"fork"`` / ``"spawn"`` explicitly (forcing an
@@ -242,10 +364,28 @@ class ShardedRunner:
         through the pickle pipe, so it needs a picklable task; an
         unpicklable task falls back to in-process execution with a
         ``RuntimeWarning`` — loud, never silent.
+    retry:
+        A :class:`RetryPolicy`; ``None`` means one attempt, no timeout.
+    journal:
+        A :class:`repro.engine.journal.RunJournal`.  Completed shards
+        are recorded incrementally; on a resume journal, already-recorded
+        shards of the identical plan are replayed instead of re-executed
+        (the plan passes ``assert_shard_plan_clean`` plus the journal's
+        own D005–D007 audit before any replay).
+    chaos:
+        A sequence of :class:`repro.engine.chaos.FaultSpec` — the
+        deterministic fault-injection harness.  Faults are keyed by
+        ``(shard, attempt)``, so a faulted run with retries must merge
+        bit-identical to a fault-free run.  Test/benchmark machinery;
+        never set in production paths.
 
     After every :meth:`run_shards` call, :attr:`last_mode` records which
-    execution path actually ran: ``"in-process"``, ``"fork"`` or
-    ``"spawn"``.
+    execution path actually ran (``"in-process"``, ``"fork"`` or
+    ``"spawn"``) and :attr:`last_diagnostics` the run's fault-tolerance
+    diagnostics (retries, timeouts, worker deaths/replacements, pool
+    recycles, journal replays, per-shard attempt wall clock).
+    :attr:`fault_stats` accumulates the counters over the runner's
+    lifetime.
     """
 
     def __init__(
@@ -253,24 +393,38 @@ class ShardedRunner:
         workers: int = 1,
         persistent: bool = False,
         start_method: Optional[str] = None,
+        retry: Optional[RetryPolicy] = None,
+        journal=None,
+        chaos: Sequence[Any] = (),
     ):
         if start_method not in (None, "fork", "spawn"):
             raise EstimationError(
                 f"start_method must be None, 'fork' or 'spawn', got {start_method!r}"
             )
+        if retry is not None and not isinstance(retry, RetryPolicy):
+            raise EstimationError(
+                f"retry must be a RetryPolicy, got {type(retry).__name__}"
+            )
         self.workers = max(1, int(workers))
         self.persistent = bool(persistent)
         self.start_method = start_method
+        self.retry = retry
+        self.journal = journal
+        self.chaos = tuple(chaos)
         self.last_mode: Optional[str] = None
+        self.last_diagnostics: Dict[str, Any] = {}
+        self.fault_stats: Dict[str, int] = {k: 0 for k in _FAULT_COUNTERS}
+        self._poll_s = 0.02
+        self._warned_local_timeout = False
         self._pool = None
         self._pool_method: Optional[str] = None
-        self._pool_task: Optional[_MeasuredShardTask] = None
+        self._pool_task = None
         self._pool_key: Optional[int] = None
 
     # -- lifecycle -----------------------------------------------------
 
     def close(self) -> None:
-        """Terminate the persistent pool (no-op when none is live)."""
+        """Terminate the live pool (no-op when none is live)."""
         if self._pool is not None:
             self._pool.terminate()
             self._pool.join()
@@ -293,14 +447,13 @@ class ShardedRunner:
         except Exception:
             pass
 
-    # -- execution -----------------------------------------------------
+    # -- pool plumbing -------------------------------------------------
 
     def _fork_pool(self, task, n_jobs: int):
         """Register ``task`` and fork a pool that inherits the registry.
 
-        Returns ``(pool, key)``; the caller owns deregistration (at the
-        end of the run for one-shot pools, at :meth:`close` for
-        persistent ones — keeping the entry alive is what lets the Pool
+        Returns ``(pool, key)``; the caller owns deregistration (at
+        :meth:`close` — keeping the entry alive is what lets the Pool
         fork working replacement workers mid-lifetime).
         """
         key = next(_POOL_KEYS)
@@ -317,41 +470,173 @@ class ShardedRunner:
                 raise
         return pool, key
 
+    def _ensure_pool(self, method: str, task, n_jobs: int) -> None:
+        """A live pool of ``method`` able to run ``task`` (reuse or spawn)."""
+        if self._pool is not None:
+            same_task = task is self._pool_task or task == self._pool_task
+            if self._pool_method == method and (method == "spawn" or same_task):
+                return
+            self.close()
+        if method == "fork":
+            self._pool, self._pool_key = self._fork_pool(task, n_jobs)
+        else:
+            ctx = multiprocessing.get_context("spawn")
+            self._pool = ctx.Pool(
+                processes=min(self.workers, n_jobs),
+                initializer=_mark_pool_worker,
+            )
+        self._pool_method = method
+        self._pool_task = task
+
+    def _respawn_pool(self, method: str, task, n_jobs: int) -> None:
+        self.close()
+        self._ensure_pool(method, task, n_jobs)
+
+    def _worker_pids(self) -> Set[int]:
+        pool = self._pool
+        if pool is None:
+            return set()
+        return {p.pid for p in list(getattr(pool, "_pool", [])) if p.is_alive()}
+
+    def _wait_tick(self, inflight: Dict[int, list]) -> None:
+        """One scheduler pause: block briefly on some in-flight result.
+
+        Isolated as a seam so tests can inject ``KeyboardInterrupt``
+        mid-run and pin the cleanup behavior.
+        """
+        if inflight:
+            next(iter(inflight.values()))[0].wait(self._poll_s)
+        else:
+            time.sleep(self._poll_s)
+
+    # -- execution -----------------------------------------------------
+
     def run_shards(
         self,
         task: Callable[[int, np.random.Generator, int], ShardResult],
         rngs: Sequence[np.random.Generator],
         budgets: Sequence[int],
         limit_state=None,
+        total: Optional[int] = None,
+        parent: Optional[np.random.Generator] = None,
+        skip_empty: bool = True,
     ) -> List[ShardResult]:
         """Run ``task(i, rngs[i], budgets[i])`` for every shard.
 
         Results come back ordered by shard index regardless of execution
-        order.  When the shards ran in worker processes and
-        ``limit_state`` is given, the per-shard evaluation counts are
-        added to ``limit_state.n_evals`` (the in-process path increments
-        it directly while running).
+        order, retries, journal replay or worker churn.  When shards ran
+        outside the calling process (pool workers, or replayed from a
+        journal) and ``limit_state`` is given, their evaluation counts
+        are added to ``limit_state.n_evals``; shards executed in-process
+        bill it directly while running — either way the final count
+        reconciles exactly with a fault-free ``workers=1`` run.
+
+        ``total``/``parent`` feed the D002/D004 checks of the plan audit
+        that gates journal use.  ``skip_empty=True`` (default) runs
+        zero-budget shards in the calling process instead of shipping
+        empty jobs to the pool; pass ``False`` for tasks whose budget
+        argument is not a sample count (e.g. search stages).
         """
         if len(rngs) != len(budgets):
             raise EstimationError("one RNG stream per shard budget is required")
-        method = self._resolve_method(len(rngs), task)
-        if method is None:
-            self.last_mode = "in-process"
-            return [task(i, rng, int(b)) for i, (rng, b) in enumerate(zip(rngs, budgets))]
+        budgets = [int(b) for b in budgets]
+        n = len(rngs)
+        retry = self.retry if self.retry is not None else RetryPolicy()
+        if self.chaos:
+            # Imported lazily: the chaos module imports this one.
+            from repro.engine.chaos import ChaosTask
 
-        if method == "spawn":
-            results = self._run_spawn(task, rngs, budgets)
+            task = ChaosTask(task, self.chaos)
+
+        stats: Dict[str, Any] = {
+            "shards": n,
+            "mode": None,
+            "attempt_wall": {},
+            "failures": {},
+        }
+        for key in _FAULT_COUNTERS:
+            stats[key] = 0
+        self.last_diagnostics = stats
+
+        results: Dict[int, ShardResult] = {}
+        if self.journal is not None:
+            # Admission gate: a journaled plan is an out-of-process plan.
+            # Imported lazily: the audit module imports this one.
+            from repro.engine.audit import assert_shard_plan_clean
+
+            assert_shard_plan_clean(rngs, budgets, total=total, parent=parent)
+            replayed = self.journal.begin_round(rngs, budgets)
+            if retry.validate is not None:
+                replayed = {
+                    i: r for i, r in replayed.items() if retry.validate(r) is None
+                }
+            results.update(replayed)
+            stats["replayed"] = len(replayed)
+
+        pending = [i for i in range(n) if i not in results]
+        if skip_empty:
+            local = [i for i in pending if budgets[i] == 0]
+            pooled_idx = [i for i in pending if budgets[i] > 0]
         else:
-            results = self._run_fork(task, rngs, budgets)
-        self.last_mode = method
-        results.sort(key=lambda r: r.index)
+            local, pooled_idx = [], list(pending)
+
+        method = self._resolve_method(len(pooled_idx), task) if pooled_idx else None
+        if method is None:
+            local, pooled_idx = pending, []
+        else:
+            stats["skipped_empty"] = len(local)
+        stats["mode"] = self.last_mode = method if method is not None else "in-process"
+
+        if (
+            method is None
+            and retry.timeout is not None
+            and pending
+            and not self._warned_local_timeout
+        ):
+            warnings.warn(
+                "ShardedRunner: shard timeouts are only enforced for pooled "
+                "execution; running in-process without timeout enforcement",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self._warned_local_timeout = True
+
+        executed_locally: Set[int] = set()
+        try:
+            for i in local:
+                results[i] = self._run_local(
+                    task, i, rngs[i], budgets[i], retry, limit_state, stats
+                )
+                executed_locally.add(i)
+            if pooled_idx:
+                jobs = {i: (rngs[i], budgets[i]) for i in pooled_idx}
+                results.update(self._run_pooled(method, task, jobs, retry, stats))
+        except BaseException:
+            # A failed run can leave dead or hung workers (and their
+            # registry entry) behind; never hand the next call a broken
+            # pool — close now, respawn on demand.
+            self.close()
+            raise
+        finally:
+            for key in _FAULT_COUNTERS:
+                self.fault_stats[key] += stats[key]
+        if not self.persistent:
+            self.close()
+
+        ordered = [results[i] for i in range(n)]
         if limit_state is not None:
-            limit_state.n_evals += sum(r.n_evals for r in results)
-        return results
+            # Locally-executed shards billed the parent's limit state
+            # while running; pooled and journal-replayed shards consumed
+            # their evals elsewhere (a worker process, the interrupted
+            # run) and are credited here.
+            limit_state.n_evals += sum(
+                r.n_evals for i, r in results.items() if i not in executed_locally
+            )
+        return ordered
 
     def _resolve_method(self, n_jobs: int, task) -> Optional[str]:
         """Pick the execution path for this call (None = in-process)."""
-        if self.workers == 1 or n_jobs == 1 or _IN_POOL_WORKER:
+        if self.workers == 1 or n_jobs <= 1 or _IN_POOL_WORKER:
             # Nested sharding (a shard trying to shard again) would fork
             # from inside a pool worker; run inner plans in-process.
             return None
@@ -381,59 +666,208 @@ class ShardedRunner:
                 return None
         return method
 
-    def _run_fork(self, task, rngs, budgets) -> List[ShardResult]:
-        if self.persistent:
-            if (
-                self._pool is None
-                or self._pool_method != "fork"
-                or not (task is self._pool_task or task == self._pool_task)
-            ):
-                self.close()
-                self._pool, self._pool_key = self._fork_pool(task, len(rngs))
-                self._pool_method = "fork"
-                self._pool_task = task
-            jobs = [
-                (self._pool_key, i, rng, int(b))
-                for i, (rng, b) in enumerate(zip(rngs, budgets))
-            ]
-            return self._pool.map(_invoke_shard, jobs)
-        pool, key = self._fork_pool(task, len(rngs))
-        jobs = [
-            (key, i, rng, int(b))
-            for i, (rng, b) in enumerate(zip(rngs, budgets))
-        ]
-        try:
-            return pool.map(_invoke_shard, jobs)
-        finally:
-            pool.terminate()
-            pool.join()
-            with _POOL_LOCK:
-                _POOL_TASKS.pop(key, None)
+    def _journal_record(self, result: ShardResult) -> None:
+        if self.journal is not None:
+            self.journal.record(result)
 
-    def _run_spawn(self, task, rngs, budgets) -> List[ShardResult]:
-        jobs = [
-            (task, i, rng, int(b))
-            for i, (rng, b) in enumerate(zip(rngs, budgets))
-        ]
-        ctx = multiprocessing.get_context("spawn")
-        if self.persistent:
-            if self._pool is None or self._pool_method != "spawn":
-                self.close()
-                self._pool = ctx.Pool(
-                    processes=min(self.workers, len(rngs)),
-                    initializer=_mark_pool_worker,
+    def _run_local(
+        self, task, index: int, rng, budget: int, retry: RetryPolicy, limit_state, stats
+    ) -> ShardResult:
+        """Execute one shard in the calling process under the retry policy.
+
+        A failed attempt must leave no trace: the RNG is cloned per
+        attempt (the stream must not advance), and the parent limit
+        state's eval count and scalar cache are snapshot-restored, so
+        the eventual successful attempt reproduces the fault-free run
+        bit for bit — including its accounting.
+        """
+        walls = stats["attempt_wall"].setdefault(index, [])
+        failures = 0
+        while True:
+            snap_evals = None if limit_state is None else limit_state.n_evals
+            cache = getattr(limit_state, "_cache", None)
+            snap_cache = (
+                dict(cache)
+                if retry.max_attempts > 1 and isinstance(cache, dict)
+                else None
+            )
+            start = time.perf_counter()
+            try:
+                result = _run_attempt(task, index, _clone_generator(rng), budget, failures)
+                reason = None if retry.validate is None else retry.validate(result)
+                if reason is not None:
+                    raise EstimationError(f"shard {index} payload rejected: {reason}")
+            except Exception as exc:
+                walls.append(time.perf_counter() - start)
+                failures += 1
+                stats["failures"][index] = failures
+                if snap_evals is not None:
+                    limit_state.n_evals = snap_evals
+                if snap_cache is not None:
+                    cache.clear()
+                    cache.update(snap_cache)
+                if failures >= retry.max_attempts:
+                    raise ShardExecutionError(
+                        f"shard {index} failed after {failures} attempt(s): "
+                        f"{type(exc).__name__}: {exc}",
+                        shard_index=index,
+                        attempts=failures,
+                        cause=exc,
+                    ) from exc
+                stats["retries"] += 1
+                if retry.delay(failures) > 0:
+                    time.sleep(retry.delay(failures))
+                continue
+            walls.append(time.perf_counter() - start)
+            self._journal_record(result)
+            return result
+
+    def _dispatch(
+        self,
+        method: str,
+        index: int,
+        job,
+        attempt: int,
+        retry: RetryPolicy,
+        task_blob: Optional[bytes],
+    ) -> list:
+        rng, budget = job
+        if method == "fork":
+            payload = (self._pool_key, index, rng, int(budget), int(attempt))
+            ar = self._pool.apply_async(_invoke_shard, (payload,))
+        else:
+            payload = (task_blob, index, rng, int(budget), int(attempt))
+            ar = self._pool.apply_async(_invoke_spawned_shard, (payload,))
+        started = time.monotonic()
+        deadline = None if retry.timeout is None else started + float(retry.timeout)
+        return [ar, deadline, started]
+
+    def _shard_failed(
+        self,
+        index: int,
+        exc: BaseException,
+        failures: Dict[int, int],
+        ready_at: Dict[int, float],
+        retry: RetryPolicy,
+        stats: Dict[str, Any],
+    ) -> None:
+        """Count one failed attempt; raise typed when the budget is spent."""
+        failures[index] += 1
+        stats["failures"][index] = failures[index]
+        if failures[index] >= retry.max_attempts:
+            raise ShardExecutionError(
+                f"shard {index} failed after {failures[index]} attempt(s): "
+                f"{type(exc).__name__}: {exc}",
+                shard_index=index,
+                attempts=failures[index],
+                cause=exc,
+            ) from exc
+        stats["retries"] += 1
+        ready_at[index] = time.monotonic() + retry.delay(failures[index])
+
+    def _run_pooled(
+        self, method: str, task, jobs: Dict[int, tuple], retry: RetryPolicy, stats
+    ) -> Dict[int, ShardResult]:
+        """Per-shard async dispatch with retries, timeouts and death watch.
+
+        Every shard is its own ``apply_async`` job carrying its attempt
+        number.  The loop collects completions, re-dispatches failures
+        (after backoff), declares attempts past their deadline lost
+        (recycling the pool — hung workers cannot be cancelled), and
+        watches worker pids: ``multiprocessing.Pool`` replaces a dead
+        worker but silently loses its in-flight job, so every incomplete
+        in-flight shard is conservatively re-dispatched on a death.
+        First result wins; duplicate executions of a deterministic shard
+        are bit-identical, so re-dispatching possibly-lost work is safe.
+        """
+        # Spawn jobs carry the task as a pre-serialized blob: it must be
+        # pickled *before* the pool exists, because a task holding a
+        # reference back to this runner would otherwise reach the live
+        # (unpicklable) pool object.
+        task_blob = pickle.dumps(task) if method == "spawn" else None
+        self._ensure_pool(method, task, len(jobs))
+        done: Dict[int, ShardResult] = {}
+        inflight: Dict[int, list] = {}
+        failures: Dict[int, int] = {i: 0 for i in jobs}
+        ready_at: Dict[int, float] = {i: 0.0 for i in jobs}
+        pids = self._worker_pids()
+        while len(done) < len(jobs):
+            now = time.monotonic()
+            for i in sorted(jobs):
+                if i in done or i in inflight or now < ready_at[i]:
+                    continue
+                inflight[i] = self._dispatch(
+                    method, i, jobs[i], failures[i], retry, task_blob
                 )
-                self._pool_method = "spawn"
-            return self._pool.map(_invoke_spawned_shard, jobs)
-        pool = ctx.Pool(
-            processes=min(self.workers, len(rngs)),
-            initializer=_mark_pool_worker,
-        )
-        try:
-            return pool.map(_invoke_spawned_shard, jobs)
-        finally:
-            pool.terminate()
-            pool.join()
+            self._wait_tick(inflight)
+            now = time.monotonic()
+            recycle = False
+            for i in list(inflight):
+                ar, deadline, started = inflight[i]
+                if ar.ready():
+                    del inflight[i]
+                    stats["attempt_wall"].setdefault(i, []).append(now - started)
+                    try:
+                        result = ar.get()
+                        reason = None if retry.validate is None else retry.validate(result)
+                        if reason is not None:
+                            raise EstimationError(
+                                f"shard {i} payload rejected: {reason}"
+                            )
+                    except Exception as exc:
+                        self._shard_failed(i, exc, failures, ready_at, retry, stats)
+                        continue
+                    if i not in done:
+                        done[i] = result
+                        self._journal_record(result)
+                elif deadline is not None and now >= deadline:
+                    del inflight[i]
+                    stats["attempt_wall"].setdefault(i, []).append(now - started)
+                    stats["timeouts"] += 1
+                    recycle = True
+                    self._shard_failed(
+                        i,
+                        EstimationError(
+                            f"shard {i} attempt timed out after {retry.timeout:.3g}s"
+                        ),
+                        failures,
+                        ready_at,
+                        retry,
+                        stats,
+                    )
+            live = self._worker_pids()
+            dead = pids - live
+            if dead:
+                stats["worker_deaths"] += len(dead)
+                stats["worker_replacements"] += len(dead)
+                for i in list(inflight):
+                    ar, deadline, started = inflight[i]
+                    if ar.ready():
+                        continue
+                    del inflight[i]
+                    stats["attempt_wall"].setdefault(i, []).append(
+                        time.monotonic() - started
+                    )
+                    self._shard_failed(
+                        i,
+                        EstimationError(
+                            f"worker process died (pids {sorted(dead)}) with "
+                            f"shard {i} in flight"
+                        ),
+                        failures,
+                        ready_at,
+                        retry,
+                        stats,
+                    )
+            if recycle:
+                stats["pool_recycles"] += 1
+                stats["worker_replacements"] += max(len(live), 1)
+                # Jobs still in flight on the doomed pool die with it;
+                # they return to pending at their current attempt count.
+                inflight.clear()
+                self._respawn_pool(method, task, len(jobs))
+            pids = self._worker_pids()
+        return done
 
 
 def run_sharded(
@@ -454,14 +888,23 @@ def run_sharded(
     reconciled into ``limit_state``).
 
     ``runner`` lets the caller supply a long-lived (possibly persistent)
-    :class:`ShardedRunner`; pass a *stable* ``shard_fn`` (a bound method,
-    not a fresh lambda) so the persistent pool recognises repeat runs of
-    the same task and skips the respawn.
+    :class:`ShardedRunner` — also the hook for fault tolerance: a runner
+    carrying a :class:`RetryPolicy` and/or a journal applies them to
+    every estimator round dispatched through it.  Pass a *stable*
+    ``shard_fn`` (a bound method, not a fresh lambda) so the persistent
+    pool recognises repeat runs of the same task and skips the respawn.
     """
     rngs = spawn_generators(rng, n_shards)
     budgets = split_budget(budget, n_shards)
     task = _MeasuredShardTask(shard_fn, limit_state)
     if runner is None:
         runner = ShardedRunner(workers)
-    results = runner.run_shards(task, rngs, budgets, limit_state=limit_state)
+    results = runner.run_shards(
+        task,
+        rngs,
+        budgets,
+        limit_state=limit_state,
+        total=int(budget),
+        parent=rng,
+    )
     return [r.payload for r in results]

@@ -183,13 +183,18 @@ class GradientImportanceSampling:
             # A transient runner, deliberately not self.runner: the search
             # task differs from the sampling task, and submitting it to a
             # shared persistent pool would evict the (far more reused)
-            # sampling snapshot.
-            with ShardedRunner(min(self.workers, self.n_starts)) as runner:
+            # sampling snapshot.  The retry policy (if any) carries over so
+            # a flaky search start gets the same fault tolerance as the
+            # sampling stage; the budget entries are placeholders (searches
+            # are not sample-count bounded), so ``skip_empty=False``.
+            retry = getattr(self.runner, "retry", None)
+            with ShardedRunner(min(self.workers, self.n_starts), retry=retry) as runner:
                 shard_results = runner.run_shards(
                     _MpfpStartTask(self),
                     rngs,
                     [0] * self.n_starts,
                     limit_state=self.ls,
+                    skip_empty=False,
                 )
             results_all = [r.payload for r in shard_results]
 

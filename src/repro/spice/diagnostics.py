@@ -194,6 +194,18 @@ DIAGNOSTIC_CODES: Dict[str, Tuple[str, str]] = {
         "shard stream was not spawned from the parent SeedSequence",
         "derive shard streams with rng.spawn, not fresh seeds",
     ),
+    "D005": (
+        "journal plan fingerprint does not match the current shard plan",
+        "resume only with the identical seed, n_shards and budget split",
+    ),
+    "D006": (
+        "journal carries duplicate records for one shard index",
+        "journal each shard at most once; delete the corrupt journal",
+    ),
+    "D007": (
+        "journal shard index outside the current plan",
+        "the journaled plan had more shards; re-run or fix n_shards",
+    ),
 }
 
 

@@ -125,3 +125,49 @@ class TestMerge:
         clone = pickle.loads(pickle.dumps(acc))
         assert clone.estimate() == acc.estimate()
         assert clone.n == acc.n and clone.n_fail == acc.n_fail
+
+
+class TestNonFiniteRejection:
+    """One NaN or +inf log-weight would silently poison every later
+    estimate and every merge; the accumulator refuses them loudly with
+    a typed error instead.  -inf stays legal (a zero weight)."""
+
+    def test_nan_failing_log_weight_raises(self):
+        acc = StreamingAccumulator()
+        with pytest.raises(EstimationError, match="non-finite"):
+            acc.update(np.array([-1.0, np.nan]), np.array([True, True]))
+
+    def test_plus_inf_failing_log_weight_raises(self):
+        acc = StreamingAccumulator()
+        with pytest.raises(EstimationError, match="non-finite"):
+            acc.update(np.array([np.inf]), np.array([True]))
+
+    def test_neg_inf_is_legal(self):
+        acc = StreamingAccumulator()
+        acc.update(np.array([-np.inf, -1.0]), np.array([True, True]))
+        p, _ = acc.estimate()
+        assert p == pytest.approx(np.exp(-1.0) / 2, rel=1e-12)
+
+    def test_nan_on_non_failing_sample_is_ignored(self):
+        # Non-failing contributions are exactly zero; their log-weight
+        # never enters the moments, so it may be anything.
+        acc = StreamingAccumulator()
+        acc.update(np.array([np.nan, -1.0]), np.array([False, True]))
+        assert acc.n == 2 and acc.n_fail == 1
+
+    def test_state_unchanged_after_rejected_update(self):
+        acc = StreamingAccumulator()
+        acc.update(np.array([-1.0]), np.array([True]))
+        before = (acc.n, acc.n_fail, acc.estimate())
+        with pytest.raises(EstimationError):
+            acc.update(np.array([np.nan, -2.0]), np.array([True, True]))
+        assert (acc.n, acc.n_fail, acc.estimate()) == before
+
+    def test_merge_refuses_non_finite_moments(self):
+        corrupt = StreamingAccumulator()
+        corrupt.n, corrupt.n_fail = 4, 1
+        corrupt._log_s1 = float("nan")
+        clean = StreamingAccumulator()
+        clean.update(np.array([-1.0]), np.array([True]))
+        with pytest.raises(EstimationError, match="refusing to merge"):
+            clean.merge(corrupt)

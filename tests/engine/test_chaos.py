@@ -1,0 +1,341 @@
+"""Fault injection: a faulted run under retry merges bit-identical.
+
+The acceptance criterion of the fault-tolerance layer, pinned per fault
+kind and with every kind at once: inject a fault (worker kill, hang past
+the shard timeout, transient exception, NaN corruption) into a specific
+``(shard, attempt)`` execution, give the runner a
+:class:`~repro.engine.sharding.RetryPolicy`, and the merged results must
+be **bit-identical** to a fault-free ``workers=1`` run of the same shard
+plan — because a retry re-runs the identical ``(index, stream, budget)``
+job.  Faults fire *after* the inner task completes (evals consumed, RNG
+advanced, result discarded), the adversarial case for determinism.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.engine.chaos import ChaosTask, FaultInjected, FaultSpec, reject_non_finite
+from repro.engine.sharding import (
+    RetryPolicy,
+    ShardedRunner,
+    ShardResult,
+    fork_available,
+    spawn_generators,
+    split_budget,
+)
+from repro.errors import EstimationError, ShardExecutionError
+from repro.highsigma.analytic import LinearLimitState
+from repro.highsigma.estimators import MeanShiftISCore
+
+needs_fork = pytest.mark.skipif(not fork_available(), reason="fork start method unavailable")
+
+N_SHARDS = 4
+BUDGET = 80
+
+
+def _task(i, rng, budget):
+    return ShardResult(index=i, n_evals=budget, payload=float(rng.standard_normal()))
+
+
+def _plan(seed=123):
+    return spawn_generators(np.random.default_rng(seed), N_SHARDS), split_budget(BUDGET, N_SHARDS)
+
+
+def _baseline():
+    rngs, budgets = _plan()
+    return [r.payload for r in ShardedRunner(workers=1).run_shards(_task, rngs, budgets)]
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(EstimationError, match="unknown fault kind"):
+            FaultSpec("explode", shard=0)
+
+    def test_negative_fields_rejected(self):
+        with pytest.raises(EstimationError):
+            FaultSpec("raise", shard=-1)
+        with pytest.raises(EstimationError):
+            FaultSpec("raise", shard=0, attempt=-1)
+        with pytest.raises(EstimationError):
+            FaultSpec("delay", shard=0, seconds=-1.0)
+
+    def test_matches_keys_on_shard_and_attempt(self):
+        f = FaultSpec("raise", shard=2, attempt=1)
+        assert f.matches(2, 1)
+        assert not f.matches(2, 0)
+        assert not f.matches(1, 1)
+
+
+class TestChaosTaskWrapping:
+    def test_chaos_task_is_comparable_and_picklable(self):
+        import pickle
+
+        faults = (FaultSpec("raise", shard=0),)
+        a = ChaosTask(_task, faults)
+        b = ChaosTask(_task, faults)
+        assert a == b
+        assert a != ChaosTask(_task, (FaultSpec("raise", shard=1),))
+        clone = pickle.loads(pickle.dumps(a))
+        assert clone == a
+
+    def test_fault_fires_after_inner_task_ran(self):
+        """The adversarial ordering: evals are consumed, the stream is
+        advanced, and only then is the result discarded."""
+        calls = []
+
+        def spy(i, rng, budget):
+            calls.append(i)
+            return _task(i, rng, budget)
+
+        chaos = ChaosTask(spy, (FaultSpec("raise", shard=0),))
+        with pytest.raises(FaultInjected):
+            chaos(0, np.random.default_rng(0), 10)
+        assert calls == [0]
+
+    def test_kill_downgraded_outside_pool_worker(self):
+        """An in-process "kill" must never SIGKILL the caller (the test
+        process!) — it downgrades to a FaultInjected exception."""
+        chaos = ChaosTask(_task, (FaultSpec("kill", shard=0),))
+        with pytest.raises(FaultInjected, match="downgraded"):
+            chaos(0, np.random.default_rng(0), 10)
+
+
+class TestTransientException:
+    def test_in_process_retry_bit_identical(self):
+        rngs, budgets = _plan()
+        runner = ShardedRunner(
+            workers=1,
+            retry=RetryPolicy(max_attempts=3),
+            chaos=[FaultSpec("raise", shard=1)],
+        )
+        out = [r.payload for r in runner.run_shards(_task, rngs, budgets)]
+        assert out == _baseline()
+        assert runner.fault_stats["retries"] == 1
+        assert runner.last_diagnostics["failures"] == {1: 1}
+
+    def test_in_process_retry_restores_eval_accounting(self):
+        ls = LinearLimitState(beta=3.0, dim=4)
+
+        def task(i, rng, budget):
+            before = ls.n_evals
+            ls.fails_batch(rng.standard_normal((budget, 4)))
+            return ShardResult(index=i, n_evals=ls.n_evals - before, payload=None)
+
+        rngs, budgets = _plan()
+        runner = ShardedRunner(
+            workers=1,
+            retry=RetryPolicy(max_attempts=2),
+            chaos=[FaultSpec("raise", shard=2)],
+        )
+        runner.run_shards(task, rngs, budgets, limit_state=ls)
+        # The faulted attempt's evals were rolled back; the count matches
+        # a fault-free run exactly.
+        assert ls.n_evals == BUDGET
+
+    @needs_fork
+    def test_pooled_retry_bit_identical(self):
+        rngs, budgets = _plan()
+        runner = ShardedRunner(
+            workers=2,
+            retry=RetryPolicy(max_attempts=3),
+            chaos=[FaultSpec("raise", shard=0)],
+        )
+        out = [r.payload for r in runner.run_shards(_task, rngs, budgets)]
+        assert out == _baseline()
+        assert runner.last_mode == "fork"
+        assert runner.fault_stats["retries"] >= 1
+
+    def test_exhausted_retries_raise_typed(self):
+        rngs, budgets = _plan()
+        runner = ShardedRunner(
+            workers=1,
+            retry=RetryPolicy(max_attempts=2),
+            chaos=[
+                FaultSpec("raise", shard=1, attempt=0),
+                FaultSpec("raise", shard=1, attempt=1),
+            ],
+        )
+        with pytest.raises(ShardExecutionError) as excinfo:
+            runner.run_shards(_task, rngs, budgets)
+        err = excinfo.value
+        assert isinstance(err, EstimationError)
+        assert err.shard_index == 1
+        assert err.attempts == 2
+        assert isinstance(err.cause, FaultInjected)
+
+
+class TestWorkerKill:
+    @needs_fork
+    def test_killed_worker_retried_bit_identical(self):
+        rngs, budgets = _plan()
+        runner = ShardedRunner(
+            workers=2,
+            retry=RetryPolicy(max_attempts=3),
+            chaos=[FaultSpec("kill", shard=2)],
+        )
+        out = [r.payload for r in runner.run_shards(_task, rngs, budgets)]
+        assert out == _baseline()
+        assert runner.fault_stats["worker_deaths"] >= 1
+        assert runner.fault_stats["worker_replacements"] >= 1
+        assert runner.fault_stats["retries"] >= 1
+
+    @needs_fork
+    def test_kill_without_retry_budget_is_typed_error(self):
+        rngs, budgets = _plan()
+        runner = ShardedRunner(workers=2, chaos=[FaultSpec("kill", shard=0)])
+        with pytest.raises(ShardExecutionError):
+            runner.run_shards(_task, rngs, budgets)
+        # Satellite #1: the failed run closed its pool.
+        assert runner._pool is None
+
+
+class TestTimeoutRecycle:
+    @needs_fork
+    def test_hung_shard_times_out_and_recycles(self):
+        rngs, budgets = _plan()
+        runner = ShardedRunner(
+            workers=2,
+            retry=RetryPolicy(max_attempts=3, timeout=1.5),
+            chaos=[FaultSpec("hang", shard=3, seconds=30.0)],
+        )
+        out = [r.payload for r in runner.run_shards(_task, rngs, budgets)]
+        assert out == _baseline()
+        assert runner.fault_stats["timeouts"] >= 1
+        assert runner.fault_stats["pool_recycles"] >= 1
+
+    def test_in_process_timeout_warns_once(self):
+        rngs, budgets = _plan()
+        runner = ShardedRunner(workers=1, retry=RetryPolicy(max_attempts=1, timeout=5.0))
+        with pytest.warns(RuntimeWarning, match="only enforced for pooled"):
+            runner.run_shards(_task, rngs, budgets)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            runner.run_shards(_task, _plan()[0], budgets)
+
+
+class TestNanCorruption:
+    def test_nan_payload_rejected_and_retried(self):
+        rngs, budgets = _plan()
+        runner = ShardedRunner(
+            workers=1,
+            retry=RetryPolicy(max_attempts=2, validate=reject_non_finite),
+            chaos=[FaultSpec("nan", shard=1)],
+        )
+        out = [r.payload for r in runner.run_shards(_task, rngs, budgets)]
+        assert out == _baseline()
+        assert runner.fault_stats["retries"] == 1
+
+    def test_nan_without_validator_passes_through(self):
+        """The validator is the defense — chaos alone only corrupts."""
+        rngs, budgets = _plan()
+        runner = ShardedRunner(workers=1, chaos=[FaultSpec("nan", shard=1)])
+        out = [r.payload for r in runner.run_shards(_task, rngs, budgets)]
+        assert np.isnan(out[1])
+
+    def test_reject_non_finite_scans_nested_payloads(self):
+        ok = ShardResult(index=0, n_evals=0, payload={"a": [1.0, (2.0, -np.inf)]})
+        assert reject_non_finite(ok) is None
+        bad = ShardResult(index=0, n_evals=0, payload={"a": [1.0, (np.nan,)]})
+        assert "NaN" in reject_non_finite(bad) or "nan" in reject_non_finite(bad)
+        arr = ShardResult(index=0, n_evals=0, payload=np.array([0.0, np.inf]))
+        assert reject_non_finite(arr) is not None
+
+    def test_neg_inf_is_legal(self):
+        """-inf is the accumulator's log-space zero, never corruption."""
+        res = ShardResult(index=0, n_evals=0, payload=float("-inf"))
+        assert reject_non_finite(res) is None
+
+
+class TestDelay:
+    def test_delay_returns_result_unchanged(self):
+        rngs, budgets = _plan()
+        runner = ShardedRunner(
+            workers=1, chaos=[FaultSpec("delay", shard=0, seconds=0.05)]
+        )
+        out = [r.payload for r in runner.run_shards(_task, rngs, budgets)]
+        assert out == _baseline()
+
+
+class TestAllFaultsAtOnce:
+    """The ISSUE acceptance test: one worker killed, one shard timed out,
+    one transient exception — each retried — and the merged estimate is
+    bit-identical to the fault-free ``workers=1`` run of the same plan."""
+
+    @needs_fork
+    def test_estimator_under_full_chaos_bit_identical(self):
+        def make_core(ls, runner, workers):
+            return MeanShiftISCore(
+                ls, shifts=[4.0 * ls.a], n_max=2048, batch_size=256,
+                target_rel_err=None, workers=workers, n_shards=4, runner=runner,
+            )
+
+        # Fault schedule staggered so every recovery path fires: the hang
+        # starts immediately and times out at 1.5s (worker-death recovery
+        # would otherwise conservatively re-dispatch the hung shard before
+        # its deadline); the kill is pushed past the timeout by keying it
+        # to attempt 1 behind a transient failure and a 2s backoff.
+        ls_chaos = LinearLimitState(beta=4.0, dim=6)
+        runner = ShardedRunner(
+            workers=2,
+            retry=RetryPolicy(
+                max_attempts=4, timeout=1.5, backoff=2.0,
+                validate=reject_non_finite,
+            ),
+            chaos=[
+                FaultSpec("hang", shard=1, seconds=30.0),
+                FaultSpec("raise", shard=2),
+                FaultSpec("raise", shard=3, attempt=0),
+                FaultSpec("kill", shard=3, attempt=1),
+            ],
+        )
+        r_chaos = make_core(ls_chaos, runner, 2).run(
+            np.random.default_rng(21), method="test"
+        )
+
+        ls_clean = LinearLimitState(beta=4.0, dim=6)
+        r_clean = make_core(ls_clean, None, 1).run(
+            np.random.default_rng(21), method="test"
+        )
+
+        assert r_chaos.p_fail == r_clean.p_fail
+        assert r_chaos.std_err == r_clean.std_err
+        assert r_chaos.n_evals == r_clean.n_evals
+        assert ls_chaos.n_evals == ls_clean.n_evals
+        stats = runner.fault_stats
+        assert stats["timeouts"] >= 1
+        assert stats["pool_recycles"] >= 1
+        assert stats["worker_deaths"] >= 1
+        assert stats["retries"] >= 4
+
+    def test_diagnostics_record_attempt_wall_clock(self):
+        rngs, budgets = _plan()
+        runner = ShardedRunner(
+            workers=1,
+            retry=RetryPolicy(max_attempts=2),
+            chaos=[FaultSpec("raise", shard=0)],
+        )
+        runner.run_shards(_task, rngs, budgets)
+        walls = runner.last_diagnostics["attempt_wall"]
+        assert len(walls[0]) == 2  # faulted attempt + successful retry
+        assert all(w >= 0 for attempts in walls.values() for w in attempts)
+        assert runner.last_diagnostics["mode"] == "in-process"
+        assert runner.last_diagnostics["shards"] == N_SHARDS
+
+
+class TestBackoff:
+    def test_backoff_schedule_is_exponential(self):
+        p = RetryPolicy(max_attempts=4, backoff=0.1)
+        assert p.delay(0) == 0.0
+        assert p.delay(1) == pytest.approx(0.1)
+        assert p.delay(2) == pytest.approx(0.2)
+        assert p.delay(3) == pytest.approx(0.4)
+
+    def test_policy_validation(self):
+        with pytest.raises(EstimationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(EstimationError):
+            RetryPolicy(timeout=0.0)
+        with pytest.raises(EstimationError):
+            RetryPolicy(backoff=-1.0)

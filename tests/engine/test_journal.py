@@ -1,0 +1,363 @@
+"""RunJournal: checkpoint/resume with an audited admission gate.
+
+Pins the resume contract: a journal-resumed run is **bit-identical** to
+its uninterrupted counterpart (replayed shards carry the exact recorded
+results; only missing shards execute), and a journal whose recorded plan
+does not match the current one is *refused* with a typed
+:class:`~repro.errors.JournalError` carrying the new diagnostic codes —
+D005 (plan fingerprint mismatch), D006 (duplicate shard records), D007
+(shard index outside the plan).  The codes are append-only: D001–D004
+still mean what they meant.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.engine.journal import RunJournal, plan_fingerprint
+from repro.engine.sharding import (
+    RetryPolicy,
+    ShardedRunner,
+    ShardResult,
+    fork_available,
+    spawn_generators,
+    split_budget,
+)
+from repro.errors import (
+    DiagnosticError,
+    EstimationError,
+    JournalError,
+    PlanAuditError,
+)
+from repro.highsigma.analytic import LinearLimitState
+
+needs_fork = pytest.mark.skipif(not fork_available(), reason="fork start method unavailable")
+
+N_SHARDS = 4
+BUDGET = 80
+
+
+def _task(i, rng, budget):
+    return ShardResult(index=i, n_evals=budget, payload=float(rng.standard_normal()))
+
+
+def _plan(seed=5, n=N_SHARDS, budget=BUDGET):
+    return spawn_generators(np.random.default_rng(seed), n), split_budget(budget, n)
+
+
+class _FailShard:
+    """Deterministic interruption: shard `fail_at` raises."""
+
+    def __init__(self, fail_at):
+        self.fail_at = fail_at
+
+    def __call__(self, i, rng, budget):
+        if i == self.fail_at:
+            raise EstimationError(f"interrupted at shard {i}")
+        return _task(i, rng, budget)
+
+
+class TestPlanFingerprint:
+    def test_same_plan_same_fingerprint(self):
+        rngs_a, budgets = _plan()
+        rngs_b, _ = _plan()
+        assert plan_fingerprint(rngs_a, budgets) == plan_fingerprint(rngs_b, budgets)
+
+    def test_seed_shards_and_budgets_all_matter(self):
+        rngs, budgets = _plan()
+        fp = plan_fingerprint(rngs, budgets)
+        assert plan_fingerprint(_plan(seed=6)[0], budgets) != fp
+        assert plan_fingerprint(*_plan(n=5)) != fp
+        assert plan_fingerprint(rngs, split_budget(BUDGET + 1, N_SHARDS)) != fp
+
+
+class TestJournalRoundtrip:
+    def test_records_and_replays(self, tmp_path):
+        path = tmp_path / "run.journal"
+        rngs, budgets = _plan()
+        with RunJournal(path) as journal:
+            journal.begin_round(rngs, budgets)
+            for i in range(N_SHARDS):
+                journal.record(_task(i, np.random.default_rng(i), budgets[i]))
+        with RunJournal(path, resume=True) as journal:
+            replay = journal.begin_round(_plan()[0], budgets)
+        assert sorted(replay) == list(range(N_SHARDS))
+        assert journal.rounds == 1
+
+    def test_fresh_open_truncates(self, tmp_path):
+        path = tmp_path / "run.journal"
+        rngs, budgets = _plan()
+        with RunJournal(path) as journal:
+            journal.begin_round(rngs, budgets)
+            journal.record(_task(0, np.random.default_rng(0), budgets[0]))
+        with RunJournal(path) as journal:  # no resume: a fresh run
+            assert journal.begin_round(_plan()[0], budgets) == {}
+
+    def test_record_before_begin_round_is_typed(self, tmp_path):
+        with RunJournal(tmp_path / "run.journal") as journal:
+            with pytest.raises(JournalError, match="begin_round"):
+                journal.record(_task(0, np.random.default_rng(0), 1))
+
+    def test_unpicklable_payload_is_typed_and_atomic(self, tmp_path):
+        path = tmp_path / "run.journal"
+        rngs, budgets = _plan()
+        with RunJournal(path) as journal:
+            journal.begin_round(rngs, budgets)
+            journal.record(_task(0, np.random.default_rng(0), budgets[0]))
+            bad = ShardResult(index=1, n_evals=0, payload=lambda: None)
+            with pytest.raises(JournalError, match="picklable"):
+                journal.record(bad)
+        # The failed record left no partial bytes: the file still loads.
+        with RunJournal(path, resume=True) as journal:
+            assert sorted(journal.begin_round(rngs, budgets)) == [0]
+
+    def test_truncated_tail_tolerated(self, tmp_path):
+        path = tmp_path / "run.journal"
+        rngs, budgets = _plan()
+        with RunJournal(path) as journal:
+            journal.begin_round(rngs, budgets)
+            for i in range(N_SHARDS):
+                journal.record(_task(i, np.random.default_rng(i), budgets[i]))
+        with open(path, "ab") as fh:  # crash mid-append
+            fh.write(pickle.dumps(("shard", "x", None))[:10])
+        with RunJournal(path, resume=True) as journal:
+            assert sorted(journal.begin_round(rngs, budgets)) == list(range(N_SHARDS))
+
+
+class TestResumeBitIdentity:
+    def test_interrupted_run_resumes_bit_identical(self, tmp_path):
+        path = tmp_path / "run.journal"
+        rngs, budgets = _plan()
+        baseline = [
+            r.payload for r in ShardedRunner(workers=1).run_shards(_task, rngs, budgets)
+        ]
+
+        with RunJournal(path) as journal:
+            runner = ShardedRunner(workers=1, journal=journal)
+            with pytest.raises(EstimationError, match="interrupted"):
+                runner.run_shards(
+                    _FailShard(2), _plan()[0], budgets,
+                    total=BUDGET, parent=np.random.default_rng(5),
+                )
+
+        with RunJournal(path, resume=True) as journal:
+            runner = ShardedRunner(workers=1, journal=journal)
+            out = runner.run_shards(
+                _task, _plan()[0], budgets,
+                total=BUDGET, parent=np.random.default_rng(5),
+            )
+        assert [r.payload for r in out] == baseline
+        # Shards 0 and 1 were journaled before the interruption and
+        # replayed, not re-executed.
+        assert runner.last_diagnostics["replayed"] == 2
+
+    @needs_fork
+    def test_pooled_resume_bit_identical(self, tmp_path):
+        path = tmp_path / "run.journal"
+        rngs, budgets = _plan(seed=9)
+        baseline = [
+            r.payload for r in ShardedRunner(workers=1).run_shards(_task, rngs, budgets)
+        ]
+        with RunJournal(path) as journal:
+            runner = ShardedRunner(workers=2, journal=journal)
+            first = runner.run_shards(
+                _task, _plan(seed=9)[0], budgets,
+                total=BUDGET, parent=np.random.default_rng(9),
+            )
+        with RunJournal(path, resume=True) as journal:
+            runner = ShardedRunner(workers=2, journal=journal)
+            resumed = runner.run_shards(
+                _task, _plan(seed=9)[0], budgets,
+                total=BUDGET, parent=np.random.default_rng(9),
+            )
+        assert [r.payload for r in first] == baseline
+        assert [r.payload for r in resumed] == baseline
+        # Everything replayed: the resumed run executed zero shards.
+        assert runner.last_diagnostics["replayed"] == N_SHARDS
+        assert runner.last_mode == "in-process"
+
+    def test_replayed_evals_credited_to_limit_state(self, tmp_path):
+        path = tmp_path / "run.journal"
+        ls = LinearLimitState(beta=3.0, dim=4)
+
+        def task(i, rng, budget):
+            before = ls.n_evals
+            ls.fails_batch(rng.standard_normal((budget, 4)))
+            return ShardResult(index=i, n_evals=ls.n_evals - before, payload=None)
+
+        rngs, budgets = _plan(seed=3)
+        with RunJournal(path) as journal:
+            ShardedRunner(workers=1, journal=journal).run_shards(
+                task, rngs, budgets, limit_state=ls,
+                total=BUDGET, parent=np.random.default_rng(3),
+            )
+        assert ls.n_evals == BUDGET
+        ls2 = LinearLimitState(beta=3.0, dim=4)
+        with RunJournal(path, resume=True) as journal:
+            ShardedRunner(workers=1, journal=journal).run_shards(
+                task, _plan(seed=3)[0], budgets, limit_state=ls2,
+                total=BUDGET, parent=np.random.default_rng(3),
+            )
+        # Replayed shards never ran, but their recorded evals reconcile.
+        assert ls2.n_evals == BUDGET
+
+    def test_validator_rejects_journaled_corruption(self, tmp_path):
+        """A recorded-but-corrupt shard is re-executed, not replayed."""
+        from repro.engine.chaos import reject_non_finite
+
+        path = tmp_path / "run.journal"
+        rngs, budgets = _plan()
+        with RunJournal(path) as journal:
+            journal.begin_round(rngs, budgets)
+            journal.record(ShardResult(index=0, n_evals=0, payload=float("nan")))
+        with RunJournal(path, resume=True) as journal:
+            runner = ShardedRunner(
+                workers=1, journal=journal,
+                retry=RetryPolicy(validate=reject_non_finite),
+            )
+            out = runner.run_shards(
+                _task, _plan()[0], budgets,
+                total=BUDGET, parent=np.random.default_rng(5),
+            )
+        assert runner.last_diagnostics["replayed"] == 0
+        assert not any(np.isnan(r.payload) for r in out)
+        # Re-executing a journaled index must not append a duplicate
+        # record — the journal stays loadable (no D006) afterwards.
+        with RunJournal(path, resume=True) as journal:
+            replay = journal.begin_round(_plan()[0], budgets)
+        assert sorted(replay) == list(range(N_SHARDS))
+
+
+class TestResumeRefusal:
+    def _journal_with_round(self, path, seed=5):
+        rngs, budgets = _plan(seed=seed)
+        with RunJournal(path) as journal:
+            journal.begin_round(rngs, budgets)
+            for i in range(N_SHARDS):
+                journal.record(_task(i, np.random.default_rng(i), budgets[i]))
+        return budgets
+
+    def test_mismatched_plan_refused_d005(self, tmp_path):
+        path = tmp_path / "run.journal"
+        budgets = self._journal_with_round(path)
+        with RunJournal(path, resume=True) as journal:
+            with pytest.raises(JournalError) as excinfo:
+                journal.begin_round(_plan(seed=6)[0], budgets)  # different seed
+        err = excinfo.value
+        assert err.code == "D005"
+        assert isinstance(err, DiagnosticError)
+        assert isinstance(err, EstimationError)
+        assert any(d.code == "D005" for d in err.diagnostics)
+
+    def test_mismatched_budget_split_refused_d005(self, tmp_path):
+        path = tmp_path / "run.journal"
+        self._journal_with_round(path)
+        with RunJournal(path, resume=True) as journal:
+            with pytest.raises(JournalError, match="D005"):
+                journal.begin_round(_plan()[0], split_budget(BUDGET + 4, N_SHARDS))
+
+    def test_duplicate_record_refused_d006(self, tmp_path):
+        path = tmp_path / "run.journal"
+        rngs, budgets = _plan()
+        fp = plan_fingerprint(rngs, budgets)
+        with open(path, "wb") as fh:
+            fh.write(pickle.dumps(("plan", fp, N_SHARDS)))
+            rec = _task(1, np.random.default_rng(1), budgets[1])
+            fh.write(pickle.dumps(("shard", fp, rec)))
+            fh.write(pickle.dumps(("shard", fp, rec)))
+        with pytest.raises(JournalError) as excinfo:
+            RunJournal(path, resume=True)
+        assert excinfo.value.code == "D006"
+
+    def test_out_of_range_index_refused_d007(self, tmp_path):
+        path = tmp_path / "run.journal"
+        rngs, budgets = _plan()
+        fp = plan_fingerprint(rngs, budgets)
+        with open(path, "wb") as fh:
+            fh.write(pickle.dumps(("plan", fp, N_SHARDS)))
+            fh.write(
+                pickle.dumps(
+                    ("shard", fp, ShardResult(index=99, n_evals=0, payload=0.0))
+                )
+            )
+        with pytest.raises(JournalError) as excinfo:
+            RunJournal(path, resume=True)
+        assert excinfo.value.code == "D007"
+
+    def test_orphan_shard_record_refused(self, tmp_path):
+        path = tmp_path / "run.journal"
+        with open(path, "wb") as fh:
+            fh.write(
+                pickle.dumps(
+                    ("shard", "deadbeef", ShardResult(index=0, n_evals=0, payload=0.0))
+                )
+            )
+        with pytest.raises(JournalError, match="unknown"):
+            RunJournal(path, resume=True)
+
+    def test_journaled_plan_must_pass_shard_plan_audit(self, tmp_path):
+        """The journal gate composes with the existing plan audit: a
+        dirty plan (reused stream) is refused before any replay."""
+        path = tmp_path / "run.journal"
+        rng = np.random.default_rng(0)
+        rngs = [rng, rng]  # D001: the same stream twice
+        with RunJournal(path) as journal:
+            runner = ShardedRunner(workers=1, journal=journal)
+            with pytest.raises(PlanAuditError):
+                runner.run_shards(_task, rngs, [1, 1])
+
+
+class TestMultiRound:
+    def test_rounds_journal_independently(self, tmp_path):
+        """Main round + top-up round land as distinct fingerprints and
+        both replay on resume (the estimator's two-round shape)."""
+        path = tmp_path / "run.journal"
+        parent_a = np.random.default_rng(11)
+        rngs1 = spawn_generators(parent_a, N_SHARDS)
+        rngs2 = spawn_generators(parent_a, N_SHARDS)  # spawn keys advance
+        budgets = split_budget(BUDGET, N_SHARDS)
+        assert plan_fingerprint(rngs1, budgets) != plan_fingerprint(rngs2, budgets)
+
+        with RunJournal(path) as journal:
+            runner = ShardedRunner(workers=1, journal=journal)
+            first = runner.run_shards(
+                _task, rngs1, budgets, total=BUDGET, parent=parent_a
+            )
+            second = runner.run_shards(
+                _task, rngs2, budgets, total=BUDGET, parent=parent_a
+            )
+
+        parent_b = np.random.default_rng(11)
+        with RunJournal(path, resume=True) as journal:
+            assert journal.rounds == 2
+            runner = ShardedRunner(workers=1, journal=journal)
+            r1 = runner.run_shards(
+                _task, spawn_generators(parent_b, N_SHARDS), budgets,
+                total=BUDGET, parent=parent_b,
+            )
+            assert runner.last_diagnostics["replayed"] == N_SHARDS
+            r2 = runner.run_shards(
+                _task, spawn_generators(parent_b, N_SHARDS), budgets,
+                total=BUDGET, parent=parent_b,
+            )
+            assert runner.last_diagnostics["replayed"] == N_SHARDS
+        assert [r.payload for r in r1] == [r.payload for r in first]
+        assert [r.payload for r in r2] == [r.payload for r in second]
+
+    def test_round_order_mismatch_refused(self, tmp_path):
+        """Positional matching: replaying round 1's plan as round 0 is a
+        different run shape and is refused (D005)."""
+        path = tmp_path / "run.journal"
+        parent = np.random.default_rng(11)
+        rngs1 = spawn_generators(parent, N_SHARDS)
+        rngs2 = spawn_generators(parent, N_SHARDS)
+        budgets = split_budget(BUDGET, N_SHARDS)
+        with RunJournal(path) as journal:
+            journal.begin_round(rngs1, budgets)
+            journal.record(_task(0, np.random.default_rng(0), budgets[0]))
+            journal.begin_round(rngs2, budgets)
+            journal.record(_task(0, np.random.default_rng(0), budgets[0]))
+        with RunJournal(path, resume=True) as journal:
+            with pytest.raises(JournalError, match="D005"):
+                journal.begin_round(rngs2, budgets)  # round 1's plan first

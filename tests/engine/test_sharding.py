@@ -450,6 +450,160 @@ class TestShardedCoreDeterminism:
         assert ls.n_evals == 1000
 
 
+class TestZeroBudgetShards:
+    """Zero-budget shards never ship to the pool: an empty job buys no
+    samples but costs a pickle round-trip and a worker slot.  The plan —
+    and therefore the statistics — is unchanged; skipping is pure
+    dispatch economics."""
+
+    @staticmethod
+    def _pid_task(i, rng, budget):
+        return ShardResult(
+            index=i, n_evals=budget,
+            payload=(os.getpid(), float(rng.standard_normal())),
+        )
+
+    @needs_fork
+    def test_empty_shards_run_in_process(self):
+        rngs = spawn_generators(np.random.default_rng(0), 4)
+        budgets = [3, 0, 2, 0]  # budget < n_shards territory
+        runner = ShardedRunner(workers=2)
+        out = runner.run_shards(self._pid_task, rngs, budgets)
+        parent = os.getpid()
+        assert [r.payload[0] == parent for r in out] == [False, True, False, True]
+        assert runner.last_diagnostics["skipped_empty"] == 2
+
+    @needs_fork
+    def test_bit_identity_with_empty_shards(self):
+        budgets = [2, 0, 1, 0, 0]
+        serial = ShardedRunner(workers=1).run_shards(
+            self._pid_task, spawn_generators(np.random.default_rng(3), 5), budgets
+        )
+        pooled = ShardedRunner(workers=2).run_shards(
+            self._pid_task, spawn_generators(np.random.default_rng(3), 5), budgets
+        )
+        assert [r.payload[1] for r in serial] == [r.payload[1] for r in pooled]
+
+    @needs_fork
+    def test_skip_empty_false_ships_everything(self):
+        """Search-stage tasks pass budgets that are placeholders, not
+        sample counts; ``skip_empty=False`` keeps them pooled."""
+        rngs = spawn_generators(np.random.default_rng(0), 2)
+        runner = ShardedRunner(workers=2)
+        out = runner.run_shards(self._pid_task, rngs, [0, 0], skip_empty=False)
+        parent = os.getpid()
+        assert all(r.payload[0] != parent for r in out)
+        assert runner.last_diagnostics["skipped_empty"] == 0
+
+    def test_all_empty_runs_in_process_without_pool(self):
+        rngs = spawn_generators(np.random.default_rng(0), 3)
+        runner = ShardedRunner(workers=3)
+        out = runner.run_shards(self._pid_task, rngs, [0, 0, 0])
+        assert runner.last_mode == "in-process"
+        assert runner._pool is None
+        assert [r.index for r in out] == [0, 1, 2]
+
+
+class TestPoolFailureLifecycle:
+    """A failed run must never hand its (dead, hung or interrupted) pool
+    to the next call — regression coverage for the close-on-error path."""
+
+    @staticmethod
+    def _task(i, rng, budget):
+        return ShardResult(index=i, n_evals=budget, payload=float(rng.standard_normal()))
+
+    @needs_fork
+    def test_persistent_pool_recovers_after_worker_death(self):
+        """Kill a worker with no retry budget: the run fails typed, the
+        broken pool is closed, and the *same* persistent runner's next
+        run respawns transparently and is bit-identical to serial."""
+        from repro.engine.chaos import FaultSpec
+        from repro.errors import ShardExecutionError
+
+        budgets = split_budget(40, 4)
+        baseline = [
+            r.payload
+            for r in ShardedRunner(workers=1).run_shards(
+                self._task, spawn_generators(np.random.default_rng(7), 4), budgets
+            )
+        ]
+        with ShardedRunner(workers=2, persistent=True) as runner:
+            runner.chaos = (FaultSpec("kill", shard=1),)
+            with pytest.raises(ShardExecutionError):
+                runner.run_shards(
+                    self._task, spawn_generators(np.random.default_rng(7), 4), budgets
+                )
+            assert runner._pool is None  # broken pool not kept around
+            runner.chaos = ()
+            out = runner.run_shards(
+                self._task, spawn_generators(np.random.default_rng(7), 4), budgets
+            )
+            assert [r.payload for r in out] == baseline
+
+    @needs_fork
+    def test_keyboard_interrupt_cleans_pool_and_registry(self):
+        from repro.engine import sharding
+
+        runner = ShardedRunner(workers=2, persistent=True)
+
+        def interrupt(inflight):
+            raise KeyboardInterrupt
+
+        runner._wait_tick = interrupt
+        rngs = spawn_generators(np.random.default_rng(0), 4)
+        with pytest.raises(KeyboardInterrupt):
+            runner.run_shards(self._task, rngs, split_budget(40, 4))
+        assert runner._pool is None
+        assert runner._pool_key is None
+        # No orphaned task snapshot left in the module registry.
+        assert all(
+            task is not self._task for task in sharding._POOL_TASKS.values()
+        )
+
+    @needs_fork
+    def test_unpicklable_result_payload_is_readable_typed_error(self):
+        """A payload that cannot cross the result pipe surfaces as a
+        typed ShardExecutionError naming the shard — not a hang or a
+        bare MaybeEncodingError from pool internals."""
+        from repro.errors import ShardExecutionError
+
+        def bad_payload_task(i, rng, budget):
+            return ShardResult(index=i, n_evals=0, payload=lambda: None)
+
+        runner = ShardedRunner(workers=2)
+        rngs = spawn_generators(np.random.default_rng(0), 2)
+        with pytest.raises(ShardExecutionError) as excinfo:
+            runner.run_shards(bad_payload_task, rngs, [1, 1])
+        assert excinfo.value.shard_index in (0, 1)
+        assert excinfo.value.attempts == 1
+        assert runner._pool is None
+
+    @needs_fork
+    def test_eval_reconciliation_across_retried_shards(self):
+        """The retried attempt consumed evals in a worker that died with
+        them; only the successful attempt's count reconciles, so the
+        parent total matches a fault-free run exactly."""
+        from repro.engine.chaos import FaultSpec
+        from repro.engine.sharding import RetryPolicy
+
+        ls = LinearLimitState(beta=3.0, dim=4)
+
+        def task(i, rng, budget):
+            before = ls.n_evals
+            ls.fails_batch(rng.standard_normal((budget, 4)))
+            return ShardResult(index=i, n_evals=ls.n_evals - before, payload=None)
+
+        runner = ShardedRunner(
+            workers=2,
+            retry=RetryPolicy(max_attempts=3),
+            chaos=[FaultSpec("kill", shard=1)],
+        )
+        rngs = spawn_generators(np.random.default_rng(1), 4)
+        runner.run_shards(task, rngs, [10, 10, 10, 10], limit_state=ls)
+        assert runner.last_mode == "fork"
+        assert ls.n_evals == 40
+
+
 class TestShardedMonteCarlo:
     @needs_fork
     def test_workers_bit_identical(self):

@@ -54,6 +54,13 @@ bit-identical to a fault-free one::
     python -m repro.cli array-sigma --spec-ps 60 --workers 4 \\
         --retries 2 --shard-timeout 300 --journal run.journal
     # interrupted? same command + --resume finishes the missing shards
+
+Plan caching: ``--plan-cache DIR`` (or the ``REPRO_PLAN_CACHE``
+environment variable) backs the sigma subcommands with a
+content-addressed store of compiled transient plans, so a rerun with
+the same circuit structure and compile options restores its plan —
+re-audited on load — instead of recompiling.  Each run reports one
+``plan cache`` hit/miss line.
 """
 
 from __future__ import annotations
@@ -140,6 +147,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "shards (after a plan audit) and execute only "
                             "the missing ones — bit-identical to an "
                             "uninterrupted run")
+        p.add_argument("--plan-cache", type=str, default=None, metavar="DIR",
+                       help="content-addressed store for compiled plans: "
+                            "compile once, restore (audited) on later runs "
+                            "with the same circuit structure and compile "
+                            "options; REPRO_PLAN_CACHE is the environment "
+                            "equivalent")
 
     p_read = sub.add_parser("read-sigma", help="read-access failure sigma")
     common(p_read)
@@ -317,6 +330,30 @@ def _report_faults(runner) -> None:
         )
 
 
+def _setup_plan_cache(args):
+    """Activate the compiled-plan cache the flags describe; returns it.
+
+    Runs before the limit state is built — that is where the compiles
+    happen.  ``--plan-cache DIR`` replaces the process default with one
+    backed by DIR (an unwritable DIR is a :class:`ConfigError`, reported
+    like any other flag conflict); otherwise the lazy default applies,
+    which reads ``REPRO_PLAN_CACHE`` on first use.
+    """
+    from repro.spice.plan import configure_default_plan_cache, default_plan_cache
+
+    if getattr(args, "plan_cache", None):
+        return configure_default_plan_cache(cache_dir=args.plan_cache)
+    return default_plan_cache()
+
+
+def _report_plan_cache(cache) -> None:
+    s = cache.stats
+    print(
+        f"plan cache        : hits {s['mem_hits']} memory / "
+        f"{s['disk_hits']} disk, misses {s['misses']}, stale {s['stale']}"
+    )
+
+
 def _run_sigma(args, kind: str) -> int:
     from repro.experiments.workloads import (
         calibrate_read_spec,
@@ -327,6 +364,7 @@ def _run_sigma(args, kind: str) -> int:
     )
     from repro.highsigma.gis import GradientImportanceSampling
 
+    plan_cache = _setup_plan_cache(args)
     calibrate = calibrate_read_spec if kind == "read" else calibrate_write_spec
     system = kind == "read" and getattr(args, "system", False)
 
@@ -365,6 +403,7 @@ def _run_sigma(args, kind: str) -> int:
         _finish_runner(runner)
     _report(result, spec, note)
     _report_faults(runner)
+    _report_plan_cache(plan_cache)
     return 0
 
 
@@ -374,6 +413,7 @@ def _run_sa_sigma(args) -> int:
     from repro.highsigma.mpfp import MpfpOptions
     from repro.highsigma.sigma import array_yield
 
+    plan_cache = _setup_plan_cache(args)
     spec = args.spec_mv * 1e-3
     # The latch keeps its own grid density (--n-steps targets the 6T
     # engine's much longer window).  The bisection-extracted offset is
@@ -403,6 +443,7 @@ def _run_sa_sigma(args) -> int:
         y = array_yield(result.p_fail, 1 << 20)
         print(f"1 Mb zero-repair  : {100*y:.2f} % yield")
     _report_faults(runner)
+    _report_plan_cache(plan_cache)
     return 0
 
 
@@ -410,6 +451,7 @@ def _run_column_sigma(args) -> int:
     from repro.experiments.workloads import make_column_read_limitstate
     from repro.highsigma.gis import GradientImportanceSampling
 
+    plan_cache = _setup_plan_cache(args)
     spec = args.spec_ps * 1e-12
     ls = make_column_read_limitstate(
         spec, n_leakers=args.leakers, leaker_data=args.leaker_data,
@@ -433,6 +475,7 @@ def _run_column_sigma(args) -> int:
     _report(result, spec, f"  (column, {args.leakers} leakers, "
                           f"dim {ls.dim})")
     _report_faults(runner)
+    _report_plan_cache(plan_cache)
     return 0
 
 
@@ -440,6 +483,7 @@ def _run_array_sigma(args) -> int:
     from repro.experiments.workloads import make_array_read_limitstate
     from repro.highsigma.gis import GradientImportanceSampling
 
+    plan_cache = _setup_plan_cache(args)
     spec = args.spec_ps * 1e-12
     ls = make_array_read_limitstate(
         spec, n_cols=args.cols, n_leakers=args.leakers,
@@ -462,6 +506,7 @@ def _run_array_sigma(args) -> int:
     _report(result, spec, f"  (array, {args.cols} cols x "
                           f"{args.leakers + 1} cells, dim {ls.dim})")
     _report_faults(runner)
+    _report_plan_cache(plan_cache)
     return 0
 
 

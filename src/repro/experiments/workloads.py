@@ -223,6 +223,133 @@ def _check_axes_cover_devices(space: VariationSpace, order, what: str) -> None:
         )
 
 
+# ----------------------------------------------------------------------
+# Picklable batch evaluators
+# ----------------------------------------------------------------------
+# These used to be local ``batch_fn`` closures inside the factories —
+# unpicklable, which silently pushed ``ShardedRunner``'s spawn pool into
+# its in-process fallback.  As module-level callables the whole limit
+# state travels through the spawn pickle pipe, compiled plans included
+# (``CompiledTransient`` serializes its plan state and re-audits on
+# arrival), so spawn workers deserialize instead of recompiling.
+
+
+class _EngineBatch:
+    """u-batch -> engine metric via the cell variation space."""
+
+    def __init__(self, space: VariationSpace, metric_batch, include_beta: bool):
+        self.space = space
+        self.metric_batch = metric_batch
+        self.include_beta = include_beta
+
+    def __call__(self, u_batch: np.ndarray) -> np.ndarray:
+        space = self.space
+        dvth = space.vth_matrix(u_batch, CELL_DEVICE_ORDER)
+        bmult = (
+            space.beta_matrix(u_batch, CELL_DEVICE_ORDER)
+            if self.include_beta else None
+        )
+        return self.metric_batch(dvth, bmult)
+
+
+class _SenseAmpOffsetBatch:
+    """u-batch -> input-referred offset via batched latch bisection."""
+
+    def __init__(self, sense, sigmas, dv_max, n_bisect, n_steps, kernel):
+        self.sense = sense
+        self.sigmas = sigmas
+        self.dv_max = dv_max
+        self.n_bisect = n_bisect
+        self.n_steps = n_steps
+        self.kernel = kernel
+
+    def __call__(self, u_batch: np.ndarray) -> np.ndarray:
+        u_batch = np.atleast_2d(u_batch)
+        return self.sense.offset_batch(
+            u_batch * self.sigmas, dv_max=self.dv_max, n_bisect=self.n_bisect,
+            n_steps=self.n_steps, kernel=self.kernel,
+        )
+
+
+class _SystemReadBatch:
+    """u-batch -> read access time to a per-sample sense threshold."""
+
+    def __init__(
+        self, engine, sense, cell_space, sa_sigmas, sa_model, dv_base,
+        dv_floor, kernel, sa_n_steps, sa_dv_max, sa_n_bisect,
+        sa_on_unresolvable,
+    ):
+        self.engine = engine
+        self.sense = sense
+        self.cell_space = cell_space
+        self.sa_sigmas = sa_sigmas
+        self.sa_model = sa_model
+        self.dv_base = dv_base
+        self.dv_floor = dv_floor
+        self.kernel = kernel
+        self.sa_n_steps = sa_n_steps
+        self.sa_dv_max = sa_dv_max
+        self.sa_n_bisect = sa_n_bisect
+        self.sa_on_unresolvable = sa_on_unresolvable
+
+    def __call__(self, u_batch: np.ndarray) -> np.ndarray:
+        u_batch = np.atleast_2d(u_batch)
+        u_cell, u_sa = u_batch[:, :6], u_batch[:, 6:]
+        dvth = self.cell_space.vth_matrix(u_cell, CELL_DEVICE_ORDER)
+        if self.sa_model == "linear":
+            offset = self.sense.offset_linear(u_sa)
+        else:
+            offset = self.sense.offset_batch(
+                u_sa * self.sa_sigmas, dv_max=self.sa_dv_max,
+                n_bisect=self.sa_n_bisect, n_steps=self.sa_n_steps,
+                kernel=self.kernel,
+                on_unresolvable=self.sa_on_unresolvable,
+            )
+        dv_req = np.maximum(self.dv_base + offset, self.dv_floor)
+        return self.engine.read(dvth, dv_spec=dv_req).metric
+
+
+class _ColumnReadBatch:
+    """u-batch -> column access times on the compiled read column."""
+
+    def __init__(self, column, space, order, n_steps, kernel, assembly):
+        self.column = column
+        self.space = space
+        self.order = order
+        self.n_steps = n_steps
+        self.kernel = kernel
+        self.assembly = assembly
+
+    def __call__(self, u_batch: np.ndarray) -> np.ndarray:
+        u_batch = np.atleast_2d(u_batch)
+        dvth = self.space.vth_matrix(u_batch, self.order)
+        return self.column.access_times_batch(
+            dvth, n_steps=self.n_steps, kernel=self.kernel,
+            assembly=self.assembly,
+        )
+
+
+class _ArrayReadBatch:
+    """u-batch -> muxed array-slice access times on the compiled slice."""
+
+    def __init__(self, array, space, order, n_steps, kernel, assembly, solver):
+        self.array = array
+        self.space = space
+        self.order = order
+        self.n_steps = n_steps
+        self.kernel = kernel
+        self.assembly = assembly
+        self.solver = solver
+
+    def __call__(self, u_batch: np.ndarray) -> np.ndarray:
+        u_batch = np.atleast_2d(u_batch)
+        dvth = self.space.vth_matrix(u_batch, self.order)
+        return self.array.access_times_batch(
+            dvth, n_steps=self.n_steps, kernel=self.kernel,
+            assembly=self.assembly, solver=self.solver,
+        )
+
+
 def _engine_limitstate(
     engine: Batched6T,
     space: VariationSpace,
@@ -233,11 +360,6 @@ def _engine_limitstate(
 ) -> LimitState:
     include_beta = any(a.kind == "beta" for a in space.axes)
 
-    def batch_fn(u_batch: np.ndarray) -> np.ndarray:
-        dvth = space.vth_matrix(u_batch, CELL_DEVICE_ORDER)
-        bmult = space.beta_matrix(u_batch, CELL_DEVICE_ORDER) if include_beta else None
-        return metric_batch(dvth, bmult)
-
     # Caching is on: scalar evaluations (MPFP line searches) and
     # stencil-sized batches (MPFP gradients) share one bounded cache, so
     # a line search revisiting a stencil point costs nothing; bulk
@@ -246,7 +368,7 @@ def _engine_limitstate(
     # batched engine as one-row batches.
     return LimitState(
         fn=None,
-        batch_fn=batch_fn,
+        batch_fn=_EngineBatch(space, metric_batch, include_beta),
         spec=spec,
         dim=space.dim,
         direction=direction,
@@ -353,16 +475,11 @@ def make_senseamp_offset_limitstate(
     sense = SenseAmp(sa_design, vdd=vdd)
     sigmas = sense.design.vth_sigmas()
 
-    def batch_fn(u_batch: np.ndarray) -> np.ndarray:
-        u_batch = np.atleast_2d(u_batch)
-        return sense.offset_batch(
-            u_batch * sigmas, dv_max=dv_max, n_bisect=n_bisect,
-            n_steps=n_steps, kernel=kernel,
-        )
-
     return LimitState(
         fn=None,
-        batch_fn=batch_fn,
+        batch_fn=_SenseAmpOffsetBatch(
+            sense, sigmas, dv_max, n_bisect, n_steps, kernel
+        ),
         spec=spec,
         dim=len(sigmas),
         direction="upper",
@@ -427,24 +544,13 @@ def make_system_read_limitstate(
     cell_space = cell_variation_space(design)
     sa_sigmas = sense.design.vth_sigmas()
 
-    def batch_fn(u_batch: np.ndarray) -> np.ndarray:
-        u_batch = np.atleast_2d(u_batch)
-        u_cell, u_sa = u_batch[:, :6], u_batch[:, 6:]
-        dvth = cell_space.vth_matrix(u_cell, CELL_DEVICE_ORDER)
-        if sa_model == "linear":
-            offset = sense.offset_linear(u_sa)
-        else:
-            offset = sense.offset_batch(
-                u_sa * sa_sigmas, dv_max=sa_dv_max, n_bisect=sa_n_bisect,
-                n_steps=sa_n_steps, kernel=kernel,
-                on_unresolvable=sa_on_unresolvable,
-            )
-        dv_req = np.maximum(dv_base + offset, dv_floor)
-        return engine.read(dvth, dv_spec=dv_req).metric
-
     return LimitState(
         fn=None,
-        batch_fn=batch_fn,
+        batch_fn=_SystemReadBatch(
+            engine, sense, cell_space, sa_sigmas, sa_model, dv_base,
+            dv_floor, kernel, sa_n_steps, sa_dv_max, sa_n_bisect,
+            sa_on_unresolvable,
+        ),
         spec=spec,
         dim=10,
         direction="upper",
@@ -491,16 +597,9 @@ def make_column_read_limitstate(
     order = column.all_device_names()
     _check_axes_cover_devices(space, order, "column")
 
-    def batch_fn(u_batch: np.ndarray) -> np.ndarray:
-        u_batch = np.atleast_2d(u_batch)
-        dvth = space.vth_matrix(u_batch, order)
-        return column.access_times_batch(
-            dvth, n_steps=n_steps, kernel=kernel, assembly=assembly
-        )
-
     return LimitState(
         fn=None,
-        batch_fn=batch_fn,
+        batch_fn=_ColumnReadBatch(column, space, order, n_steps, kernel, assembly),
         spec=spec,
         dim=space.dim,
         direction="upper",
@@ -555,17 +654,11 @@ def make_array_read_limitstate(
     order = array.all_device_names()
     _check_axes_cover_devices(space, order, "array slice")
 
-    def batch_fn(u_batch: np.ndarray) -> np.ndarray:
-        u_batch = np.atleast_2d(u_batch)
-        dvth = space.vth_matrix(u_batch, order)
-        return array.access_times_batch(
-            dvth, n_steps=n_steps, kernel=kernel, assembly=assembly,
-            solver=solver,
-        )
-
     return LimitState(
         fn=None,
-        batch_fn=batch_fn,
+        batch_fn=_ArrayReadBatch(
+            array, space, order, n_steps, kernel, assembly, solver
+        ),
         spec=spec,
         dim=space.dim,
         direction="upper",

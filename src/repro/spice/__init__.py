@@ -20,6 +20,11 @@ original paper with a self-contained modified-nodal-analysis engine:
 * :mod:`repro.spice.audit` — compile-plan auditor (``audit_plan``; the
   ``P0xx`` codes) proving a :class:`~repro.spice.compile.CompiledTransient`
   well-formed without running it.
+* :mod:`repro.spice.plan` — serialized compiled plans
+  (:class:`~repro.spice.plan.CompiledPlan`) and the content-addressed
+  plan cache (:class:`~repro.spice.plan.PlanCache`,
+  :func:`~repro.spice.plan.compile_cached`): compile once, restore
+  audited anywhere.
 """
 
 from repro.spice.mosfet import MosfetModel, MosfetOpPoint, nmos_45nm, pmos_45nm
@@ -43,6 +48,12 @@ from repro.spice.diagnostics import (
     lint_errors,
 )
 from repro.spice.audit import assert_plan_clean, audit_plan
+from repro.spice.plan import (
+    CompiledPlan,
+    PlanCache,
+    compile_cached,
+    plan_fingerprint,
+)
 from repro.spice.transient import TransientOptions, TransientResult, run_transient
 from repro.spice.waveform import Waveform
 
@@ -75,4 +86,8 @@ __all__ = [
     "format_diagnostics",
     "audit_plan",
     "assert_plan_clean",
+    "CompiledPlan",
+    "PlanCache",
+    "compile_cached",
+    "plan_fingerprint",
 ]

@@ -26,6 +26,10 @@ integrator relies on, *without running a transient*:
 * **P006/P007** — probe tables address compiled unknowns and grid steps,
   and a retirement policy can never corrupt a metric probe (no value
   probes, peak windows open before retirement can begin).
+* **P008** — issued by the serialization layer (:mod:`repro.spice.plan`
+  and ``CompiledTransient.__setstate__``), not by the auditor itself: a
+  serialized plan payload with a bad container, checksum or format
+  version is refused before the audit ever sees it.
 
 The auditor is the admission gate the ROADMAP's compiled-circuit cache
 and remote shard dispatch need: a cached or deserialized plan gets

@@ -115,6 +115,7 @@ __all__ = [
     "solveN",
     "solve4",
     "SPARSE_ASSEMBLY_THRESHOLD",
+    "PLAN_FORMAT_VERSION",
 ]
 
 # Smoothing epsilons — must match MosfetModel.ids exactly.
@@ -136,6 +137,16 @@ SPARSE_ASSEMBLY_THRESHOLD = 8
 #: delegating keeps the bit-equality guarantee without giving up any of
 #: the bulk speedup.
 _SPARSE_MIN_BATCH = 16
+
+#: Serialization format version of the compiled-plan state (see
+#: :mod:`repro.spice.plan` for the byte container and the cache built on
+#: top).  Bump this on ANY change to the attribute set
+#: :meth:`CompiledTransient.__getstate__` emits or to how
+#: :meth:`CompiledTransient.__setstate__` rebuilds the derived tables —
+#: a payload carrying a stale version is refused with diagnostic
+#: ``P008`` (and treated as a plain cache miss by the plan cache), never
+#: silently reinterpreted.
+PLAN_FORMAT_VERSION = 1
 
 
 def _scatter_rounds(mat: np.ndarray):
@@ -175,6 +186,46 @@ def _scatter_rounds(mat: np.ndarray):
         pos = vv > 0
         rounds.append((rr[pos], cc[pos], rr[~pos], cc[~pos]))
     return rounds
+
+
+def _incidence_matrices(
+    d_idx: np.ndarray,
+    g_idx: np.ndarray,
+    s_idx: np.ndarray,
+    b_idx: np.ndarray,
+    nu: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Current/Jacobian incidence matrices from the terminal index maps.
+
+    ``S[node, dev]`` stamps device currents into the residual
+    (``F += S @ ids``); ``M[nu*row + col, kind*n_dev + dev]`` stamps the
+    four conductances into the flattened Jacobian (``J += M @ G_stack``
+    with ``G_stack`` rows ``[gm, gds, gms, gmb]`` per device).  Both are
+    pure functions of the four terminal-row arrays and the unknown
+    count, which is why compilation and plan restore
+    (:meth:`CompiledTransient.__setstate__`) share this builder: a
+    deserialized plan rebuilds them bit-identically instead of shipping
+    the dense ``nu² x 4·n_dev`` stamp matrix (~235 MB at array-slice
+    scale).  The plan audit's ``P004`` check replays the same stamping
+    loop entry for entry.
+    """
+    n_dev = int(d_idx.size)
+    s_mat = np.zeros((nu, n_dev))
+    m_mat = np.zeros((nu * nu, 4 * n_dev))
+    for k in range(n_dev):
+        rd, rg, rs, rb = int(d_idx[k]), int(g_idx[k]), int(s_idx[k]), int(b_idx[k])
+        if rd < nu:
+            s_mat[rd, k] += 1.0
+        if rs < nu:
+            s_mat[rs, k] -= 1.0
+        for g_kind, rt in enumerate((rg, rd, rs, rb)):  # gm, gds, gms, gmb
+            if rt >= nu:
+                continue                # rail/ground: fixed voltage
+            if rd < nu:
+                m_mat[rd * nu + rt, g_kind * n_dev + k] += 1.0
+            if rs < nu:
+                m_mat[rs * nu + rt, g_kind * n_dev + k] -= 1.0
+    return s_mat, m_mat
 
 
 # ----------------------------------------------------------------------
@@ -971,32 +1022,18 @@ class CompiledTransient:
         self._s_idx = np.asarray(s_idx)
         self._b_idx = np.asarray(b_idx)
 
-        # Current incidence: F_dev = S @ ids, S[node, dev] in {+1, -1, 0}.
-        s_mat = np.zeros((nu, n_dev))
-        # Jacobian assembly: J.reshape(nu*nu, m) += M @ G_stack where
-        # G_stack rows are [gm(n_dev), gds(n_dev), gms(n_dev), gmb(n_dev)].
-        m_mat = np.zeros((nu * nu, 4 * n_dev))
-        for k, m in enumerate(mosfets):
-            rd, rg, rs, rb = (row[n] for n in m.nodes)
-            if rd < nu:
-                s_mat[rd, k] += 1.0
-            if rs < nu:
-                s_mat[rs, k] -= 1.0
-            for g_kind, rt in enumerate((rg, rd, rs, rb)):  # gm, gds, gms, gmb
-                if rt >= nu:
-                    continue                # rail/ground: fixed voltage
-                if rd < nu:
-                    m_mat[rd * nu + rt, g_kind * n_dev + k] += 1.0
-                if rs < nu:
-                    m_mat[rs * nu + rt, g_kind * n_dev + k] -= 1.0
-        self._s_mat = s_mat
-        self._m_mat = m_mat
+        # Current incidence: F_dev = S @ ids, S[node, dev] in {+1, -1, 0};
+        # Jacobian stamps through M (see _incidence_matrices — shared
+        # with plan restore, which rebuilds both from the index maps).
+        self._s_mat, self._m_mat = _incidence_matrices(
+            self._d_idx, self._g_idx, self._s_idx, self._b_idx, nu
+        )
         # The sparse pass scatters only the Jacobian: its dense assembly
         # is quadratic in the node count (nu² rows against 4·n_dev
         # columns), while the residual matmul is linear (nu rows) — not
         # worth trading the exact-op bit-equality for.
         self._jac_rounds = (
-            _scatter_rounds(m_mat) if self.assembly == "sparse" else None
+            _scatter_rounds(self._m_mat) if self.assembly == "sparse" else None
         )
 
     def _build_solver(self) -> None:
@@ -1047,11 +1084,20 @@ class CompiledTransient:
 
     def _build_plan(self) -> None:
         """Per-step constant tables over the fixed grid."""
+        self._eval_rail_waveforms()
+        self._build_plan_tables()
+
+    def _eval_rail_waveforms(self) -> None:
+        """Rail voltages over the grid — the Python-loop half of the plan.
+
+        Arbitrary ``SourceShape.value`` calls per grid point cannot be
+        vectorised, so the result travels inside a serialized plan;
+        everything in :meth:`_build_plan_tables` is pure numpy over the
+        grid and compiled matrices and rebuilds bit-identically on
+        restore.
+        """
         grid = self.grid
         nr = len(self._rail_nodes)
-        hs = np.diff(grid)
-        n_steps = hs.size
-
         rail_vals = np.empty((grid.size, nr))
         varying = []
         for j, shape in enumerate(self._rail_shapes):
@@ -1062,6 +1108,13 @@ class CompiledTransient:
                 varying.append(j)
         self._rail_vals = rail_vals
         self._varying_rails = varying
+
+    def _build_plan_tables(self) -> None:
+        """Derived per-step tables: deterministic numpy on serialized state."""
+        grid = self.grid
+        rail_vals = self._rail_vals
+        hs = np.diff(grid)
+        n_steps = hs.size
 
         # Extrapolation ratio h_k / h_{k-1} for the Newton warm start
         # (0 for the first step, where no history exists).
@@ -1598,6 +1651,58 @@ class CompiledTransient:
             n=n,
             n_sample_steps=n_sample_steps,
         )
+
+    # ------------------------------------------------------------------
+    # Serialization (repro.spice.plan builds the byte container and the
+    # content-addressed cache on top of these hooks)
+    # ------------------------------------------------------------------
+
+    #: Attributes dropped from the pickled state: pure functions of the
+    #: serialized attributes, and the only quadratically-sized tables
+    #: (at array-slice scale ``_m_mat`` is ~235 MB and the per-step
+    #: ``_plan`` stacks ~120 MB, against a few MB for everything else).
+    #: :meth:`__setstate__` rebuilds them bit-identically; the plan
+    #: audit's P004/P005 recomputation checks are exactly that proof.
+    _DERIVED_STATE = ("_plan", "_s_mat", "_m_mat")
+
+    def __getstate__(self) -> Dict[str, object]:
+        state = {
+            k: v for k, v in self.__dict__.items() if k not in self._DERIVED_STATE
+        }
+        return {"format": PLAN_FORMAT_VERSION, "state": state}
+
+    def __setstate__(self, payload: Dict[str, object]) -> None:
+        """Versioned, audited restore — the admission gate in person.
+
+        A plan arriving here did *not* just come out of the compiler in
+        this process (unpickle in a spawn worker, a cache-dir load), so
+        per the ROADMAP invariant it passes :func:`assert_plan_clean`
+        before first use.  A payload of the wrong shape or format
+        version is refused with diagnostic ``P008``.
+        """
+        from repro.spice.audit import assert_plan_clean
+        from repro.spice.plan import plan_payload_error
+
+        if (
+            not isinstance(payload, dict)
+            or not isinstance(payload.get("state"), dict)
+            or "format" not in payload
+        ):
+            raise plan_payload_error(
+                "unrecognised CompiledTransient pickle payload (expected a "
+                "{'format', 'state'} dict)"
+            )
+        if payload["format"] != PLAN_FORMAT_VERSION:
+            raise plan_payload_error(
+                f"plan format version {payload['format']!r} does not match "
+                f"this build's version {PLAN_FORMAT_VERSION}"
+            )
+        self.__dict__.update(payload["state"])
+        self._s_mat, self._m_mat = _incidence_matrices(
+            self._d_idx, self._g_idx, self._s_idx, self._b_idx, self.n_unknowns
+        )
+        self._build_plan_tables()
+        assert_plan_clean(self)
 
     def __repr__(self) -> str:
         return (

@@ -178,6 +178,12 @@ DIAGNOSTIC_CODES: Dict[str, Tuple[str, str]] = {
         "probe table inconsistent with the compiled plan",
         "probe rows must address compiled unknowns and grid steps",
     ),
+    "P008": (
+        "serialized plan payload refused: bad container, checksum or "
+        "format version",
+        "recompile to refresh a stale plan; a corrupt payload must be "
+        "refetched, never patched",
+    ),
     "D001": (
         "shard RNG streams are not disjoint",
         "spawn one child stream per shard from a single SeedSequence",

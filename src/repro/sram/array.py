@@ -46,6 +46,7 @@ from repro.spice.compile import (
     transient_grid,
 )
 from repro.spice.elements import Capacitor, Mosfet, VoltageSource
+from repro.spice.plan import compile_cached
 from repro.spice.netlist import Circuit
 from repro.spice.sources import dc, pulse
 from repro.spice.transient import TransientOptions, TransientResult, run_transient
@@ -303,7 +304,7 @@ class ArraySlice:
         ct = self._compiled.get(key)
         if ct is None:
             t_fall = self._t_wl_fall()
-            ct = CompiledTransient(
+            ct = compile_cached(
                 self.circuit,
                 grid=transient_grid(
                     self.timing.t_stop,

@@ -26,6 +26,7 @@ from typing import Tuple
 
 from repro.errors import ConfigError
 from repro.spice.compile import CompiledTransient
+from repro.spice.plan import compile_cached
 
 __all__ = ["BENCH_NAMES", "bench_compiled", "bench_solver_choices", "recompile"]
 
@@ -113,7 +114,10 @@ def recompile(ct: CompiledTransient, **overrides) -> CompiledTransient:
 
     Rebuilds from the original circuit, grid and probe list, so the
     result is the same plan re-derived under the new compile options —
-    the cross-check the auditors run combination-by-combination.
+    the cross-check the auditors run combination-by-combination.  Routes
+    through the content-addressed plan cache: re-deriving a combination
+    that was already compiled (anywhere in the process, or in the
+    configured cache dir) restores instead of recompiling.
     """
     probes = (*ct._cross_probes, *ct._peak_probes, *ct._value_probes)
     kwargs = {
@@ -127,4 +131,4 @@ def recompile(ct: CompiledTransient, **overrides) -> CompiledTransient:
         "clip": ct.clip,
     }
     kwargs.update(overrides)
-    return CompiledTransient(ct.circuit, ct.grid, probes=probes, **kwargs)
+    return compile_cached(ct.circuit, ct.grid, probes=probes, **kwargs)

@@ -48,6 +48,7 @@ from repro.spice.compile import (
 )
 from repro.spice.elements import Capacitor, Resistor, VoltageSource
 from repro.spice.netlist import Circuit
+from repro.spice.plan import compile_cached
 from repro.spice.sources import dc
 from repro.sram.cell import CELL_DEVICE_ORDER, build_cell
 
@@ -107,7 +108,7 @@ class FusedTransientKernel:
             PeakProbe("q_peak", "q", t_from=self._t_wl_mid),
             PeakProbe("qb_peak", "qb", t_from=self._t_wl_mid),
         )
-        ct = CompiledTransient(
+        ct = compile_cached(
             self._build_circuit(mode),
             grid=eng._grid,
             probes=probes,

@@ -38,6 +38,7 @@ from repro.spice.compile import CompiledTransient, CrossProbe, transient_grid
 from repro.spice.elements import Capacitor, Mosfet, VoltageSource
 from repro.spice.mosfet import MosfetModel, nmos_45nm, pmos_45nm
 from repro.spice.netlist import Circuit
+from repro.spice.plan import compile_cached
 from repro.spice.sources import dc, pulse
 from repro.spice.transient import TransientOptions, run_transient
 from repro.variation.pelgrom import vth_mismatch_sigma
@@ -186,7 +187,7 @@ class SenseAmp:
         ct = self._compiled.get(key)
         if ct is None:
             half = 0.5 * self.vdd
-            ct = CompiledTransient(
+            ct = compile_cached(
                 self.circuit,
                 grid=transient_grid(
                     self.sae_delay + self.t_resolve,

@@ -28,6 +28,7 @@ from repro.spice.compile import (
 )
 from repro.spice.elements import Capacitor, Resistor, VoltageSource
 from repro.spice.netlist import Circuit
+from repro.spice.plan import compile_cached
 from repro.spice.sources import dc, pulse
 from repro.spice.transient import TransientOptions, TransientResult, run_transient
 from repro.sram.cell import CellDesign, build_cell, cell_device_names
@@ -269,7 +270,7 @@ class WriteTestbench(_CellBench):
         if ct is None:
             t = self.timing
             t_wl_mid = t.wl_delay + 0.5 * t.wl_rise
-            ct = CompiledTransient(
+            ct = compile_cached(
                 self.circuit,
                 grid=transient_grid(
                     t.t_stop,

@@ -1,143 +1,45 @@
-"""Fault-tolerance overhead benchmark with a machine-readable report.
+"""Fault-tolerance benchmark — back-compat shim over ``repro-bench``.
 
-Runs one pinned shard plan three ways — fault-free baseline, under an
-injected fault schedule (transient exception + worker kill + NaN
-corruption, each recovered by the retry policy), and journaled-then-
-resumed — asserting the engine's recovery contract as it goes: every
-variant must merge **bit-identical** to the fault-free run.  It reports
-the recovery cost (wall-clock vs baseline) and the fault counters, and
-writes them to ``--json-out`` (default ``BENCH_chaos.json``) with the
-same host-metadata ``_meta`` block the smoke benchmark records, so CI
-can upload the artifact and track the overhead run over run::
+The baseline/chaos-schedule/journal-resume comparison and its
+bit-identity gates are the ``chaos``-tagged section of
+:mod:`repro.bench` (which also owns ``host_metadata`` — the old
+``from smoke import host_metadata`` sys.path hack is gone).  This shim
+keeps the historical command line working::
 
     PYTHONPATH=src python benchmarks/bench_chaos.py
 
-This is a *script*, not a pytest benchmark: the tier-1 suite does not
-pay for it.  On a 1-CPU container the pooled runs measure fork and
-respawn overhead, not parallel speedup (the report records the core
-count so the numbers are read in context).
+Exactly equivalent to ``repro-bench --tags chaos --json-out
+BENCH_chaos.json``.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
-import os
+import pathlib
 import sys
-import time
 
-import numpy as np
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+try:
+    import repro  # noqa: F401
+except ImportError:  # direct script invocation without PYTHONPATH=src
+    sys.path.insert(0, str(_ROOT / "src"))
 
-sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
-from smoke import host_metadata  # noqa: E402  (shared provenance block)
-
-
-def build_core(runner):
-    from repro.highsigma.analytic import LinearLimitState
-    from repro.highsigma.estimators import MeanShiftISCore
-
-    ls = LinearLimitState(beta=4.0, dim=6)
-    return ls, MeanShiftISCore(
-        ls, shifts=[4.0 * ls.a], n_max=8192, batch_size=256,
-        target_rel_err=None, workers=2, n_shards=4, runner=runner,
-    )
-
-
-def run_variant(runner, seed):
-    _, core = build_core(runner)
-    t0 = time.perf_counter()
-    res = core.run(np.random.default_rng(seed), method="bench")
-    return res, time.perf_counter() - t0
+from repro.bench.cli import run_and_report  # noqa: E402
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--seed", type=int, default=17)
-    parser.add_argument("--json-out", default="BENCH_chaos.json")
+    parser.add_argument("--json-out", type=pathlib.Path,
+                        default=pathlib.Path("BENCH_chaos.json"),
+                        help="machine-readable report (shared bench schema)")
     args = parser.parse_args()
 
-    from repro.engine.chaos import FaultSpec, reject_non_finite
-    from repro.engine.journal import RunJournal
-    from repro.engine.sharding import RetryPolicy, ShardedRunner, fork_available
-
-    report = {"_meta": host_metadata(), "sections": {}}
-    report["_meta"]["fork_available"] = fork_available()
-
-    # Fault-free baseline (workers=1: the reference statistics).
-    base, wall_base = run_variant(None, args.seed)
-    report["sections"]["baseline"] = {"wall_s": round(wall_base, 4)}
-    print(f"baseline (workers=1)    : {wall_base:8.3f}s  p_fail={base.p_fail:.6e}")
-
-    # Chaos: every recovery path in one run.
-    if fork_available():
-        runner = ShardedRunner(
-            workers=2,
-            retry=RetryPolicy(max_attempts=4, validate=reject_non_finite),
-            chaos=[
-                FaultSpec("raise", shard=0),
-                FaultSpec("kill", shard=1),
-                FaultSpec("nan", shard=2),
-            ],
-        )
-        chaos, wall_chaos = run_variant(runner, args.seed)
-        runner.close()
-        identical = (
-            chaos.p_fail == base.p_fail and chaos.std_err == base.std_err
-        )
-        if not identical:
-            print("FAIL: faulted run is not bit-identical to baseline")
-            return 1
-        stats = {k: int(v) for k, v in runner.fault_stats.items()}
-        report["sections"]["chaos"] = {
-            "wall_s": round(wall_chaos, 4),
-            "overhead_vs_baseline": round(wall_chaos / wall_base, 3),
-            "bit_identical": True,
-            **stats,
-        }
-        print(
-            f"chaos (3 faults, retry) : {wall_chaos:8.3f}s  "
-            f"retries={stats['retries']} deaths={stats['worker_deaths']} "
-            f"bit-identical=True"
-        )
-    else:
-        print("chaos                   : skipped (no fork start method)")
-
-    # Journal write + resume replay.
-    journal_path = "bench_chaos.journal"
-    try:
-        with RunJournal(journal_path) as journal:
-            runner = ShardedRunner(workers=1, journal=journal)
-            first, wall_write = run_variant(runner, args.seed)
-        with RunJournal(journal_path, resume=True) as journal:
-            runner = ShardedRunner(workers=1, journal=journal)
-            resumed, wall_resume = run_variant(runner, args.seed)
-        replayed = int(runner.fault_stats["replayed"])
-    finally:
-        if os.path.exists(journal_path):
-            os.remove(journal_path)
-    if resumed.p_fail != base.p_fail or resumed.std_err != base.std_err:
-        print("FAIL: resumed run is not bit-identical to baseline")
-        return 1
-    report["sections"]["journal"] = {
-        "write_wall_s": round(wall_write, 4),
-        "resume_wall_s": round(wall_resume, 4),
-        "write_overhead_vs_baseline": round(wall_write / wall_base, 3),
-        "replayed_shards": replayed,
-        "bit_identical": True,
-    }
-    print(
-        f"journal write           : {wall_write:8.3f}s  "
-        f"(x{wall_write / wall_base:.2f} vs baseline)"
+    return run_and_report(
+        tags=["chaos"],
+        overrides={"chaos-recovery": {"seed": args.seed}},
+        json_out=args.json_out,
     )
-    print(
-        f"journal resume          : {wall_resume:8.3f}s  "
-        f"replayed={replayed} bit-identical=True"
-    )
-
-    with open(args.json_out, "w") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True)
-    print(f"report written          : {args.json_out}")
-    return 0
 
 
 if __name__ == "__main__":

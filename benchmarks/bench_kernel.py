@@ -1,38 +1,33 @@
-"""Throughput benchmark: fused compiled kernels vs reference integrators.
+"""Kernel throughput benchmark — back-compat shim over ``repro-bench``.
 
-Runs identical read and write batches through ``Batched6T`` with
-``kernel="fast"`` (with and without retirement) and ``kernel="reference"``,
-reports samples/second, and — as a CI gate — asserts that the fast kernel
-is at least as fast as the reference path and that the two agree on the
-metrics.  A second section runs a compiled *non-6T* circuit (the
-sense-amp latch) through both compiled kernels, so a compiler regression
-cannot hide behind the 6T specialisation; a third runs a multi-column
-array slice, where the fused path additionally carries the sparse
-scatter-stamp assembly and the per-column Schur peel against the
-reference kernel's per-device ``np.linalg.solve``::
+The fast-vs-reference sweeps (6T engine, compiled latch, compiled
+array slice) are the ``kernel``-tagged sections of :mod:`repro.bench`;
+their floors (fast >= reference, metrics agree to 1e-6) are declarative
+:class:`~repro.bench.gates.GateSpec` data.  This shim keeps the
+historical flags working and now emits the shared JSON report schema
+(``--json-out``, default ``BENCH_kernel.json``) instead of relying on
+``tee``'d stdout::
 
     PYTHONPATH=src python benchmarks/bench_kernel.py
     PYTHONPATH=src python benchmarks/bench_kernel.py --n 2048 --repeat 3
+
+Exactly equivalent to ``repro-bench --tags kernel`` with per-section
+parameter overrides.
 """
 
 from __future__ import annotations
 
 import argparse
-import time
+import pathlib
+import sys
 
-import numpy as np
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+try:
+    import repro  # noqa: F401
+except ImportError:  # direct script invocation without PYTHONPATH=src
+    sys.path.insert(0, str(_ROOT / "src"))
 
-
-def bench(engine, mode: str, dvth, bmult, repeat: int):
-    """Best-of-``repeat`` samples/second for one engine and operation."""
-    op = engine.read if mode == "read" else engine.write
-    best = float("inf")
-    result = None
-    for _ in range(repeat):
-        t0 = time.perf_counter()
-        result = op(dvth, bmult)
-        best = min(best, time.perf_counter() - t0)
-    return dvth.shape[0] / best, result
+from repro.bench.cli import run_and_report  # noqa: E402
 
 
 def main() -> int:
@@ -42,115 +37,25 @@ def main() -> int:
     parser.add_argument("--repeat", type=int, default=2)
     parser.add_argument("--sigma-vth", type=float, default=0.03,
                         help="per-device delta-vth spread [V]")
+    parser.add_argument("--json-out", type=pathlib.Path,
+                        default=pathlib.Path("BENCH_kernel.json"),
+                        help="machine-readable report (shared bench schema)")
     args = parser.parse_args()
 
-    from repro.sram.batched import Batched6T
-
-    rng = np.random.default_rng(42)
-    dvth = rng.normal(0.0, args.sigma_vth, size=(args.n, 6))
-    bmult = 1.0 + rng.normal(0.0, 0.05, size=(args.n, 6))
-
-    engines = {
-        "reference": Batched6T(n_steps=args.n_steps, kernel="reference"),
-        "fast": Batched6T(n_steps=args.n_steps, kernel="fast", retire=False),
-        "fast+retire": Batched6T(n_steps=args.n_steps, kernel="fast", retire=True),
-    }
-
-    ok = True
-    rates = {}
-    for mode in ("read", "write"):
-        results = {}
-        for name, eng in engines.items():
-            sps, res = bench(eng, mode, dvth, bmult, args.repeat)
-            rates[(name, mode)] = sps
-            results[name] = res
-            print(f"{mode:5s} {name:12s}: {sps:9.1f} samples/s")
-        ref = results["reference"].metric
-        for name in ("fast", "fast+retire"):
-            rel = np.max(np.abs(results[name].metric - ref) / np.abs(ref))
-            agree = rel < 1e-6
-            ok &= agree
-            print(f"      {name:12s} vs reference max rel metric diff: "
-                  f"{rel:.3e} {'ok' if agree else 'FAIL'}")
-        if rates[("fast", mode)] < rates[("reference", mode)]:
-            print(f"FAIL: fast kernel slower than reference for {mode}")
-            ok = False
-
-    # ------------------------------------------------------------------
-    # Compiled non-6T circuit: the sense-amp latch (3 unknowns, solve3).
-    # ------------------------------------------------------------------
-    from repro.sram.senseamp import SenseAmp
-
-    sense = SenseAmp()
-    dvt_sa = rng.normal(0.0, 0.02, size=(args.n, 4))
-    dv_sa = rng.uniform(-0.15, 0.15, size=args.n)
-    sa_results = {}
-    sa_rates = {}
-    for name in ("reference", "fast"):
-        best = float("inf")
-        for _ in range(args.repeat):
-            t0 = time.perf_counter()
-            sa_results[name] = sense.resolve_batch(dv_sa, dvt_sa, kernel=name)
-            best = min(best, time.perf_counter() - t0)
-        sa_rates[name] = args.n / best
-        print(f"latch {name:12s}: {sa_rates[name]:9.1f} samples/s")
-    c_ref, t_ref = sa_results["reference"]
-    c_fast, t_fast = sa_results["fast"]
-    decisions_equal = bool(
-        (c_fast == c_ref).all()
-        and (np.isfinite(t_fast) == np.isfinite(t_ref)).all()
+    return run_and_report(
+        tags=["kernel"],
+        overrides={
+            "kernel-6t": {
+                "n": args.n, "n_steps": args.n_steps,
+                "sigma_vth": args.sigma_vth, "repeat": args.repeat,
+            },
+            "kernel-latch": {"n": args.n, "repeat": args.repeat},
+            "kernel-array": {
+                "n": args.n, "n_steps": args.n_steps, "repeat": args.repeat,
+            },
+        },
+        json_out=args.json_out,
     )
-    finite = np.isfinite(t_ref) & np.isfinite(t_fast)
-    rel = float(np.max(
-        np.abs(t_fast[finite] - t_ref[finite]) / t_ref[finite]
-    )) if finite.any() else 0.0
-    agree = decisions_equal and rel < 1e-6
-    ok &= agree
-    print(f"      {'fast':12s} vs reference latch: decisions "
-          f"{'equal' if decisions_equal else 'DIFFER'}, "
-          f"max rel time diff {rel:.3e} {'ok' if agree else 'FAIL'}")
-    if sa_rates["fast"] < sa_rates["reference"]:
-        print("FAIL: fused compiled latch slower than its reference kernel")
-        ok = False
-
-    # ------------------------------------------------------------------
-    # Compiled array slice: 2 columns behind the shared mux (22 unknowns,
-    # sparse assembly + per-column Schur peel on the fused path).
-    # ------------------------------------------------------------------
-    from repro.sram.array import ArrayConfig, ArraySlice
-
-    arr = ArraySlice(config=ArrayConfig(n_cols=2, n_leakers=3))
-    n_arr = min(args.n, 128)  # the reference path is per-device Python
-    dvt_arr = rng.normal(0.0, 0.03, size=(n_arr, arr.n_variation_devices))
-    arr_results = {}
-    arr_rates = {}
-    for name in ("reference", "fast"):
-        arr.access_times_batch(dvt_arr[:2], n_steps=args.n_steps, kernel=name)
-        best = float("inf")
-        for _ in range(args.repeat):
-            t0 = time.perf_counter()
-            arr_results[name] = arr.access_times_batch(
-                dvt_arr, n_steps=args.n_steps, kernel=name
-            )
-            best = min(best, time.perf_counter() - t0)
-        arr_rates[name] = n_arr / best
-        print(f"array {name:12s}: {arr_rates[name]:9.1f} samples/s")
-    rel = float(np.max(
-        np.abs(arr_results["fast"] - arr_results["reference"])
-        / np.abs(arr_results["reference"])
-    ))
-    agree = rel < 1e-6
-    ok &= agree
-    print(f"      {'fast':12s} vs reference array: max rel metric diff "
-          f"{rel:.3e} {'ok' if agree else 'FAIL'}")
-    if arr_rates["fast"] < arr_rates["reference"]:
-        print("FAIL: fused compiled array slower than its reference kernel")
-        ok = False
-
-    if not ok:
-        return 1
-    print("kernel benchmark ok: fast >= reference, metrics agree")
-    return 0
 
 
 if __name__ == "__main__":

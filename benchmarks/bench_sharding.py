@@ -1,55 +1,33 @@
-"""Wall-clock benchmark of the sharded estimation engine.
+"""Sharded-engine benchmark — back-compat shim over ``repro-bench``.
 
-Runs the F1-style gradient-IS workload (read-access limit state on the
-batched 6T engine) three ways with one pinned shard plan:
-
-* serial baseline  — ``workers=1, n_shards=1`` (the classic loop);
-* sharded, 1 proc  — ``workers=1, n_shards=W`` (plan overhead only);
-* sharded, W procs — ``workers=W, n_shards=W`` (the parallel path).
-
-It asserts the engine's determinism contract (the two sharded runs must
-be bit-identical) and reports the speedup.  This is a *script*, not a
-pytest benchmark, so the tier-1 suite does not pay for it::
+The serial/sharded-1-proc/sharded-W-procs comparison and its
+determinism gate (bit-identical estimates across worker counts) are
+the ``sharding``-tagged section of :mod:`repro.bench`.  This shim
+keeps the historical flags working and now emits the shared JSON
+report schema (``--json-out``, default ``BENCH_sharding.json``)
+instead of relying on ``tee``'d stdout::
 
     PYTHONPATH=src python benchmarks/bench_sharding.py --workers 4
 
 The parallel speedup obviously needs free cores: on a 1-CPU container
-the pooled run measures fork overhead and nothing else (the script
-prints the core count so nobody reads a 1-core number as a regression).
+the pooled run measures fork overhead and nothing else (the report
+records the core count so nobody reads a 1-core number as a
+regression).
 """
 
 from __future__ import annotations
 
 import argparse
-import os
-import time
+import pathlib
+import sys
 
-import numpy as np
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+try:
+    import repro  # noqa: F401
+except ImportError:  # direct script invocation without PYTHONPATH=src
+    sys.path.insert(0, str(_ROOT / "src"))
 
-
-def build_limit_state(n_steps: int):
-    from repro.experiments.workloads import make_read_limitstate
-
-    # A fixed spec near the 4-sigma point of the default design: accuracy
-    # is irrelevant here, only that per-batch work is real engine work.
-    from repro.experiments.workloads import calibrate_read_spec
-
-    spec = calibrate_read_spec(sigma_target=4.0, n_steps=n_steps)
-    return lambda: make_read_limitstate(spec, n_steps=n_steps)
-
-
-def run_gis(make_ls, seed, n_max, workers, n_shards):
-    from repro.highsigma.gis import GradientImportanceSampling
-
-    ls = make_ls()
-    gis = GradientImportanceSampling(
-        ls, n_max=n_max, target_rel_err=None, batch_size=256,
-        workers=workers, n_shards=n_shards,
-    )
-    t0 = time.perf_counter()
-    res = gis.run(np.random.default_rng(seed))
-    wall = time.perf_counter() - t0
-    return res, wall, ls.n_evals
+from repro.bench.cli import run_and_report  # noqa: E402
 
 
 def main() -> int:
@@ -58,40 +36,21 @@ def main() -> int:
     parser.add_argument("--n-max", type=int, default=20000)
     parser.add_argument("--n-steps", type=int, default=400)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json-out", type=pathlib.Path,
+                        default=pathlib.Path("BENCH_sharding.json"),
+                        help="machine-readable report (shared bench schema)")
     args = parser.parse_args()
 
-    cores = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else os.cpu_count()
-    print(f"cores available : {cores}")
-    print(f"workload        : GIS read-access, n_max={args.n_max}, "
-          f"n_steps={args.n_steps}, shard plan n_shards={args.workers}")
-
-    make_ls = build_limit_state(args.n_steps)
-
-    serial, t_serial, _ = run_gis(make_ls, args.seed, args.n_max, 1, 1)
-    plan1, t_plan1, evals1 = run_gis(make_ls, args.seed, args.n_max, 1, args.workers)
-    planw, t_planw, evalsw = run_gis(make_ls, args.seed, args.n_max, args.workers, args.workers)
-
-    print(f"serial (1 shard)        : {t_serial:8.2f} s   p={serial.p_fail:.4e}")
-    print(f"sharded plan, 1 worker  : {t_plan1:8.2f} s   p={plan1.p_fail:.4e}")
-    print(f"sharded plan, {args.workers} workers : {t_planw:8.2f} s   p={planw.p_fail:.4e}")
-
-    identical = (
-        plan1.p_fail == planw.p_fail
-        and plan1.std_err == planw.std_err
-        and plan1.n_evals == planw.n_evals
-        and evals1 == evalsw
+    return run_and_report(
+        tags=["sharding"],
+        overrides={
+            "sharding-determinism": {
+                "workers": args.workers, "n_max": args.n_max,
+                "n_steps": args.n_steps, "seed": args.seed,
+            },
+        },
+        json_out=args.json_out,
     )
-    print(f"bit-identical across worker counts: {identical}")
-    speedup = t_plan1 / t_planw if t_planw > 0 else float("nan")
-    print(f"speedup ({args.workers} workers vs 1): {speedup:.2f}x")
-    if cores < args.workers:
-        print(f"note: only {cores} core(s) available — parallel speedup "
-              f"needs >= {args.workers} free cores")
-
-    if not identical:
-        print("FAIL: sharded runs disagree across worker counts")
-        return 1
-    return 0
 
 
 if __name__ == "__main__":

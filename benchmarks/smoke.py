@@ -1,548 +1,51 @@
-"""60-second smoke benchmark with a wall-clock regression gate.
+"""60-second smoke benchmark — back-compat shim over ``repro-bench``.
 
-Runs a small fixed workload mix covering the hot paths (streaming
-accumulator loop, gradient-IS end-to-end on the batched 6T engine,
-sharded-plan execution, compiled bulk workloads) and compares total wall
-time against the committed baseline::
+The smoke sections, their wall-clock gates (per section and in total,
+with the ``--min-section`` noise floor), the internal ratio/bit-identity
+gates, the JSON report schema and the committed trajectory all live in
+the :mod:`repro.bench` package now.  This script keeps the historical
+command lines working::
 
     PYTHONPATH=src python benchmarks/smoke.py --check              # CI gate
     PYTHONPATH=src python benchmarks/smoke.py --update-baseline    # re-record
 
-``--check`` exits non-zero when the run takes more than ``--factor``
-(default 2.0) times the baseline — *per section and in total* — the CI
-tripwire for accidental quadratic loops, per-batch re-reductions or
-kernel regressions sneaking back in.  Gating each section separately
-means a regression in one hot path (say the 6T engine) cannot hide
-behind an unrelated speedup elsewhere.  Sections faster than
-``--min-section`` seconds in the baseline are gated against
-``factor * min-section`` instead, so timer noise on near-instant
-sections cannot trip the gate.  The baseline is a wall-clock number from
-one machine; the 2x margin is what absorbs ordinary machine-to-machine
-variation.
+and is exactly equivalent to::
 
-``--check`` also writes a machine-readable report (``--json-out``,
-default ``BENCH_smoke.json``) with per-section wall-clock, the internal
-speedup ratios the sections assert on, per-section deltas against the
-committed baseline, and host metadata — the file CI uploads as an
-artifact so the performance trajectory is recorded run over run instead
-of evaporating with the runner.  On top of that ``--check`` appends a
-per-run summary (seconds, speedup ratios, host ``_meta``) to the
-*committed* ``benchmarks/results/trajectory.json`` — the across-PR
-performance record.  ``--update-baseline`` stamps the same
-host metadata into ``smoke_baseline.json`` (under ``"_meta"``), so when
-a gate trips the baseline's provenance — which machine, which Python,
-which numpy — is auditable instead of folklore.
+    repro-bench --tags smoke [--check|--update-baseline] ...
+
+``host_metadata`` is re-exported for existing callers; its home is
+:mod:`repro.bench.meta`.
 """
 
 from __future__ import annotations
 
-import argparse
-import json
 import pathlib
-import platform
-import time
+import sys
 
-import numpy as np
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+try:
+    import repro  # noqa: F401
+except ImportError:  # direct script invocation without PYTHONPATH=src
+    sys.path.insert(0, str(_ROOT / "src"))
 
-BASELINE_PATH = pathlib.Path(__file__).parent / "results" / "smoke_baseline.json"
-TRAJECTORY_PATH = pathlib.Path(__file__).parent / "results" / "trajectory.json"
+from repro.bench.cli import main as bench_main  # noqa: E402
+from repro.bench.meta import host_metadata  # noqa: E402,F401  (back-compat)
 
-
-def host_metadata() -> dict:
-    """Provenance of a timing: machine, interpreter, BLAS-bearing numpy."""
-    cpu = platform.processor() or platform.machine()
-    try:
-        with open("/proc/cpuinfo") as f:
-            for line in f:
-                if line.lower().startswith("model name"):
-                    cpu = line.split(":", 1)[1].strip()
-                    break
-    except OSError:
-        pass
-    import os
-
-    return {
-        "platform": platform.platform(),
-        "python": platform.python_version(),
-        "numpy": np.__version__,
-        "cpu": cpu,
-        "cpu_count": os.cpu_count(),
-        "recorded_unix": round(time.time(), 1),
-    }
-
-
-def workload_streaming_core():
-    """Accumulator hot loop: many cheap batches, estimate every batch."""
-    from repro.highsigma.analytic import LinearLimitState
-    from repro.highsigma.estimators import MeanShiftISCore
-
-    ls = LinearLimitState(beta=4.0, dim=8)
-    core = MeanShiftISCore(
-        ls, shifts=[4.0 * ls.a], n_max=64 * 1500, batch_size=64,
-        target_rel_err=None,
-    )
-    core.run(np.random.default_rng(0), method="smoke")
-
-
-def workload_gis_engine():
-    """Gradient IS end-to-end on the real batched 6T read engine."""
-    from repro.experiments.workloads import make_read_limitstate
-    from repro.highsigma.gis import GradientImportanceSampling
-
-    # Fixed spec (~4 sigma for the default design at n_steps=300): the
-    # smoke run must not pay for a calibration sweep every time.
-    ls = make_read_limitstate(4.995e-11, n_steps=300)
-    gis = GradientImportanceSampling(ls, n_max=2000, target_rel_err=None)
-    gis.run(np.random.default_rng(1))
-
-
-def workload_sharded_plan():
-    """A pinned 4-shard plan executed in-process (plan overhead path)."""
-    from repro.highsigma.analytic import LinearLimitState
-    from repro.highsigma.estimators import MeanShiftISCore
-
-    ls = LinearLimitState(beta=4.0, dim=8)
-    core = MeanShiftISCore(
-        ls, shifts=[4.0 * ls.a], n_max=40000, batch_size=1024,
-        target_rel_err=None, workers=1, n_shards=4,
-    )
-    core.run(np.random.default_rng(2), method="smoke")
-
-
-def workload_system_read_batched():
-    """Batched system-level read (ten axes, compiled fast path).
-
-    Also asserts the point of the batched path: evaluating the block
-    through ``g_batch`` must beat the scalar per-sample loop over the
-    same samples by at least 2x wall clock, or the section fails.
-    """
-    from repro.experiments.workloads import make_system_read_limitstate
-
-    ls = make_system_read_limitstate(6e-11, n_steps=300)
-    rng = np.random.default_rng(3)
-    u = rng.normal(0.0, 1.0, size=(1024, 10))
-    t0 = time.perf_counter()
-    g_batched = ls.g_batch(u)
-    t_batched = time.perf_counter() - t0
-
-    # Scalar per-sample loop on a subset (the full block would dominate
-    # the smoke budget — exactly the point being made).
-    n_scalar = 32
-    t0 = time.perf_counter()
-    g_scalar = np.array([ls.g(row) for row in u[:n_scalar]])
-    t_scalar_per = (time.perf_counter() - t0) / n_scalar
-    np.testing.assert_allclose(g_batched[:n_scalar], g_scalar, rtol=1e-9)
-
-    speedup = t_scalar_per * u.shape[0] / t_batched
-    print(f"  [system-read] batched vs per-sample loop: {speedup:.1f}x")
-    if speedup < 2.0:
-        raise RuntimeError(
-            f"batched system-read only {speedup:.2f}x faster than the "
-            "scalar per-sample loop (acceptance floor: 2x)"
-        )
-    return {"speedup_batched_vs_scalar": round(speedup, 2)}
-
-
-def workload_column_read_batched():
-    """Bulk sampling on the 34-node read column (96 variation axes).
-
-    Times one bulk block through the sparse-assembly compiled column
-    and through the dense-assembly cross-check at the same sample
-    count.  Asserts the sparse pass's acceptance floor: >= 2x faster
-    per sample than dense assembly, and bit-equal to it (min of two
-    timed runs per path, so timer noise on a loaded runner cannot trip
-    the gate spuriously).  The bit-equality leg pins the stamp-
-    determinism invariant for *this* BLAS build (the scatter rounds
-    replay dgemm's ascending-k reduction; see the `_SPARSE_MIN_BATCH`
-    note in repro.spice.compile) — a numpy linked against a BLAS with a
-    different reduction order would fail here by design, flagging that
-    the invariant needs re-validating rather than hiding it.
-    """
-    from repro.experiments.workloads import make_column_read_limitstate
-
-    n = 128
-    rng = np.random.default_rng(4)
-    u = rng.normal(0.0, 1.0, size=(n, 96))
-    times, vals = {}, {}
-    for asm in ("sparse", "dense"):
-        ls = make_column_read_limitstate(6e-11, n_steps=300, assembly=asm)
-        ls.g_batch(u[:4])  # compile outside the timed region
-        best = float("inf")
-        for _ in range(2):
-            t0 = time.perf_counter()
-            vals[asm] = ls.g_batch(u)
-            best = min(best, time.perf_counter() - t0)
-        times[asm] = best
-    np.testing.assert_array_equal(vals["sparse"], vals["dense"])
-    speedup = times["dense"] / times["sparse"]
-    print(f"  [column-read] sparse vs dense assembly: {speedup:.1f}x")
-    if speedup < 2.0:
-        raise RuntimeError(
-            f"sparse-assembly column read only {speedup:.2f}x faster than "
-            "the dense-assembly path (acceptance floor: 2x)"
-        )
-    return {"speedup_sparse_vs_dense": round(speedup, 2)}
-
-
-def workload_array_read_batched():
-    """Bulk sampling on a 2-column array slice behind the shared mux.
-
-    The slice (2 columns x 8 cells: 38 unknowns) exercises the
-    generalized Schur peel — per-column cell pairs against a border of
-    all four bitlines, the mux data lines as interior singletons — and
-    this section asserts its two acceptance floors:
-
-    * the peel beats the generic guarded blocked elimination
-      (``solver="blocked"``, the permanent cross-check) by >= 1.5x per
-      sample on identical inputs (min of two timed runs per path; the
-      measured margin on the baseline container is ~3-4x, and it grows
-      with the column count since the peel is linear in the node count
-      where the elimination is cubic);
-    * sparse scatter-stamp assembly stays *bit-equal* to the dense
-      incidence matmuls on the multi-column circuit — the stamp-
-      determinism invariant at array scale.
-    """
-    from repro.experiments.workloads import make_array_read_limitstate
-
-    n = 48
-    n_cols, n_leakers = 2, 7
-    rng = np.random.default_rng(5)
-    u = rng.normal(0.0, 1.0, size=(n, 6 * n_cols * (n_leakers + 1)))
-
-    times, vals = {}, {}
-    for solver in ("schur", "blocked"):
-        ls = make_array_read_limitstate(
-            6e-11, n_cols=n_cols, n_leakers=n_leakers, n_steps=240,
-            solver=solver,
-        )
-        ls.g_batch(u[:4])  # compile outside the timed region
-        best = float("inf")
-        for _ in range(2):
-            t0 = time.perf_counter()
-            vals[solver] = ls.g_batch(u)
-            best = min(best, time.perf_counter() - t0)
-        times[solver] = best
-    # Different solver arithmetic, same converged answer: tolerance, not
-    # bit-equality (that contract belongs to the assembly axis below).
-    np.testing.assert_allclose(vals["schur"], vals["blocked"], rtol=1e-6)
-    speedup = times["blocked"] / times["schur"]
-    print(f"  [array-read] schur peel vs blocked elimination: {speedup:.1f}x")
-    if speedup < 1.5:
-        raise RuntimeError(
-            f"array-slice Schur peel only {speedup:.2f}x faster than the "
-            "generic blocked elimination (acceptance floor: 1.5x)"
-        )
-
-    ls_dense = make_array_read_limitstate(
-        6e-11, n_cols=n_cols, n_leakers=n_leakers, n_steps=240,
-        assembly="dense",
-    )
-    g_dense = ls_dense.g_batch(u)
-    np.testing.assert_array_equal(g_dense, vals["schur"])
-    return {"speedup_schur_vs_blocked": round(speedup, 2)}
-
-
-def workload_plan_cache():
-    """Serialized-plan setup and spawn-pool execution gates.
-
-    Two acceptance floors from the plan-serialization layer:
-
-    * a warm content-addressed cache hit (structural fingerprint plus
-      in-memory template restore) rebuilds the 2-column array bench at
-      least 2x faster than a cold compile — the compile-once contract;
-    * an array-sigma run sharded over a persistent *spawn* pool — whose
-      workers deserialize the shipped plan instead of recompiling —
-      stays within 1.5x of the fork pool end-to-end (measured margin
-      ~1.02x) and produces a *bit-identical* estimate, with the runner
-      confirming the spawn path actually executed (the unpicklable-task
-      fallback would report ``in-process``).
-
-    The audited disk-tier restore time is reported as information, not
-    gated: a cross-process load pays the full plan audit by design
-    (admission control, not a fast path).
-    """
-    import tempfile
-
-    from repro.sram.benches import bench_compiled
-    from repro.spice.compile import CompiledTransient
-    from repro.spice.plan import PlanCache, compile_cached
-
-    ct = bench_compiled("array", n_cols=2, n_leakers=7, n_steps=240)
-    circuit, grid = ct.circuit, ct.grid
-    probes = (*ct._cross_probes, *ct._peak_probes, *ct._value_probes)
-
-    t_cold = float("inf")
-    for _ in range(3):
-        t0 = time.perf_counter()
-        CompiledTransient(circuit, grid=grid, probes=probes)
-        t_cold = min(t_cold, time.perf_counter() - t0)
-
-    cache = PlanCache()
-    compile_cached(circuit, grid, probes=probes, cache=cache)  # prime
-    t_hit = float("inf")
-    for _ in range(3):
-        t0 = time.perf_counter()
-        compile_cached(circuit, grid, probes=probes, cache=cache)
-        t_hit = min(t_hit, time.perf_counter() - t0)
-    if cache.stats["mem_hits"] < 3:
-        raise RuntimeError(
-            f"plan cache missed on a warm key: {cache.stats}"
-        )
-    speedup = t_cold / t_hit
-    print(f"  [plan-cache] warm hit vs cold compile: {speedup:.1f}x")
-    if speedup < 2.0:
-        raise RuntimeError(
-            f"cached plan setup only {speedup:.2f}x faster than a cold "
-            "compile (acceptance floor: 2x)"
-        )
-
-    with tempfile.TemporaryDirectory() as tmp:
-        compile_cached(
-            circuit, grid, probes=probes, cache=PlanCache(cache_dir=tmp)
-        )
-        reader = PlanCache(cache_dir=tmp)
-        t0 = time.perf_counter()
-        compile_cached(circuit, grid, probes=probes, cache=reader)
-        t_disk = time.perf_counter() - t0
-        if reader.stats["disk_hits"] != 1:
-            raise RuntimeError(
-                f"disk tier did not serve the warm key: {reader.stats}"
-            )
-
-    from repro.engine.sharding import ShardedRunner
-    from repro.experiments.workloads import make_array_read_limitstate
-    from repro.highsigma.gis import GradientImportanceSampling
-
-    est, wall = {}, {}
-    for method in ("fork", "spawn"):
-        ls = make_array_read_limitstate(6e-11, n_cols=2, n_leakers=7, n_steps=240)
-        runner = ShardedRunner(workers=2, persistent=True, start_method=method)
-        t0 = time.perf_counter()
-        gis = GradientImportanceSampling(
-            ls, n_max=600, target_rel_err=None, workers=2, n_shards=2,
-            runner=runner,
-        )
-        result = gis.run(np.random.default_rng(6))
-        runner.close()
-        wall[method] = time.perf_counter() - t0
-        est[method] = result.p_fail
-        if runner.last_mode != method:
-            raise RuntimeError(
-                f"{method} pool fell back to {runner.last_mode!r} execution"
-            )
-    if est["spawn"] != est["fork"]:
-        raise RuntimeError(
-            f"spawn-pool estimate {est['spawn']!r} differs from the fork "
-            f"pool's {est['fork']!r} (same shard plan, same streams)"
-        )
-    ratio = wall["spawn"] / wall["fork"]
-    print(f"  [plan-cache] spawn vs fork array-sigma: {ratio:.2f}x wall clock")
-    if ratio > 1.5:
-        raise RuntimeError(
-            f"spawn-pool array-sigma took {ratio:.2f}x the fork pool "
-            "(acceptance ceiling: 1.5x) — are workers recompiling instead "
-            "of deserializing the shipped plan?"
-        )
-    return {
-        "speedup_cached_vs_cold": round(speedup, 2),
-        "cold_compile_s": round(t_cold, 4),
-        "cache_hit_s": round(t_hit, 5),
-        "disk_restore_s": round(t_disk, 4),
-        "spawn_vs_fork": round(ratio, 3),
-    }
-
-
-WORKLOADS = [
-    ("streaming-core", workload_streaming_core),
-    ("gis-6t-engine", workload_gis_engine),
-    ("sharded-plan", workload_sharded_plan),
-    ("system-read-batched", workload_system_read_batched),
-    ("column-read-batched", workload_column_read_batched),
-    ("array-read-batched", workload_array_read_batched),
-    ("plan-cache", workload_plan_cache),
-]
-
-
-def run_smoke():
-    """Run every section; returns ``(timings, extras, errors)``.
-
-    ``extras`` holds whatever ratio dict a section chose to report.  A
-    section whose *internal* gate trips (``RuntimeError``) or whose
-    equality assertion fails lands in ``errors`` instead of aborting the
-    run: the remaining sections still execute and the caller still gets
-    a full report to archive — a failing run's numbers are exactly the
-    ones worth inspecting.
-    """
-    timings = {}
-    extras = {}
-    errors = {}
-    total = 0.0
-    for name, fn in WORKLOADS:
-        t0 = time.perf_counter()
-        try:
-            info = fn()
-        except (RuntimeError, AssertionError) as exc:
-            info = None
-            errors[name] = str(exc)
-            print(f"  [{name}] FAILED: {exc}")
-        dt = time.perf_counter() - t0
-        timings[name] = round(dt, 3)
-        if info:
-            extras[name] = info
-        total += dt
-        print(f"{name:20s}: {dt:6.2f} s")
-    timings["total"] = round(total, 3)
-    print(f"{'total':20s}: {total:6.2f} s")
-    return timings, extras, errors
-
-
-def write_report(path: pathlib.Path, timings: dict, extras: dict,
-                 errors: dict, baseline: dict) -> None:
-    """Emit the machine-readable run record CI archives as an artifact."""
-    sections = {}
-    for name, _ in WORKLOADS:
-        entry = {"seconds": timings[name]}
-        base = baseline.get(name)
-        if base is not None:
-            entry["baseline_seconds"] = base
-            entry["vs_baseline"] = round(timings[name] / base, 3) if base else None
-        else:
-            # The committed baseline predates this section; the check
-            # fails readably and this marker tells the artifact reader
-            # why (re-record with --update-baseline).
-            entry["missing_from_baseline"] = True
-        entry.update(extras.get(name, {}))
-        if name in errors:
-            entry["error"] = errors[name]
-        sections[name] = entry
-    report = {
-        "sections": sections,
-        "total_seconds": timings["total"],
-        "baseline_total_seconds": baseline.get("total"),
-        "baseline_meta": baseline.get("_meta"),
-        "meta": host_metadata(),
-    }
-    path.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"report written to {path}")
-
-
-def append_trajectory(timings: dict, extras: dict, errors: dict) -> None:
-    """Append this run's summary to the committed performance trajectory.
-
-    ``trajectory.json`` is the across-PR record: one entry per
-    ``--check`` run, each with per-section seconds, the internal speedup
-    ratios the sections assert on, any tripped gates, and the host
-    metadata needed to compare numbers across runners.  Unlike the
-    per-run ``BENCH_smoke.json`` artifact it accumulates, so the
-    performance history survives in the repository instead of
-    evaporating with each CI runner.
-    """
-    import os
-
-    TRAJECTORY_PATH.parent.mkdir(exist_ok=True)
-    try:
-        doc = json.loads(TRAJECTORY_PATH.read_text())
-    except (OSError, ValueError):
-        doc = {"runs": []}
-    run = {
-        "sections": {
-            name: {"seconds": timings[name], **extras.get(name, {})}
-            for name, _ in WORKLOADS
-        },
-        "total_seconds": timings["total"],
-        "_meta": host_metadata(),
-    }
-    if errors:
-        run["errors"] = errors
-    sha = os.environ.get("GITHUB_SHA")
-    if sha:
-        run["commit"] = sha
-    doc["runs"].append(run)
-    TRAJECTORY_PATH.write_text(json.dumps(doc, indent=2) + "\n")
-    print(f"trajectory appended to {TRAJECTORY_PATH} ({len(doc['runs'])} runs)")
+BASELINE_PATH = _ROOT / "benchmarks" / "results" / "smoke_baseline.json"
+TRAJECTORY_PATH = _ROOT / "benchmarks" / "results" / "trajectory.json"
 
 
 def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--check", action="store_true",
-                        help="fail if total wall time exceeds factor * baseline")
-    parser.add_argument("--update-baseline", action="store_true",
-                        help="record this run as the new baseline (with host "
-                             "metadata under '_meta' for provenance)")
-    parser.add_argument("--factor", type=float, default=2.0)
-    parser.add_argument("--min-section", type=float, default=0.5,
-                        help="sections with a baseline below this many "
-                             "seconds are gated against factor * this "
-                             "floor (timer-noise guard)")
-    parser.add_argument("--json-out", type=pathlib.Path,
-                        default=pathlib.Path("BENCH_smoke.json"),
-                        help="machine-readable report written on --check "
-                             "(per-section wall-clock, speedup ratios, "
-                             "baseline deltas, host metadata)")
-    args = parser.parse_args()
-
-    timings, extras, errors = run_smoke()
-
-    if args.update_baseline:
-        if errors:
-            print("FAIL: refusing to record a baseline from a run with "
-                  f"failing sections: {sorted(errors)}")
-            return 1
-        BASELINE_PATH.parent.mkdir(exist_ok=True)
-        record = dict(timings)
-        record["_meta"] = host_metadata()
-        BASELINE_PATH.write_text(json.dumps(record, indent=2) + "\n")
-        print(f"baseline written to {BASELINE_PATH}")
-        return 0
-
-    if args.check:
-        if not BASELINE_PATH.exists():
-            print(f"no baseline at {BASELINE_PATH}; run --update-baseline first")
-            return 1
-        baseline = json.loads(BASELINE_PATH.read_text())
-        write_report(args.json_out, timings, extras, errors, baseline)
-        append_trajectory(timings, extras, errors)
-        failed = bool(errors)
-        stale = [
-            name for name, _ in WORKLOADS if baseline.get(name) is None
-        ]
-        if "total" not in baseline:
-            stale.append("total")
-        for name, _ in WORKLOADS:
-            base = baseline.get(name)
-            if base is None:
-                print(f"FAIL: section {name!r} ({timings[name]:.2f} s) is "
-                      "missing from the committed baseline; re-record with "
-                      "--update-baseline")
-                continue
-            limit = args.factor * max(base, args.min_section)
-            status = "ok" if timings[name] <= limit else "FAIL"
-            print(f"{name:20s}: {timings[name]:6.2f} s  "
-                  f"(baseline {base:.2f} s, limit {limit:.2f} s)  {status}")
-            failed |= timings[name] > limit
-        if "total" in baseline:
-            total_limit = args.factor * baseline["total"]
-            print(f"{'total':20s}: {timings['total']:6.2f} s  "
-                  f"(baseline {baseline['total']:.2f} s, "
-                  f"limit {total_limit:.2f} s)")
-            if timings["total"] > total_limit:
-                failed = True
-        else:
-            print("FAIL: baseline has no 'total' entry; re-record with "
-                  "--update-baseline")
-        if stale:
-            print("FAIL: baseline is stale (missing sections: "
-                  f"{', '.join(stale)}); re-record with --update-baseline")
-            failed = True
-        if failed:
-            print("FAIL: smoke run regressed against the per-section gate")
-            return 1
-        print("smoke benchmark within budget")
-        return 0
-
-    # Plain run (no --check/--update-baseline): still fail loudly when a
-    # section's internal gate tripped.
-    return 1 if errors else 0
+    argv = sys.argv[1:]
+    forwarded = [
+        "--tags", "smoke",
+        "--baseline", str(BASELINE_PATH),
+        "--trajectory", str(TRAJECTORY_PATH),
+    ]
+    # The historical driver always wrote BENCH_smoke.json on --check.
+    if "--check" in argv and "--json-out" not in argv:
+        forwarded += ["--json-out", "BENCH_smoke.json"]
+    return bench_main(forwarded + argv)
 
 
 if __name__ == "__main__":

@@ -22,4 +22,11 @@ setup(
     # numpy.random.Generator.spawn, which appeared in numpy 1.25.
     install_requires=["numpy>=1.25", "scipy"],
     extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+    entry_points={
+        "console_scripts": [
+            # One benchmark entry point; the four benchmarks/*.py
+            # drivers are back-compat shims over the same CLI.
+            "repro-bench=repro.bench.cli:main",
+        ],
+    },
 )

@@ -1,0 +1,126 @@
+"""The one JSON report schema shared by every benchmark driver.
+
+Historically the four drivers emitted four shapes: a gated JSON file
+(smoke), two plain-text ``tee`` dumps (kernel, sharding) and an ad-hoc
+chaos JSON.  Every driver now emits this schema::
+
+    {
+      "schema_version": 1,
+      "sections": {
+        "<name>": {"seconds": ..., "valid": true, "tags": [...],
+                   "values": {...},               # measured ratios/bools
+                   "seconds_runs": [...], "cv": ...,   # when repeats > 1
+                   "baseline_seconds": ..., "vs_baseline": ...}  # --check
+      },
+      "gates": [{"gate_id": ..., "section": ..., "kind": ...,
+                 "passed": ..., "skipped": ..., "measured": ...,
+                 "threshold": ..., "reason": ...}],
+      "total_seconds": ...,
+      "baseline_total_seconds": ...,   # when a baseline was supplied
+      "baseline_meta": {...},
+      "_meta": {...}                   # host provenance (repro.bench.meta)
+    }
+
+``schema_version`` is bumped on any layout change; readers refuse
+versions they do not understand instead of misparsing them.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.bench.gates import GateOutcome
+from repro.bench.meta import host_metadata
+from repro.bench.registry import SectionResult
+from repro.errors import ConfigError
+
+SCHEMA_VERSION = 1
+
+
+def build_report(
+    results: Mapping[str, SectionResult],
+    outcomes: Sequence[GateOutcome] = (),
+    baseline: Optional[Mapping[str, object]] = None,
+    meta: Optional[Mapping[str, object]] = None,
+) -> dict:
+    """Assemble the schema'd run record from section results and gates."""
+    sections: Dict[str, dict] = {}
+    for name, result in results.items():
+        entry = result.to_json()
+        if baseline is not None:
+            base = baseline.get(name)
+            if isinstance(base, (int, float)):
+                entry["baseline_seconds"] = base
+                entry["vs_baseline"] = (
+                    round(result.seconds / base, 3) if base else None
+                )
+            else:
+                # The committed baseline predates this section; the
+                # wall gate fails readably and this marker tells the
+                # artifact reader why (re-record with --update-baseline).
+                entry["missing_from_baseline"] = True
+        sections[name] = entry
+    report: Dict[str, object] = {
+        "schema_version": SCHEMA_VERSION,
+        "sections": sections,
+        "gates": [o.to_json() for o in outcomes],
+        "total_seconds": round(sum(r.seconds for r in results.values()), 3),
+        "_meta": dict(meta) if meta is not None else host_metadata(),
+    }
+    if baseline is not None:
+        base_total = baseline.get("total")
+        if isinstance(base_total, (int, float)):
+            report["baseline_total_seconds"] = base_total
+        base_meta = baseline.get("_meta")
+        if isinstance(base_meta, Mapping):
+            report["baseline_meta"] = dict(base_meta)
+    return report
+
+
+def validate_report(doc: object, source: str = "report") -> dict:
+    """Check a parsed document against the schema; returns it typed.
+
+    Raises :class:`~repro.errors.ConfigError` on a wrong or missing
+    ``schema_version`` and on structurally broken section entries, so a
+    half-written or foreign JSON file is refused instead of misread.
+    """
+    if not isinstance(doc, dict):
+        raise ConfigError(f"{source}: expected a JSON object, got {type(doc).__name__}")
+    version = doc.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ConfigError(
+            f"{source}: unsupported schema_version {version!r} "
+            f"(this reader understands {SCHEMA_VERSION})"
+        )
+    sections = doc.get("sections")
+    if not isinstance(sections, dict):
+        raise ConfigError(f"{source}: 'sections' must be an object")
+    for name, entry in sections.items():
+        if not isinstance(entry, dict) or not isinstance(
+            entry.get("seconds"), (int, float)
+        ):
+            raise ConfigError(
+                f"{source}: section {name!r} lacks a numeric 'seconds'"
+            )
+    if not isinstance(doc.get("gates", []), list):
+        raise ConfigError(f"{source}: 'gates' must be a list")
+    if not isinstance(doc.get("_meta", {}), dict):
+        raise ConfigError(f"{source}: '_meta' must be an object")
+    return doc
+
+
+def write_report(path: pathlib.Path, report: dict) -> None:
+    validate_report(report, source=str(path))
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+
+def load_report(path: pathlib.Path) -> dict:
+    try:
+        doc = json.loads(path.read_text())
+    except OSError as exc:
+        raise ConfigError(f"cannot read report {path}: {exc}") from exc
+    except ValueError as exc:
+        raise ConfigError(f"report {path} is not valid JSON: {exc}") from exc
+    return validate_report(doc, source=str(path))

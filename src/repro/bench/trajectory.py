@@ -1,0 +1,195 @@
+"""The committed cross-PR performance trajectory — and its gate.
+
+``benchmarks/results/trajectory.json`` accumulates one compact entry
+per ``--check`` run (per-section seconds, measured values, failed
+gates, host ``_meta``, optional commit sha), so the performance history
+survives in the repository instead of evaporating with each CI runner.
+
+Two fixes over the historical append-only behaviour:
+
+* **Dedup by commit.**  Re-running ``--check`` on the same
+  ``GITHUB_SHA`` *replaces* that sha's entry instead of double-
+  appending it, so CI re-runs cannot inflate the history.
+* **Bounded window.**  The committed file keeps the most recent
+  :data:`DEFAULT_KEEP` entries — enough history for the trajectory
+  gate, small enough to live in the repository forever.
+
+And one new capability: :func:`check_trajectory` turns the file from an
+artifact into a gate.  It compares the current run against the median
+of a window of *same-host* history (per :func:`repro.bench.meta
+.host_key`), so a section that regressed against its own recent history
+fails even when the single committed baseline was recorded loose.
+Using the window median is what makes the check about *sustained*
+regressions: one noisy historical entry cannot fake a failure, and one
+lucky fast run cannot hide a real slowdown from the next PR.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import statistics
+from typing import Dict, List, Mapping, Optional
+
+from repro.bench.gates import GateOutcome, GateSpec
+from repro.bench.meta import host_key
+
+TRAJECTORY_SCHEMA_VERSION = 1
+
+#: Entries kept in the committed trajectory file.
+DEFAULT_KEEP = 50
+
+#: Same-host history entries the regression check compares against.
+DEFAULT_CHECK_WINDOW = 8
+
+#: A section must exceed ``factor x`` its same-host median to fail.
+DEFAULT_CHECK_FACTOR = 1.5
+
+#: Below this many same-host entries the check reports, not gates.
+DEFAULT_MIN_HISTORY = 3
+
+#: Noise floor (seconds) — medians below this are gated as this.
+DEFAULT_MIN_SECTION = 0.5
+
+
+def load_trajectory(path: pathlib.Path) -> dict:
+    """Read the trajectory document, tolerating absence and legacy shape.
+
+    A missing or unparseable file yields an empty document (the append
+    path recreates it); a pre-schema ``{"runs": [...]}`` document is
+    accepted as-is — old entries stay comparable because the per-entry
+    shape (``sections``/``total_seconds``/``_meta``) is unchanged.
+    """
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, ValueError):
+        doc = {}
+    if not isinstance(doc, dict) or not isinstance(doc.get("runs"), list):
+        doc = {"runs": []}
+    doc.setdefault("schema_version", TRAJECTORY_SCHEMA_VERSION)
+    return doc
+
+
+def _entry_from_report(report: Mapping[str, object], sha: Optional[str]) -> dict:
+    sections: Dict[str, dict] = {}
+    for name, sec in report.get("sections", {}).items():  # type: ignore[union-attr]
+        entry = {"seconds": sec.get("seconds")}
+        entry.update(sec.get("values", {}))
+        if not sec.get("valid", True):
+            entry["valid"] = False
+        sections[name] = entry
+    run: Dict[str, object] = {
+        "sections": sections,
+        "total_seconds": report.get("total_seconds"),
+        "_meta": report.get("_meta", {}),
+    }
+    failed = [
+        g["gate_id"] for g in report.get("gates", [])  # type: ignore[union-attr]
+        if not g.get("passed", True) and not g.get("skipped", False)
+    ]
+    if failed:
+        run["gates_failed"] = failed
+    if sha:
+        run["commit"] = sha
+    return run
+
+
+def append_run(
+    path: pathlib.Path,
+    report: Mapping[str, object],
+    sha: Optional[str] = None,
+    keep: int = DEFAULT_KEEP,
+) -> dict:
+    """Append this run's summary, deduped by commit and window-bounded.
+
+    Returns the appended entry.  When ``sha`` is given and the history
+    already holds runs for that commit, they are *replaced* — a
+    re-triggered CI job updates its record instead of double-counting.
+    """
+    doc = load_trajectory(path)
+    entry = _entry_from_report(report, sha)
+    runs: List[dict] = doc["runs"]
+    if sha:
+        runs = [r for r in runs if r.get("commit") != sha]
+    runs.append(entry)
+    doc["runs"] = runs[-keep:] if keep > 0 else runs
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    return entry
+
+
+def check_trajectory(
+    path: pathlib.Path,
+    report: Mapping[str, object],
+    sha: Optional[str] = None,
+    window: int = DEFAULT_CHECK_WINDOW,
+    factor: float = DEFAULT_CHECK_FACTOR,
+    min_section: float = DEFAULT_MIN_SECTION,
+    min_history: int = DEFAULT_MIN_HISTORY,
+) -> List[GateOutcome]:
+    """Gate the current run against its same-host trajectory history.
+
+    For every valid section in ``report``, take the last ``window``
+    same-host entries (excluding any entry for ``sha`` itself — the
+    run under test must not vouch for itself), and fail the section's
+    ``trajectory.<name>`` gate when its current wall-clock exceeds
+    ``factor * max(median(history), min_section)``.  Sections with
+    fewer than ``min_history`` comparable entries are reported as
+    skipped: a young repository (or a new runner fleet) grows history
+    before the gate arms.
+    """
+    doc = load_trajectory(path)
+    meta = report.get("_meta", {})
+    key = host_key(meta if isinstance(meta, Mapping) else {})
+    history = [
+        r for r in doc["runs"]
+        if isinstance(r.get("_meta"), dict)
+        and host_key(r["_meta"]) == key
+        and not (sha and r.get("commit") == sha)
+    ][-window:]
+
+    outcomes: List[GateOutcome] = []
+    sections = report.get("sections", {})
+    if not isinstance(sections, Mapping):
+        return outcomes
+    for name, sec in sections.items():
+        if not isinstance(sec, Mapping) or not sec.get("valid", True):
+            continue
+        seconds = sec.get("seconds")
+        if not isinstance(seconds, (int, float)):
+            continue
+        spec = GateSpec(
+            gate_id=f"trajectory.{name}", kind="wall_factor", section=name,
+            threshold=factor,
+            description="current run vs same-host trajectory median",
+        )
+        past = [
+            r["sections"][name]["seconds"]
+            for r in history
+            if isinstance(r.get("sections"), dict)
+            and isinstance(r["sections"].get(name), dict)
+            and isinstance(r["sections"][name].get("seconds"), (int, float))
+            and r["sections"][name].get("valid", True)
+        ]
+        if len(past) < min_history:
+            outcomes.append(GateOutcome(
+                spec, passed=True, skipped=True,
+                reason=(
+                    f"insufficient same-host history ({len(past)} of "
+                    f"{min_history} runs)"
+                ),
+            ))
+            continue
+        med = statistics.median(past)
+        limit = factor * max(med, min_section)
+        outcomes.append(GateOutcome(
+            spec,
+            passed=float(seconds) <= limit,
+            measured=round(float(seconds), 3),
+            threshold=round(limit, 3),
+            reason=(
+                f"factor {factor} x max(median {med:.3f} s over "
+                f"{len(past)} same-host runs, noise floor {min_section} s)"
+            ),
+        ))
+    return outcomes

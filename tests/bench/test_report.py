@@ -1,0 +1,133 @@
+"""Report schema: build, validate, write/load round-trip."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.gates import GateSpec, evaluate_gates
+from repro.bench.registry import SectionResult
+from repro.bench.report import (
+    SCHEMA_VERSION,
+    build_report,
+    load_report,
+    validate_report,
+    write_report,
+)
+from repro.errors import ConfigError
+
+META = {"cpu": "TestCPU", "cpu_count": 4, "python": "3.11.7", "numpy": "2.0"}
+
+
+def sample_results():
+    return {
+        "fast-bit": SectionResult(
+            name="fast-bit", tags=("smoke",), seconds=1.25,
+            seconds_runs=(1.3, 1.25, 1.2), cv=0.033,
+            values={"speedup": 2.4, "bit_equal": True},
+        ),
+        "broken-bit": SectionResult(
+            name="broken-bit", tags=("smoke",), seconds=0.1,
+            seconds_runs=(0.1,), valid=False, reason="RuntimeError: nope",
+        ),
+    }
+
+
+def sample_outcomes(results):
+    specs = [
+        GateSpec("fast-bit.speedup", "ratio_min", section="fast-bit",
+                 key="speedup", threshold=2.0),
+        GateSpec("broken-bit.any", "bool_true", section="broken-bit",
+                 key="bit_equal"),
+    ]
+    return evaluate_gates(specs, results)
+
+
+class TestBuild:
+    def test_schema_version_and_sections(self):
+        results = sample_results()
+        report = build_report(results, sample_outcomes(results), meta=META)
+        assert report["schema_version"] == SCHEMA_VERSION
+        sec = report["sections"]["fast-bit"]
+        assert sec["seconds"] == 1.25
+        assert sec["values"]["speedup"] == 2.4
+        assert sec["valid"] is True
+        assert sec["seconds_runs"] == [1.3, 1.25, 1.2]
+        assert report["sections"]["broken-bit"]["valid"] is False
+        assert "RuntimeError" in report["sections"]["broken-bit"]["reason"]
+        assert report["total_seconds"] == pytest.approx(1.35)
+        assert report["_meta"] == META
+
+    def test_gate_outcomes_serialized(self):
+        results = sample_results()
+        report = build_report(results, sample_outcomes(results), meta=META)
+        gates = {g["gate_id"]: g for g in report["gates"]}
+        assert gates["fast-bit.speedup"]["passed"] is True
+        assert gates["broken-bit.any"]["passed"] is False
+
+    def test_baseline_deltas_and_missing_marker(self):
+        results = sample_results()
+        baseline = {"fast-bit": 1.0, "total": 2.0, "_meta": META}
+        report = build_report(results, (), baseline=baseline, meta=META)
+        sec = report["sections"]["fast-bit"]
+        assert sec["baseline_seconds"] == 1.0
+        assert sec["vs_baseline"] == 1.25
+        assert report["sections"]["broken-bit"]["missing_from_baseline"] is True
+        assert report["baseline_total_seconds"] == 2.0
+        assert report["baseline_meta"] == META
+
+
+class TestRoundTrip:
+    def test_write_then_load_is_identical(self, tmp_path):
+        results = sample_results()
+        report = build_report(results, sample_outcomes(results), meta=META)
+        path = tmp_path / "report.json"
+        write_report(path, report)
+        assert load_report(path) == report
+
+    def test_load_refuses_wrong_schema_version(self, tmp_path):
+        results = sample_results()
+        report = build_report(results, (), meta=META)
+        report["schema_version"] = SCHEMA_VERSION + 1
+        path = tmp_path / "report.json"
+        path.write_text(json.dumps(report))
+        with pytest.raises(ConfigError, match="schema_version"):
+            load_report(path)
+
+    def test_load_refuses_non_json_and_missing(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ConfigError, match="not valid JSON"):
+            load_report(bad)
+        with pytest.raises(ConfigError, match="cannot read"):
+            load_report(tmp_path / "absent.json")
+
+
+class TestValidate:
+    def test_rejects_non_object(self):
+        with pytest.raises(ConfigError, match="JSON object"):
+            validate_report([1, 2, 3])
+
+    def test_rejects_missing_version(self):
+        with pytest.raises(ConfigError, match="schema_version"):
+            validate_report({"sections": {}})
+
+    def test_rejects_section_without_seconds(self):
+        with pytest.raises(ConfigError, match="numeric 'seconds'"):
+            validate_report({
+                "schema_version": SCHEMA_VERSION,
+                "sections": {"x": {"values": {}}},
+            })
+
+    def test_rejects_non_list_gates(self):
+        with pytest.raises(ConfigError, match="'gates'"):
+            validate_report({
+                "schema_version": SCHEMA_VERSION,
+                "sections": {},
+                "gates": {},
+            })
+
+    def test_accepts_minimal_document(self):
+        doc = {"schema_version": SCHEMA_VERSION, "sections": {}}
+        assert validate_report(doc) is doc

@@ -1,0 +1,191 @@
+"""Trajectory: commit dedupe, window bound, same-host regression gate."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.report import SCHEMA_VERSION
+from repro.bench.trajectory import (
+    append_run,
+    check_trajectory,
+    load_trajectory,
+)
+
+META_A = {"cpu": "CPU-A", "cpu_count": 4, "python": "3.11.7", "numpy": "2.0"}
+META_B = {"cpu": "CPU-B", "cpu_count": 1, "python": "3.11.7", "numpy": "2.0"}
+
+
+def make_report(seconds=1.0, meta=META_A, name="sec", valid=True, gates=()):
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "sections": {
+            name: {
+                "seconds": seconds, "valid": valid, "tags": ["smoke"],
+                "values": {"speedup": 2.0},
+            },
+        },
+        "gates": list(gates),
+        "total_seconds": seconds,
+        "_meta": dict(meta),
+    }
+
+
+class TestAppend:
+    def test_append_creates_and_accumulates(self, tmp_path):
+        path = tmp_path / "trajectory.json"
+        append_run(path, make_report(1.0))
+        append_run(path, make_report(2.0))
+        doc = load_trajectory(path)
+        assert len(doc["runs"]) == 2
+        assert doc["runs"][0]["sections"]["sec"]["seconds"] == 1.0
+        assert doc["runs"][1]["sections"]["sec"]["seconds"] == 2.0
+        assert doc["runs"][0]["sections"]["sec"]["speedup"] == 2.0
+
+    def test_same_sha_replaces_never_double_appends(self, tmp_path):
+        path = tmp_path / "trajectory.json"
+        append_run(path, make_report(1.0), sha="abc")
+        append_run(path, make_report(9.0), sha="abc")
+        doc = load_trajectory(path)
+        assert len(doc["runs"]) == 1
+        assert doc["runs"][0]["sections"]["sec"]["seconds"] == 9.0
+        assert doc["runs"][0]["commit"] == "abc"
+
+    def test_different_shas_accumulate(self, tmp_path):
+        path = tmp_path / "trajectory.json"
+        append_run(path, make_report(1.0), sha="abc")
+        append_run(path, make_report(2.0), sha="def")
+        assert len(load_trajectory(path)["runs"]) == 2
+
+    def test_window_bound(self, tmp_path):
+        path = tmp_path / "trajectory.json"
+        for i in range(10):
+            append_run(path, make_report(float(i)), sha=f"sha{i}", keep=4)
+        doc = load_trajectory(path)
+        assert len(doc["runs"]) == 4
+        assert [r["commit"] for r in doc["runs"]] == [
+            "sha6", "sha7", "sha8", "sha9",
+        ]
+
+    def test_failed_gates_recorded(self, tmp_path):
+        path = tmp_path / "trajectory.json"
+        gates = [
+            {"gate_id": "g.bad", "passed": False, "skipped": False},
+            {"gate_id": "g.ok", "passed": True, "skipped": False},
+            {"gate_id": "g.skip", "passed": False, "skipped": True},
+        ]
+        entry = append_run(path, make_report(1.0, gates=gates))
+        assert entry["gates_failed"] == ["g.bad"]
+
+    def test_legacy_document_shape_accepted(self, tmp_path):
+        # The pre-schema committed file: {"runs": [...]} with entries in
+        # the historical shape — append keeps them, check can read them.
+        path = tmp_path / "trajectory.json"
+        legacy = {"runs": [{
+            "sections": {"sec": {"seconds": 1.0}},
+            "total_seconds": 1.0,
+            "_meta": dict(META_A),
+        }]}
+        path.write_text(json.dumps(legacy))
+        append_run(path, make_report(2.0))
+        doc = load_trajectory(path)
+        assert len(doc["runs"]) == 2
+        assert doc["schema_version"] == 1
+
+    def test_corrupt_file_recovers_empty(self, tmp_path):
+        path = tmp_path / "trajectory.json"
+        path.write_text("{nope")
+        assert load_trajectory(path)["runs"] == []
+        append_run(path, make_report(1.0))
+        assert len(load_trajectory(path)["runs"]) == 1
+
+
+def seed_history(path, seconds_list, meta=META_A, name="sec"):
+    for i, s in enumerate(seconds_list):
+        append_run(path, make_report(s, meta=meta, name=name), sha=f"h{i}")
+
+
+class TestCheck:
+    def test_regression_detected_with_id_measured_threshold(self, tmp_path):
+        path = tmp_path / "trajectory.json"
+        seed_history(path, [1.0, 1.1, 0.9, 1.0])
+        out = check_trajectory(
+            path, make_report(3.0), min_section=0.1, factor=1.5
+        )
+        (o,) = out
+        assert o.failed
+        assert o.gate_id == "trajectory.sec"
+        assert o.measured == 3.0
+        # median 1.0 * 1.5
+        assert o.threshold == 1.5
+
+    def test_within_budget_passes(self, tmp_path):
+        path = tmp_path / "trajectory.json"
+        seed_history(path, [1.0, 1.1, 0.9, 1.0])
+        (o,) = check_trajectory(
+            path, make_report(1.2), min_section=0.1, factor=1.5
+        )
+        assert o.passed and not o.skipped
+
+    def test_single_noisy_history_entry_cannot_fake_regression(self, tmp_path):
+        # One historically slow run does not drag the median up — and one
+        # historically fast run does not drag it down: sustained history
+        # is what the current run is judged against.
+        path = tmp_path / "trajectory.json"
+        seed_history(path, [1.0, 1.0, 20.0, 1.0, 1.0])
+        (o,) = check_trajectory(
+            path, make_report(1.3), min_section=0.1, factor=1.5
+        )
+        assert o.passed
+
+    def test_insufficient_history_skips(self, tmp_path):
+        path = tmp_path / "trajectory.json"
+        seed_history(path, [1.0, 1.0])
+        (o,) = check_trajectory(path, make_report(99.0), min_history=3)
+        assert o.skipped and o.passed
+        assert "insufficient" in o.reason
+
+    def test_other_host_history_excluded(self, tmp_path):
+        path = tmp_path / "trajectory.json"
+        seed_history(path, [0.1, 0.1, 0.1, 0.1], meta=META_B)
+        # Plenty of CPU-B history, none for CPU-A: the check must skip,
+        # not compare a 1-core container against a 4-core runner.
+        (o,) = check_trajectory(path, make_report(5.0, meta=META_A))
+        assert o.skipped
+
+    def test_current_sha_excluded_from_history(self, tmp_path):
+        path = tmp_path / "trajectory.json"
+        seed_history(path, [1.0, 1.0, 1.0])
+        # A previous run of this same commit was slow; it must not vouch
+        # for (or against) the re-run.
+        append_run(path, make_report(50.0), sha="current")
+        (o,) = check_trajectory(
+            path, make_report(1.2), sha="current", min_section=0.1
+        )
+        assert o.passed
+        assert "3 same-host runs" in o.reason
+
+    def test_min_section_noise_floor(self, tmp_path):
+        path = tmp_path / "trajectory.json"
+        seed_history(path, [0.01, 0.012, 0.009])
+        # 0.4 s is 40x the median but under factor * floor.
+        (o,) = check_trajectory(
+            path, make_report(0.4), min_section=0.5, factor=1.5
+        )
+        assert o.passed
+
+    def test_invalid_sections_ignored_both_sides(self, tmp_path):
+        path = tmp_path / "trajectory.json"
+        seed_history(path, [1.0, 1.0, 1.0])
+        append_run(path, make_report(0.001, valid=False), sha="broken")
+        outs = check_trajectory(path, make_report(1.0, valid=False))
+        assert outs == []
+
+    def test_window_limits_lookback(self, tmp_path):
+        path = tmp_path / "trajectory.json"
+        # Old slow era, then a fast era: window=3 compares against the
+        # fast era only, so a return to the slow era is a regression.
+        seed_history(path, [10.0, 10.0, 10.0, 1.0, 1.0, 1.0])
+        (o,) = check_trajectory(
+            path, make_report(9.0), window=3, min_section=0.1, factor=1.5
+        )
+        assert o.failed

@@ -18,6 +18,9 @@ run the extractions without writing Python:
   (``--cols`` columns behind a shared bitline mux, the metric measured
   on the muxed data lines) on the compiled slice with the per-column
   Schur peel;
+* ``serve``       — run the yield-estimation job service: the HTTP
+  server over :mod:`repro.api` (``POST /v1/jobs`` …) with a bounded
+  worker budget and the shared plan cache;
 * ``snm``         — static noise margins of the cell;
 * ``netlist-lint``— structural lint of the bench netlists plus (with
   ``--audit``) the compile-plan audit over every assembly/solver
@@ -35,6 +38,16 @@ Examples::
     python -m repro.cli snm --vdd 0.8
     python -m repro.cli compare --target-sigma 4 --budget 4000
     python -m repro.cli read-sigma --spec-ps 55 --workers 4 --starts 4
+    python -m repro.cli read-sigma --spec-ps 55 --json
+    python -m repro.cli serve --port 8626 --service-workers 4
+
+The sigma subcommands are thin shells over :mod:`repro.api` — the same
+typed facade the HTTP service executes — so a CLI run, a library call
+and a served job are bit-identical for the same workload, seed and
+shard plan.  ``--json`` prints the facade's ``schema_version``-stamped
+:class:`~repro.api.EstimateResult` envelope instead of the human
+report: the exact document ``GET /v1/jobs/{id}`` returns under
+``"result"``.
 
 Parallelism: ``--workers N`` shards the sampling budget across ``N``
 worker processes through :mod:`repro.engine` (per-shard RNG streams
@@ -68,8 +81,6 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import Optional
-
-import numpy as np
 
 from repro.errors import ConfigError, JournalError
 
@@ -153,6 +164,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "with the same circuit structure and compile "
                             "options; REPRO_PLAN_CACHE is the environment "
                             "equivalent")
+        p.add_argument("--json", action="store_true",
+                       help="print the schema_version-stamped EstimateResult "
+                            "JSON envelope (the service's result document) "
+                            "instead of the human report")
 
     p_read = sub.add_parser("read-sigma", help="read-access failure sigma")
     common(p_read)
@@ -227,6 +242,31 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fused-path linear solver: the per-column Schur "
                             "peel (auto on the array's bordered pattern) or "
                             "the generic guarded elimination (cross-check)")
+
+    p_serve = sub.add_parser(
+        "serve", help="run the yield-estimation job service (HTTP)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="interface to bind")
+    p_serve.add_argument("--port", type=int, default=8626,
+                         help="port to bind (0 picks a free one)")
+    p_serve.add_argument("--service-workers", type=_positive_int, default=2,
+                         metavar="N",
+                         help="total worker budget shared by all jobs; a job "
+                              "asking for more is granted fewer workers, "
+                              "which never changes its estimate (the shard "
+                              "plan is pinned by the request)")
+    p_serve.add_argument("--queue-limit", type=_positive_int, default=64,
+                         help="maximum unsettled jobs before submissions are "
+                              "refused with 503/A007")
+    p_serve.add_argument("--spool-dir", type=str, default=None, metavar="DIR",
+                         help="directory settled jobs are journaled to "
+                              "(default: a private temp dir, removed on "
+                              "shutdown — the service never touches the cwd)")
+    p_serve.add_argument("--plan-cache", type=str, default=None, metavar="DIR",
+                         help="content-addressed compiled-plan store shared "
+                              "by all jobs (REPRO_PLAN_CACHE is the "
+                              "environment equivalent)")
 
     p_snm = sub.add_parser("snm", help="static noise margins (butterfly)")
     p_snm.add_argument("--vdd", type=float, default=1.0)
@@ -354,15 +394,42 @@ def _report_plan_cache(cache) -> None:
     )
 
 
+def _run_request(args, workload: str, spec: float, knobs: dict):
+    """Execute one sigma subcommand through the :mod:`repro.api` facade.
+
+    Builds the same :class:`~repro.api.EstimateRequest` the HTTP service
+    would run, attaches the CLI-owned fault-tolerant runner when the
+    flags ask for one (journaling is a CLI-only concern, so the runner
+    is built here and handed in), and returns ``(result, runner)``.
+    """
+    from repro import api
+
+    request = api.EstimateRequest(
+        workload=workload, spec=spec, method="gis", seed=args.seed,
+        budget=args.budget, rel_err=args.rel_err, n_starts=args.starts,
+        workers=args.workers, n_shards=args.shards, retries=args.retries,
+        shard_timeout=args.shard_timeout, knobs=knobs,
+    )
+    runner = _make_runner(args)
+    try:
+        result = api.estimate(request, runner=runner)
+    finally:
+        _finish_runner(runner)
+    return result, runner
+
+
+def _emit_json(result) -> int:
+    import json
+
+    print(json.dumps(result.to_json(), indent=2, sort_keys=True))
+    return 0
+
+
 def _run_sigma(args, kind: str) -> int:
     from repro.experiments.workloads import (
         calibrate_read_spec,
         calibrate_write_spec,
-        make_read_limitstate,
-        make_system_read_limitstate,
-        make_write_limitstate,
     )
-    from repro.highsigma.gis import GradientImportanceSampling
 
     plan_cache = _setup_plan_cache(args)
     calibrate = calibrate_read_spec if kind == "read" else calibrate_write_spec
@@ -376,31 +443,24 @@ def _run_sigma(args, kind: str) -> int:
             print("error: --system needs an explicit --spec-ps "
                   "(calibration runs on the single-cell workload)")
             return 2
-        print(f"calibrating {kind} spec for {args.target_sigma:g} sigma ...")
+        if not args.json:
+            print(f"calibrating {kind} spec for {args.target_sigma:g} sigma ...")
         spec = calibrate(
             args.target_sigma, n_steps=args.n_steps, vdd=args.vdd, kernel=args.kernel
         )
         note = f"  (calibrated for {args.target_sigma:g} sigma)"
 
     if system:
-        ls = make_system_read_limitstate(
-            spec, vdd=args.vdd, n_steps=args.n_steps, kernel=args.kernel,
-            sa_model=args.sa_model,
-        )
+        workload = "system-read"
+        knobs = {"vdd": args.vdd, "n_steps": args.n_steps,
+                 "kernel": args.kernel, "sa_model": args.sa_model}
         note += f"  (system-level, sa={args.sa_model})"
     else:
-        make = make_read_limitstate if kind == "read" else make_write_limitstate
-        ls = make(spec, vdd=args.vdd, n_steps=args.n_steps, kernel=args.kernel)
-    runner = _make_runner(args)
-    try:
-        gis = GradientImportanceSampling(
-            ls, n_max=args.budget, target_rel_err=args.rel_err,
-            n_starts=args.starts, workers=args.workers, n_shards=args.shards,
-            runner=runner,
-        )
-        result = gis.run(np.random.default_rng(args.seed))
-    finally:
-        _finish_runner(runner)
+        workload = kind
+        knobs = {"vdd": args.vdd, "n_steps": args.n_steps, "kernel": args.kernel}
+    result, runner = _run_request(args, workload, spec, knobs)
+    if args.json:
+        return _emit_json(result)
     _report(result, spec, note)
     _report_faults(runner)
     _report_plan_cache(plan_cache)
@@ -408,29 +468,18 @@ def _run_sigma(args, kind: str) -> int:
 
 
 def _run_sa_sigma(args) -> int:
-    from repro.experiments.workloads import make_senseamp_offset_limitstate
-    from repro.highsigma.gis import GradientImportanceSampling
-    from repro.highsigma.mpfp import MpfpOptions
     from repro.highsigma.sigma import array_yield
 
     plan_cache = _setup_plan_cache(args)
     spec = args.spec_mv * 1e-3
     # The latch keeps its own grid density (--n-steps targets the 6T
-    # engine's much longer window).  The bisection-extracted offset is
-    # quantised at ~dv_max / 2^n_bisect, so the search tolerances are
-    # matched to that resolution instead of the simulator-noise defaults.
-    ls = make_senseamp_offset_limitstate(spec, vdd=args.vdd, kernel=args.kernel)
-    runner = _make_runner(args)
-    try:
-        gis = GradientImportanceSampling(
-            ls, n_max=args.budget, target_rel_err=args.rel_err,
-            n_starts=args.starts, workers=args.workers, n_shards=args.shards,
-            mpfp_options=MpfpOptions(max_iterations=25, tol_g=1e-2, tol_align=2e-2),
-            runner=runner,
-        )
-        result = gis.run(np.random.default_rng(args.seed))
-    finally:
-        _finish_runner(runner)
+    # engine's much longer window), so n_steps is deliberately not
+    # forwarded.  The bisection-matched MPFP tolerances ride along as
+    # the workload's registered estimator options.
+    knobs = {"vdd": args.vdd, "kernel": args.kernel}
+    result, runner = _run_request(args, "sa-offset", spec, knobs)
+    if args.json:
+        return _emit_json(result)
     lo, hi = result.ci()
     print(f"offset spec       : {args.spec_mv:.1f} mV")
     print(f"p_fail            : {result.p_fail:.4e}  (CI95 [{lo:.3e}, {hi:.3e}])")
@@ -448,65 +497,57 @@ def _run_sa_sigma(args) -> int:
 
 
 def _run_column_sigma(args) -> int:
-    from repro.experiments.workloads import make_column_read_limitstate
-    from repro.highsigma.gis import GradientImportanceSampling
-
     plan_cache = _setup_plan_cache(args)
     spec = args.spec_ps * 1e-12
-    ls = make_column_read_limitstate(
-        spec, n_leakers=args.leakers, leaker_data=args.leaker_data,
-        vdd=args.vdd, n_steps=args.n_steps, kernel=args.kernel,
-        assembly=args.assembly,
-    )
-    # Central-difference gradients: a full 2 * 6 * (leakers + 1) point
-    # stencil is a couple of bulk batches on the compiled column, so
-    # even the 96-axis default column prices a gradient like a handful
-    # of scalar simulations.
-    runner = _make_runner(args)
-    try:
-        gis = GradientImportanceSampling(
-            ls, n_max=args.budget, target_rel_err=args.rel_err,
-            n_starts=args.starts, workers=args.workers, n_shards=args.shards,
-            runner=runner,
-        )
-        result = gis.run(np.random.default_rng(args.seed))
-    finally:
-        _finish_runner(runner)
+    knobs = {"n_leakers": args.leakers, "leaker_data": args.leaker_data,
+             "vdd": args.vdd, "n_steps": args.n_steps, "kernel": args.kernel,
+             "assembly": args.assembly}
+    result, runner = _run_request(args, "column-read", spec, knobs)
+    if args.json:
+        return _emit_json(result)
     _report(result, spec, f"  (column, {args.leakers} leakers, "
-                          f"dim {ls.dim})")
+                          f"dim {result.dim})")
     _report_faults(runner)
     _report_plan_cache(plan_cache)
     return 0
 
 
 def _run_array_sigma(args) -> int:
-    from repro.experiments.workloads import make_array_read_limitstate
-    from repro.highsigma.gis import GradientImportanceSampling
-
     plan_cache = _setup_plan_cache(args)
     spec = args.spec_ps * 1e-12
-    ls = make_array_read_limitstate(
-        spec, n_cols=args.cols, n_leakers=args.leakers,
-        leaker_data=args.leaker_data, vdd=args.vdd, n_steps=args.n_steps,
-        kernel=args.kernel, assembly=args.assembly, solver=args.solver,
-    )
-    # Same gradient economics as the column, one scale up: a full
-    # central-difference stencil over 6 * cols * (leakers + 1) axes is
-    # still just a couple of bulk batches on the compiled slice.
-    runner = _make_runner(args)
-    try:
-        gis = GradientImportanceSampling(
-            ls, n_max=args.budget, target_rel_err=args.rel_err,
-            n_starts=args.starts, workers=args.workers, n_shards=args.shards,
-            runner=runner,
-        )
-        result = gis.run(np.random.default_rng(args.seed))
-    finally:
-        _finish_runner(runner)
+    knobs = {"n_cols": args.cols, "n_leakers": args.leakers,
+             "leaker_data": args.leaker_data, "vdd": args.vdd,
+             "n_steps": args.n_steps, "kernel": args.kernel,
+             "assembly": args.assembly, "solver": args.solver}
+    result, runner = _run_request(args, "array-read", spec, knobs)
+    if args.json:
+        return _emit_json(result)
     _report(result, spec, f"  (array, {args.cols} cols x "
-                          f"{args.leakers + 1} cells, dim {ls.dim})")
+                          f"{args.leakers + 1} cells, dim {result.dim})")
     _report_faults(runner)
     _report_plan_cache(plan_cache)
+    return 0
+
+
+def _run_serve(args) -> int:
+    from repro.service import ServiceApp
+    from repro.service.http import serve
+
+    _setup_plan_cache(args)
+    app = ServiceApp(
+        workers_total=args.service_workers,
+        queue_limit=args.queue_limit,
+        spool_dir=args.spool_dir,
+    )
+
+    def ready(server):
+        host, port = server.server_address[:2]
+        print(f"serving on http://{host}:{port}  "
+              f"(workers {args.service_workers}, "
+              f"queue limit {args.queue_limit}, "
+              f"spool {app.store.spool_dir})")
+
+    serve(app, host=args.host, port=args.port, ready=ready)
     return 0
 
 
@@ -616,6 +657,8 @@ def main(argv: Optional[list] = None) -> int:
             return _run_column_sigma(args)
         if args.command == "array-sigma":
             return _run_array_sigma(args)
+        if args.command == "serve":
+            return _run_serve(args)
         if args.command == "snm":
             return _run_snm(args)
         if args.command == "netlist-lint":

@@ -134,6 +134,19 @@ class PlanAuditError(DiagnosticError, SimulationError):
     remotely-deserialized plans."""
 
 
+class RequestError(DiagnosticError, ConfigError):
+    """Raised when a :mod:`repro.api` request fails eager validation.
+
+    Carries one of the stable ``A0xx`` codes from
+    :data:`repro.spice.diagnostics.DIAGNOSTIC_CODES` (unknown workload,
+    unknown knob, malformed envelope, ...), so the HTTP service can map
+    it onto a structured 4xx JSON body without parsing the message.
+    Also a :class:`ConfigError` (hence a :class:`ValueError`): the CLI
+    and library callers that already treat configuration mistakes as
+    exit-2 usage errors keep working unchanged.
+    """
+
+
 class ShardExecutionError(EstimationError):
     """Raised when a shard exhausts its retry budget.
 

@@ -17,12 +17,12 @@ Two families:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, List, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import SimulationError
+from repro.errors import ConfigError, RequestError, SimulationError
 from repro.highsigma.analytic import (
     LinearLimitState,
     QuadraticLimitState,
@@ -41,6 +41,10 @@ from repro.variation.space import DeviceAxis, VariationSpace
 
 __all__ = [
     "Workload",
+    "WorkloadSpec",
+    "WORKLOADS",
+    "get_workload",
+    "workload_names",
     "analytic_grid_workloads",
     "array_variation_space",
     "cell_variation_space",
@@ -717,6 +721,174 @@ def calibrate_write_spec(sigma_target: float, n_steps: int = 400, **kwargs) -> f
     nominal = make_write_limitstate(1.0, n_steps=n_steps, **kwargs)
     t_nom = nominal.metric(np.zeros(nominal.dim))
     return _calibrate_spec(make, provisional_spec=1.8 * t_nom, sigma_target=sigma_target)
+
+
+# ----------------------------------------------------------------------
+# The named-workload registry (the repro.api / service catalogue)
+# ----------------------------------------------------------------------
+# Every estimation entry point that accepts a *workload name* — the
+# ``repro.api`` facade, the HTTP job service, the load-test driver —
+# resolves it here.  A :class:`WorkloadSpec` declares the limit-state
+# factory plus the *remotely settable* knob surface: only JSON-scalar
+# knobs are listed (rich objects like ``CellDesign``/``OperationTiming``
+# stay Python-API-only), and enum-valued knobs carry their legal choices
+# so a bad value is a structured eager-validation error instead of a
+# failure deep inside a compile.
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One named, remotely invokable estimation workload.
+
+    ``factory(spec, **knobs)`` builds a fresh :class:`LimitState`;
+    ``knobs`` is the exact set of keyword names a request may set;
+    ``choices`` restricts enum-valued knobs; ``estimator_options`` are
+    extra keyword arguments for the GIS estimator (the per-workload
+    search tuning the CLI historically hard-coded, e.g. the sense-amp
+    bisection-matched MPFP tolerances).
+    """
+
+    name: str
+    factory: Callable[..., LimitState]
+    description: str
+    spec_unit: str
+    knobs: Tuple[str, ...] = ()
+    choices: Mapping[str, Tuple[str, ...]] = field(default_factory=dict)
+    estimator_options: Mapping[str, object] = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        """JSON-safe catalogue entry (what ``GET /v1/workloads`` serves)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "spec_unit": self.spec_unit,
+            "knobs": list(self.knobs),
+            "choices": {k: list(v) for k, v in self.choices.items()},
+        }
+
+
+def _analytic_linear(spec: float, dim: int = 8) -> LimitState:
+    return LinearLimitState(beta=spec, dim=int(dim))
+
+
+def _analytic_quadratic(spec: float, dim: int = 8, kappa: float = 0.1) -> LimitState:
+    return QuadraticLimitState(beta=spec, dim=int(dim), kappa=float(kappa))
+
+
+_ASSEMBLY = ("auto", "dense", "sparse")
+_KERNEL = ("fast", "reference")
+_LEAKER_DATA = ("adversarial", "friendly")
+
+WORKLOADS: Dict[str, WorkloadSpec] = {}
+
+
+def _register(spec: WorkloadSpec) -> WorkloadSpec:
+    if spec.name in WORKLOADS:
+        raise ConfigError(f"workload {spec.name!r} registered twice")
+    WORKLOADS[spec.name] = spec
+    return spec
+
+
+_register(WorkloadSpec(
+    name="read",
+    factory=make_read_limitstate,
+    description="6T read-access-time failure (six cell vth axes)",
+    spec_unit="s",
+    knobs=("vdd", "cbl", "dv_spec", "n_steps", "include_beta", "kernel"),
+    choices={"kernel": _KERNEL},
+))
+_register(WorkloadSpec(
+    name="write",
+    factory=make_write_limitstate,
+    description="6T write-trip-time failure (six cell vth axes)",
+    spec_unit="s",
+    knobs=("vdd", "cbl", "rdrv", "n_steps", "include_beta", "kernel"),
+    choices={"kernel": _KERNEL},
+))
+_register(WorkloadSpec(
+    name="disturb",
+    factory=make_disturb_limitstate,
+    description="6T dynamic read-stability failure (read bump vs trip point)",
+    spec_unit="V",
+    knobs=("vdd", "cbl", "n_steps", "include_beta", "kernel"),
+    choices={"kernel": _KERNEL},
+))
+_register(WorkloadSpec(
+    name="sa-offset",
+    factory=make_senseamp_offset_limitstate,
+    description="sense-amp input-referred offset failure (compiled latch)",
+    spec_unit="V",
+    knobs=("vdd", "dv_max", "n_bisect", "n_steps", "kernel"),
+    choices={"kernel": _KERNEL},
+    # Bisection-quantised metric: match the MPFP tolerances to the
+    # extractor resolution (the tuning the sa-sigma CLI always applied).
+    estimator_options={
+        "mpfp_options": MpfpOptions(max_iterations=25, tol_g=1e-2, tol_align=2e-2)
+    },
+))
+_register(WorkloadSpec(
+    name="system-read",
+    factory=make_system_read_limitstate,
+    description="system-level read failure (six cell + four sense-amp axes)",
+    spec_unit="s",
+    knobs=("vdd", "cbl", "dv_base", "dv_floor", "n_steps", "kernel",
+           "sa_model", "sa_n_steps", "sa_dv_max", "sa_n_bisect"),
+    choices={"kernel": _KERNEL, "sa_model": ("linear", "latch")},
+))
+_register(WorkloadSpec(
+    name="column-read",
+    factory=make_column_read_limitstate,
+    description="column-level read failure (accessed cell + leakers)",
+    spec_unit="s",
+    knobs=("n_leakers", "leaker_data", "vdd", "cbl", "dv_spec", "n_steps",
+           "kernel", "assembly"),
+    choices={"kernel": _KERNEL, "assembly": _ASSEMBLY,
+             "leaker_data": _LEAKER_DATA},
+))
+_register(WorkloadSpec(
+    name="array-read",
+    factory=make_array_read_limitstate,
+    description="array-slice read failure (columns behind a shared mux)",
+    spec_unit="s",
+    knobs=("n_cols", "n_leakers", "leaker_data", "vdd", "cbl", "cdl",
+           "dv_spec", "n_steps", "kernel", "assembly", "solver"),
+    choices={"kernel": _KERNEL, "assembly": _ASSEMBLY,
+             "leaker_data": _LEAKER_DATA,
+             "solver": ("auto", "schur", "blocked")},
+))
+_register(WorkloadSpec(
+    name="analytic-linear",
+    factory=_analytic_linear,
+    description="hyperplane boundary at an exact sigma (spec = beta); "
+                "closed-form truth, no simulator — service/CI canary",
+    spec_unit="sigma",
+    knobs=("dim",),
+))
+_register(WorkloadSpec(
+    name="analytic-quadratic",
+    factory=_analytic_quadratic,
+    description="curved boundary at an exact distance (spec = beta); "
+                "closed-form truth, no simulator — service/CI canary",
+    spec_unit="sigma",
+    knobs=("dim", "kappa"),
+))
+
+
+def workload_names() -> Tuple[str, ...]:
+    """Registered workload names in registration order."""
+    return tuple(WORKLOADS)
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Resolve a workload name; unknown names raise the stable ``A001``."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise RequestError(
+            f"unknown workload {name!r}; registered workloads: "
+            + ", ".join(WORKLOADS),
+            code="A001",
+        ) from None
 
 
 # ----------------------------------------------------------------------

@@ -252,6 +252,27 @@ class LimitState:
         if self._cache is not None:
             self._cache.clear()
 
+    def warmup(self) -> None:
+        """Force lazy setup (circuit compiles) without billing anything.
+
+        Evaluates one origin batch — which makes the compiled engines
+        behind ``batch_fn`` build (or fetch from the plan cache) their
+        transient plans — then restores the evaluation counter and the
+        point cache to their prior snapshots, exactly the way the
+        sharded runner's in-process retry path does.  An estimator run
+        after ``warmup()`` is bit-identical to one on a cold limit
+        state: the only residue is pure setup state (memoized compiled
+        plans), never statistics.
+        """
+        n_evals = self.n_evals
+        cache = None if self._cache is None else dict(self._cache)
+        try:
+            self.g_batch(np.zeros((1, self.dim)))
+        finally:
+            self.n_evals = n_evals
+            if self._cache is not None:
+                self._cache = cache
+
     def __repr__(self) -> str:
         return (
             f"LimitState({self.name!r}, dim={self.dim}, spec={self.spec:.4g}, "

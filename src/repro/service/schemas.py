@@ -1,0 +1,44 @@
+"""Response envelopes the service serves.
+
+The request/result schemas themselves live in :mod:`repro.api` (they
+are the facade's, not the service's — the whole point is one schema
+across CLI, library and HTTP).  What belongs here is the thin envelope
+layer unique to the wire: the structured error body 4xx/5xx responses
+carry, and the job envelope ``/v1/jobs`` wraps around them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.errors import DiagnosticError, ReproError
+from repro.service.jobs import Job
+from repro.spice.diagnostics import DIAGNOSTIC_CODES
+
+__all__ = ["error_body", "error_from", "job_envelope"]
+
+
+def error_body(code: str, message: str, hint: Optional[str] = None) -> Dict[str, Any]:
+    """The structured error payload: stable code, message, fix hint.
+
+    ``hint`` defaults to the registered fix-hint for ``code`` so every
+    4xx body tells the caller what to change, not just what was wrong.
+    """
+    if hint is None:
+        registered = DIAGNOSTIC_CODES.get(code)
+        hint = registered[1] if registered else None
+    body: Dict[str, Any] = {"error": {"code": code, "message": message}}
+    if hint:
+        body["error"]["hint"] = hint
+    return body
+
+
+def error_from(exc: ReproError, fallback_code: str = "A005") -> Dict[str, Any]:
+    """An error body from a typed exception (code-carrying or not)."""
+    code = getattr(exc, "code", None) if isinstance(exc, DiagnosticError) else None
+    return error_body(code or fallback_code, str(exc))
+
+
+def job_envelope(job: Job) -> Dict[str, Any]:
+    """The ``/v1/jobs`` representation of one job."""
+    return job.to_json()

@@ -212,6 +212,40 @@ DIAGNOSTIC_CODES: Dict[str, Tuple[str, str]] = {
         "journal shard index outside the current plan",
         "the journaled plan had more shards; re-run or fix n_shards",
     ),
+    "A001": (
+        "unknown workload name in an estimation request",
+        "pick a registered workload; GET /v1/workloads or "
+        "repro.api.list_workloads() enumerate them",
+    ),
+    "A002": (
+        "unknown workload knob in an estimation request",
+        "only the knobs the workload's registry entry declares are "
+        "settable; check list_workloads() for the legal set",
+    ),
+    "A003": (
+        "estimation request field holds an invalid value",
+        "fix the offending field (positive budget/workers, finite spec, "
+        "a value from the knob's declared choices, ...)",
+    ),
+    "A004": (
+        "unsupported estimation method in a request",
+        "use one of repro.api.METHODS ('gis', 'mc')",
+    ),
+    "A005": (
+        "malformed request envelope (bad JSON, wrong types, unknown or "
+        "missing fields)",
+        "submit a JSON object matching EstimateRequest.to_json(): "
+        "required 'workload' and 'spec', optional knobs under 'knobs'",
+    ),
+    "A006": (
+        "unknown job id or service route",
+        "poll only ids returned by POST /v1/jobs; see the README "
+        "'Serving' section for the route table",
+    ),
+    "A007": (
+        "service refused the submission (shutting down or queue full)",
+        "retry later or raise the service queue_limit",
+    ),
 }
 
 

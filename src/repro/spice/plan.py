@@ -49,6 +49,7 @@ import json
 import os
 import pickle
 import struct
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, fields as dataclass_fields, is_dataclass
 from pathlib import Path
@@ -422,6 +423,13 @@ class PlanCache:
     ``__setstate__``.  Stale-format disk entries count as misses
     (``stats["stale"]``); corrupt ones raise ``P008`` — losing a cache
     entry is routine, silently running a damaged one never is.
+
+    ``get``/``put`` are serialized by an internal lock: the job service
+    shares the process-wide default cache across executor threads, and
+    an ``OrderedDict`` being re-ordered concurrently is not safe.  The
+    lock does *not* make compile-on-miss single-flight — that is the
+    service executor's job (it holds a compile lock around the whole
+    get-compile-put sequence so N identical submissions miss once).
     """
 
     def __init__(
@@ -432,6 +440,7 @@ class PlanCache:
         if int(max_entries) < 1:
             raise ConfigError(f"plan cache: max_entries must be >= 1, got {max_entries!r}")
         self.max_entries = int(max_entries)
+        self._lock = threading.RLock()
         self._mem: "OrderedDict[str, Dict[str, object]]" = OrderedDict()
         self.cache_dir: Optional[Path] = None
         if cache_dir is not None:
@@ -463,7 +472,8 @@ class PlanCache:
 
     def clear(self) -> None:
         """Drop the memory tier (disk entries are left in place)."""
-        self._mem.clear()
+        with self._lock:
+            self._mem.clear()
 
     def _disk_path(self, fingerprint: str) -> Path:
         return self.cache_dir / f"{fingerprint}.plan"
@@ -476,34 +486,36 @@ class PlanCache:
 
     def get(self, fingerprint: str) -> Optional[CompiledTransient]:
         """A fresh instance for the fingerprint, or ``None`` on a miss."""
-        template = self._mem.get(fingerprint)
-        if template is not None:
-            self._mem.move_to_end(fingerprint)
-            self.stats["mem_hits"] += 1
-            return _restore_template(template)
-        if self.cache_dir is not None:
-            path = self._disk_path(fingerprint)
-            try:
-                blob = path.read_bytes()
-            except OSError:
-                blob = None
-            if blob is not None:
-                head = CompiledPlan.peek(blob)
-                if head.get("format") != PLAN_FORMAT_VERSION:
-                    self.stats["stale"] += 1
-                else:
-                    plan = CompiledPlan.from_bytes(blob, expected_fingerprint=fingerprint)
-                    ct = plan.restore()  # audited by __setstate__
-                    self._remember(fingerprint, ct)
-                    self.stats["disk_hits"] += 1
-                    return ct
-        self.stats["misses"] += 1
-        return None
+        with self._lock:
+            template = self._mem.get(fingerprint)
+            if template is not None:
+                self._mem.move_to_end(fingerprint)
+                self.stats["mem_hits"] += 1
+                return _restore_template(template)
+            if self.cache_dir is not None:
+                path = self._disk_path(fingerprint)
+                try:
+                    blob = path.read_bytes()
+                except OSError:
+                    blob = None
+                if blob is not None:
+                    head = CompiledPlan.peek(blob)
+                    if head.get("format") != PLAN_FORMAT_VERSION:
+                        self.stats["stale"] += 1
+                    else:
+                        plan = CompiledPlan.from_bytes(blob, expected_fingerprint=fingerprint)
+                        ct = plan.restore()  # audited by __setstate__
+                        self._remember(fingerprint, ct)
+                        self.stats["disk_hits"] += 1
+                        return ct
+            self.stats["misses"] += 1
+            return None
 
     def put(self, fingerprint: str, ct: CompiledTransient) -> None:
         """Admit a freshly compiled instance under its fingerprint."""
-        self._remember(fingerprint, ct)
-        self.stats["stores"] += 1
+        with self._lock:
+            self._remember(fingerprint, ct)
+            self.stats["stores"] += 1
         if self.cache_dir is not None:
             blob = CompiledPlan.from_compiled(ct, fingerprint=fingerprint).to_bytes()
             path = self._disk_path(fingerprint)

@@ -1,0 +1,178 @@
+"""The repro.api facade: validation codes, schemas, determinism."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import api
+from repro.errors import ConfigError, RequestError
+
+
+def linear(**overrides):
+    base = dict(workload="analytic-linear", spec=4.0, budget=2000, seed=3)
+    base.update(overrides)
+    return api.EstimateRequest(**base)
+
+
+class TestValidation:
+    def test_unknown_workload_is_a001(self):
+        with pytest.raises(RequestError) as exc:
+            api.EstimateRequest(workload="nope", spec=1.0).validate()
+        assert exc.value.code == "A001"
+
+    def test_unknown_knob_is_a002(self):
+        with pytest.raises(RequestError) as exc:
+            linear(knobs={"bogus": 1}).validate()
+        assert exc.value.code == "A002"
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"budget": 0},
+            {"budget": 2.5},
+            {"seed": -1},
+            {"workers": 0},
+            {"n_shards": 0},
+            {"retries": -1},
+            {"rel_err": -0.1},
+            {"rel_err": float("nan")},
+            {"shard_timeout": 0.0},
+            {"spec": float("inf")},
+            {"n_starts": 0},
+        ],
+    )
+    def test_bad_field_is_a003(self, overrides):
+        with pytest.raises(RequestError) as exc:
+            linear(**overrides).validate()
+        assert exc.value.code == "A003"
+
+    def test_bad_choice_knob_is_a003(self):
+        with pytest.raises(RequestError) as exc:
+            api.EstimateRequest(
+                workload="read", spec=5e-11, knobs={"kernel": "bogus"}
+            ).validate()
+        assert exc.value.code == "A003"
+
+    def test_unsupported_method_is_a004(self):
+        with pytest.raises(RequestError) as exc:
+            linear(method="magic").validate()
+        assert exc.value.code == "A004"
+
+    def test_request_error_is_config_error(self):
+        # The CLI's exit-2 path catches ConfigError; eager API
+        # validation must flow through it unchanged.
+        with pytest.raises(ConfigError):
+            linear(method="magic").validate()
+
+    def test_knob_mutation_after_construction_is_inert(self):
+        knobs = {"dim": 8}
+        request = linear(knobs=knobs)
+        knobs["bogus"] = 1
+        request.validate()  # private copy: still clean
+
+
+class TestRequestEnvelope:
+    def test_round_trip(self):
+        request = linear(knobs={"dim": 12}, n_shards=4, rel_err=None)
+        doc = json.loads(json.dumps(request.to_json()))
+        assert api.EstimateRequest.from_json(doc) == request
+
+    def test_unknown_field_is_a005(self):
+        with pytest.raises(RequestError) as exc:
+            api.EstimateRequest.from_json({"workload": "x", "spec": 1.0, "nope": 2})
+        assert exc.value.code == "A005"
+
+    def test_non_object_is_a005(self):
+        with pytest.raises(RequestError) as exc:
+            api.EstimateRequest.from_json([1, 2])
+        assert exc.value.code == "A005"
+
+    def test_missing_required_is_a005(self):
+        with pytest.raises(RequestError) as exc:
+            api.EstimateRequest.from_json({"spec": 1.0})
+        assert exc.value.code == "A005"
+
+    def test_unknown_schema_version_is_a005(self):
+        doc = linear().to_json()
+        doc["schema_version"] = 999
+        with pytest.raises(RequestError) as exc:
+            api.EstimateRequest.from_json(doc)
+        assert exc.value.code == "A005"
+
+    def test_schema_version_optional_on_input(self):
+        doc = linear().to_json()
+        del doc["schema_version"]
+        assert api.EstimateRequest.from_json(doc) == linear()
+
+
+class TestResultEnvelope:
+    def test_round_trip_through_json_text(self):
+        result = api.estimate(linear())
+        text = json.dumps(result.to_json(), sort_keys=True)
+        back = api.EstimateResult.from_json(json.loads(text))
+        assert back.identical_to(result)
+        assert back.to_json() == result.to_json()
+        assert back.request == result.request
+
+    def test_schema_version_stamped_and_required(self):
+        result = api.estimate(linear())
+        doc = result.to_json()
+        assert doc["schema_version"] == api.SCHEMA_VERSION
+        del doc["schema_version"]
+        with pytest.raises(RequestError) as exc:
+            api.EstimateResult.from_json(doc)
+        assert exc.value.code == "A005"
+
+    def test_diagnostics_are_json_safe(self):
+        result = api.estimate(linear())
+        json.dumps(result.to_json(), allow_nan=False)  # no numpy, no NaN
+
+    def test_derived_fields_recomputed(self):
+        result = api.estimate(linear())
+        doc = result.to_json()
+        back = api.EstimateResult.from_json(doc)
+        assert back.sigma_level == pytest.approx(doc["sigma_level"])
+        lo, hi = back.ci()
+        assert 0.0 <= lo <= back.p_fail <= hi <= 1.0
+
+
+class TestEstimate:
+    def test_deterministic_per_seed(self):
+        a = api.estimate(linear())
+        b = api.estimate(linear())
+        assert a.identical_to(b)
+        assert not a.identical_to(api.estimate(linear(seed=4)))
+
+    def test_workers_never_change_the_estimate(self):
+        pinned = api.estimate(linear(workers=1, n_shards=4))
+        wide = api.estimate(linear(workers=2, n_shards=4))
+        assert pinned.identical_to(wide)
+        assert pinned.n_shards == wide.n_shards == 4
+
+    def test_mc_method(self):
+        result = api.estimate(
+            linear(method="mc", spec=2.0, budget=20000, rel_err=None)
+        )
+        assert result.method == "mc"
+        assert result.n_evals == 20000
+        assert 0.0 < result.p_fail < 1.0
+
+    def test_knobs_reach_the_factory(self):
+        result = api.estimate(linear(knobs={"dim": 12}))
+        assert result.dim == 12
+
+    def test_list_workloads(self):
+        names = [w.name for w in api.list_workloads()]
+        assert "read" in names and "array-read" in names
+        assert "analytic-linear" in names
+        spec = next(w for w in api.list_workloads() if w.name == "read")
+        doc = spec.to_json()
+        assert "n_steps" in doc["knobs"] and doc["spec_unit"] == "s"
+
+    def test_estimator_options_ride_along(self):
+        # sa-offset registers bisection-matched MPFP tolerances; the
+        # facade must apply them (the CLI used to hard-code them).
+        spec = next(w for w in api.list_workloads() if w.name == "sa-offset")
+        assert "mpfp_options" in spec.estimator_options

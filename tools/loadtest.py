@@ -1,0 +1,248 @@
+#!/usr/bin/env python
+"""Load-test driver for the yield-estimation job service.
+
+Fires a burst of estimation jobs at the service and reports throughput,
+latency percentiles and the plan-cache behaviour of the burst.  Two
+targets:
+
+* **in-process** (default) — builds a :class:`repro.service.ServiceApp`
+  with ``--service-workers`` and drives it through the in-process
+  client: no sockets, so the numbers isolate the service layer itself.
+  This is what the CI ``service`` step runs.
+* **a live server** (``--url``) — speaks the same wire contract over
+  HTTP to a ``repro.cli serve`` instance, including transport cost.
+
+Examples (from the repo root)::
+
+    PYTHONPATH=src python tools/loadtest.py --jobs 64 --service-workers 4
+    PYTHONPATH=src python tools/loadtest.py --jobs 16 \\
+        --workload read --spec 4.995e-11 --budget 150 \\
+        --knobs '{"n_steps": 300}'
+    PYTHONPATH=src python tools/loadtest.py --url http://127.0.0.1:8626
+
+Every job uses a distinct seed (``--seed`` + index) unless
+``--same-seed`` is given — identical submissions are the single-flight
+compile scenario, distinct seeds the steady-state serving scenario.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import api  # noqa: E402
+from repro.errors import ConfigError  # noqa: E402
+from repro.service import ServiceApp, ServiceClient  # noqa: E402
+
+
+class HttpClient(ServiceClient):
+    """The in-process client's verbs, carried over a real socket.
+
+    ``submit``/``wait``/``estimate`` are inherited unchanged — they
+    only speak through ``get``/``post``/``delete``, which is the point:
+    one client logic, two transports.
+    """
+
+    def __init__(self, base_url: str):
+        self.base_url = base_url.rstrip("/")
+
+    def _call(self, method: str, path: str, body: Any = None) -> Tuple[int, Dict]:
+        data = json.dumps(body).encode("utf-8") if body is not None else None
+        request = urllib.request.Request(
+            self.base_url + path, data=data, method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=600) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as err:
+            return err.code, json.loads(err.read())
+
+    def get(self, path: str):
+        return self._call("GET", path)
+
+    def post(self, path: str, body: Any = None):
+        return self._call("POST", path, body)
+
+    def delete(self, path: str):
+        return self._call("DELETE", path)
+
+
+def percentile(sorted_values: List[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[idx]
+
+
+def run_burst(client: ServiceClient, requests: List[api.EstimateRequest],
+              timeout: float) -> Dict[str, Any]:
+    """Submit every request from its own thread, poll all to settlement."""
+    envelopes: List[Optional[dict]] = [None] * len(requests)
+    refused = 0
+    lock = threading.Lock()
+
+    def submit(index: int) -> None:
+        nonlocal refused
+        try:
+            envelope = client.submit(requests[index])
+        except ConfigError:
+            with lock:
+                refused += 1
+            return
+        envelopes[index] = envelope
+
+    t0 = time.perf_counter()
+    threads = [threading.Thread(target=submit, args=(i,))
+               for i in range(len(requests))]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    submit_wall = time.perf_counter() - t0
+
+    finals = [client.wait(e["job_id"], timeout=timeout)
+              for e in envelopes if e is not None]
+    total_wall = time.perf_counter() - t0
+
+    statuses: Dict[str, int] = {}
+    for final in finals:
+        statuses[final["status"]] = statuses.get(final["status"], 0) + 1
+    latencies = sorted(
+        final["finished_s"] - final["submitted_s"]
+        for final in finals if final.get("finished_s")
+    )
+    prepares = sorted(
+        final["prepare_s"] for final in finals
+        if final.get("prepare_s") is not None
+    )
+    done = statuses.get("done", 0)
+    return {
+        "jobs": len(requests),
+        "refused": refused,
+        "statuses": statuses,
+        "submit_wall_s": round(submit_wall, 4),
+        "total_wall_s": round(total_wall, 4),
+        "qps": round(done / total_wall, 2) if total_wall > 0 else 0.0,
+        "latency_p50_s": round(percentile(latencies, 0.50), 5),
+        "latency_p90_s": round(percentile(latencies, 0.90), 5),
+        "latency_max_s": round(latencies[-1], 5) if latencies else 0.0,
+        "prepare_cold_s": round(prepares[-1], 5) if prepares else None,
+        "prepare_warm_s": round(prepares[0], 5) if prepares else None,
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="burst load-test for the yield-estimation service"
+    )
+    parser.add_argument("--jobs", type=int, default=32,
+                        help="burst size (default 32)")
+    parser.add_argument("--workload", default="analytic-linear",
+                        help="registered workload name")
+    parser.add_argument("--spec", type=float, default=4.0,
+                        help="failure spec in the workload's native unit")
+    parser.add_argument("--method", choices=api.METHODS, default="gis")
+    parser.add_argument("--budget", type=int, default=2000)
+    parser.add_argument("--rel-err", type=float, default=None,
+                        help="target relative error (default: none — fixed "
+                             "budget, comparable latencies)")
+    parser.add_argument("--knobs", type=str, default="{}",
+                        help="workload knobs as a JSON object")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base seed; job i uses seed+i unless --same-seed")
+    parser.add_argument("--same-seed", action="store_true",
+                        help="submit N identical jobs (the single-flight "
+                             "compile scenario)")
+    parser.add_argument("--job-workers", type=int, default=1,
+                        help="workers requested per job")
+    parser.add_argument("--timeout", type=float, default=600.0,
+                        help="per-job settlement timeout [s]")
+    parser.add_argument("--url", type=str, default=None,
+                        help="drive a live server at this base URL instead "
+                             "of an in-process app")
+    parser.add_argument("--service-workers", type=int, default=4,
+                        help="in-process mode: the service's worker budget")
+    parser.add_argument("--queue-limit", type=int, default=4096,
+                        help="in-process mode: the service's queue bound")
+    parser.add_argument("--json-out", type=str, default=None, metavar="PATH",
+                        help="also write the report as JSON to PATH")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        knobs = json.loads(args.knobs)
+    except ValueError as exc:
+        print(f"error: --knobs is not valid JSON: {exc}")
+        return 2
+    requests = [
+        api.EstimateRequest(
+            workload=args.workload, spec=args.spec, method=args.method,
+            seed=args.seed if args.same_seed else args.seed + i,
+            budget=args.budget, rel_err=args.rel_err,
+            workers=args.job_workers, knobs=knobs,
+        )
+        for i in range(args.jobs)
+    ]
+
+    app = None
+    try:
+        if args.url:
+            client: ServiceClient = HttpClient(args.url)
+            target = args.url
+        else:
+            app = ServiceApp(
+                workers_total=args.service_workers, queue_limit=args.queue_limit
+            )
+            client = ServiceClient(app)
+            target = f"in-process ({args.service_workers} workers)"
+
+        report = run_burst(client, requests, timeout=args.timeout)
+        report["target"] = target
+        report["workload"] = args.workload
+        _, stats = client.get("/v1/stats")
+        report["plan_cache"] = stats.get("plan_cache", {})
+    except ConfigError as exc:
+        print(f"error: {exc}")
+        return 2
+    finally:
+        if app is not None:
+            app.close(drain=True)
+
+    print(f"target            : {report['target']}")
+    print(f"workload          : {report['workload']}  "
+          f"({args.method}, budget {args.budget})")
+    print(f"jobs              : {report['jobs']} "
+          f"(refused {report['refused']}, statuses {report['statuses']})")
+    print(f"submit wall       : {report['submit_wall_s']:.3f} s")
+    print(f"total wall        : {report['total_wall_s']:.3f} s  "
+          f"-> {report['qps']:.1f} done jobs/s")
+    print(f"latency p50/p90   : {report['latency_p50_s']:.4f} / "
+          f"{report['latency_p90_s']:.4f} s  (max {report['latency_max_s']:.4f})")
+    if report["prepare_cold_s"] is not None:
+        print(f"prepare cold/warm : {report['prepare_cold_s']:.4f} / "
+              f"{report['prepare_warm_s']:.4f} s")
+    print(f"plan cache        : {report['plan_cache']}")
+
+    if args.json_out:
+        Path(args.json_out).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"report written to {args.json_out}")
+    failed = report["statuses"].get("failed", 0)
+    return 1 if (failed or report["refused"]) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
